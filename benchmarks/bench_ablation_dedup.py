@@ -1,0 +1,35 @@
+"""A3a — deduplication: ingest cost and storage savings."""
+
+import pytest
+
+from repro.bench.workloads import unique_bytes
+from repro.core.enclave_app import SeGShareOptions
+
+FILE_SIZE = 100_000
+
+
+@pytest.mark.parametrize("dedup", [False, True], ids=["plain", "dedup"])
+def test_upload_unique_content(benchmark, make_deployment, dedup):
+    deployment = make_deployment(SeGShareOptions(enable_dedup=dedup))
+    client = deployment.new_user("u")
+    counter = iter(range(100_000))
+
+    def upload():
+        i = next(counter)
+        client.upload(f"/u{i}.dat", unique_bytes("dd", i, FILE_SIZE))
+
+    benchmark(upload)
+
+
+def test_upload_duplicate_content(benchmark, make_deployment):
+    """Re-uploading known content costs hashing + a pointer record only."""
+    deployment = make_deployment(SeGShareOptions(enable_dedup=True))
+    client = deployment.new_user("u")
+    data = unique_bytes("dd-dup", 0, FILE_SIZE)
+    client.upload("/first.dat", data)
+    counter = iter(range(100_000))
+    benchmark(lambda: client.upload(f"/dup{next(counter)}.dat", data))
+    totals = deployment.server.enclave.manager.stored_bytes()
+    benchmark.extra_info["dedup_store_bytes"] = totals["dedup"]
+    benchmark.extra_info["objects"] = deployment.server.enclave.manager.dedup.object_count()
+    assert deployment.server.enclave.manager.dedup.object_count() == 1

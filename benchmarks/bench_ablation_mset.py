@@ -1,0 +1,40 @@
+"""A2 — the bucket-hash optimization of the rollback tree (§V-D).
+
+With one bucket per node, every verified read rehashes ALL siblings;
+with many buckets, only the target's bucket.  Uploads stay O(depth)
+either way thanks to the multiset hashes.
+"""
+
+import pytest
+
+from repro.bench.workloads import flat_paths, unique_bytes
+from repro.core.enclave_app import SeGShareOptions
+
+FILES = 127
+FILE_SIZE = 10_000
+
+
+def _populated(make_deployment, buckets):
+    deployment = make_deployment(
+        SeGShareOptions(rollback="individual", rollback_buckets=buckets)
+    )
+    handler = deployment.server.enclave.handler
+    for i, path in enumerate(flat_paths(FILES)):
+        handler.put_file("seeder", path, unique_bytes("mset", i, FILE_SIZE))
+    client = deployment.new_user("u")
+    client.upload("/probe.dat", unique_bytes("mset-probe", 0, FILE_SIZE))
+    return client
+
+
+@pytest.mark.parametrize("buckets", [1, 64])
+def test_verified_download(benchmark, make_deployment, buckets):
+    client = _populated(make_deployment, buckets)
+    benchmark(lambda: client.download("/probe.dat"))
+
+
+@pytest.mark.parametrize("buckets", [1, 64])
+def test_guarded_upload(benchmark, make_deployment, buckets):
+    client = _populated(make_deployment, buckets)
+    data = unique_bytes("mset-up", 0, FILE_SIZE)
+    counter = iter(range(100_000))
+    benchmark(lambda: client.upload(f"/up{next(counter)}.dat", data))

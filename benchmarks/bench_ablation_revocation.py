@@ -1,0 +1,46 @@
+"""A1 — revocation cost: SeGShare vs hybrid-encryption baselines.
+
+SeGShare's membership revocation updates ONE member list regardless of
+how many files the group can access; eager HE re-encrypts every file.
+"""
+
+import pytest
+
+from repro.baselines import HybridEncryptionShare
+from repro.bench.workloads import unique_bytes
+
+FILES = 25
+FILE_SIZE = 50_000
+
+
+def test_segshare_revocation(benchmark, make_deployment):
+    deployment = make_deployment()
+    admin = deployment.new_user("admin")
+    for i in range(FILES):
+        admin.upload(f"/t{i}.dat", unique_bytes("rev", i, FILE_SIZE))
+        admin.set_permission(f"/t{i}.dat", "team", "rw") if i == -1 else None
+    counter = iter(range(100_000))
+
+    def cycle():
+        user = f"victim{next(counter)}"
+        admin.add_user(user, "team")
+        admin.remove_user(user, "team")
+
+    benchmark(cycle)
+
+
+@pytest.mark.parametrize("lazy", [False, True], ids=["eager", "lazy"])
+def test_hybrid_encryption_revocation(benchmark, lazy):
+    share = HybridEncryptionShare(lazy_revocation=lazy)
+    share.create_group("team", {"admin"})
+    for i in range(FILES):
+        share.upload("admin", f"/t{i}.dat", unique_bytes("rev", i, FILE_SIZE))
+        share.grant_group(f"/t{i}.dat", "team")
+    counter = iter(range(100_000))
+
+    def cycle():
+        user = f"victim{next(counter)}"
+        share.add_group_member("team", user)
+        share.remove_group_member("team", user)
+
+    benchmark(cycle)

@@ -1,0 +1,54 @@
+"""E2 / §VII-B — membership addition and revocation (first group).
+
+The paper: 154.05 ms add / 153.40 ms revoke, independent of stored files,
+permissions, and file sizes.  Wall time here covers the full request path
+(fresh TLS connection + the one member-list update).
+"""
+
+import pytest
+
+
+@pytest.fixture()
+def deployment(make_deployment):
+    return make_deployment()
+
+
+def test_membership_add(benchmark, deployment):
+    identity = deployment.user_identity("owner")
+    counter = iter(range(100_000))
+
+    def add():
+        i = next(counter)
+        deployment.connect(identity).add_user(f"user{i}", f"group{i}")
+
+    benchmark(add)
+
+
+def test_membership_revoke(benchmark, deployment):
+    identity = deployment.user_identity("owner")
+    owner = deployment.connect(identity)
+    ids = iter(range(100_000))
+    for i in range(512):
+        owner.add_user(f"user{i}", f"group{i}")
+
+    def revoke():
+        i = next(ids)
+        deployment.connect(identity).remove_user(f"user{i}", f"group{i}")
+
+    benchmark(revoke)
+
+
+def test_membership_add_with_busy_share(benchmark, make_deployment):
+    """The independence claim: same operation, share full of files."""
+    deployment = make_deployment()
+    seeder = deployment.new_user("owner")
+    for i in range(40):
+        seeder.upload(f"/seed{i}", bytes(10_000))
+    identity = deployment.user_identity("owner")
+    counter = iter(range(100_000))
+
+    def add():
+        i = next(counter)
+        deployment.connect(identity).add_user(f"user{i}", f"group{i}")
+
+    benchmark(add)

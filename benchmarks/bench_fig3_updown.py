@@ -1,0 +1,62 @@
+"""E1 / Fig. 3 — upload & download latency: SeGShare vs Apache vs nginx.
+
+Wall time measures the real cost of the full pipeline (TLS record crypto,
+enclave re-encryption, protected-FS chunking); ``extra_info`` carries the
+virtual-clock latency that reproduces the paper's numbers.  Regenerate
+the full figure with ``python -m repro.bench fig3 --full``.
+"""
+
+import pytest
+
+from repro.baselines import APACHE_PROFILE, NGINX_PROFILE, PlainWebDavServer
+from repro.bench.workloads import MB, pseudo_bytes
+from repro.core.enclave_app import SeGShareOptions
+from repro.netsim import azure_wan_env
+
+SIZE = 4 * MB
+DATA = pseudo_bytes("bench-fig3", SIZE)
+
+
+@pytest.fixture()
+def seg_client(make_deployment):
+    deployment = make_deployment(SeGShareOptions(hide_paths=True))
+    return deployment, deployment.new_user("u")
+
+
+def test_segshare_upload(benchmark, seg_client):
+    deployment, client = seg_client
+    counter = iter(range(10_000))
+
+    def upload():
+        client.upload(f"/f{next(counter)}.dat", DATA)
+
+    start = deployment.env.clock.now()
+    benchmark(upload)
+    benchmark.extra_info["virtual_seconds_first_op"] = deployment.env.clock.now() - start
+
+
+def test_segshare_download(benchmark, seg_client):
+    deployment, client = seg_client
+    client.upload("/f.dat", DATA)
+    result = benchmark(lambda: client.download("/f.dat"))
+    assert result == DATA
+
+
+@pytest.mark.parametrize(
+    "profile", [APACHE_PROFILE, NGINX_PROFILE], ids=["apache", "nginx"]
+)
+def test_plain_webdav_upload(benchmark, profile):
+    env = azure_wan_env()
+    client = PlainWebDavServer(env, profile).connect()
+    counter = iter(range(10_000))
+    benchmark(lambda: client.put(f"/f{next(counter)}", DATA))
+
+
+@pytest.mark.parametrize(
+    "profile", [APACHE_PROFILE, NGINX_PROFILE], ids=["apache", "nginx"]
+)
+def test_plain_webdav_download(benchmark, profile):
+    env = azure_wan_env()
+    client = PlainWebDavServer(env, profile).connect()
+    client.put("/f", DATA)
+    assert benchmark(lambda: client.get("/f")) == DATA

@@ -1,0 +1,50 @@
+"""E3 / Fig. 4 — dynamic membership/permission ops vs prior count.
+
+The paper's claim: latency is flat (only a logarithmic in-file search)
+up to 1000 prior memberships/permissions.  Benchmarks at two prior
+counts; the shape assertion lives in tests/bench/test_figures.py and the
+full sweep in ``python -m repro.bench fig4 --full``.
+"""
+
+import pytest
+
+from repro.core.model import default_group
+
+
+def _deployment_with_memberships(make_deployment, prior):
+    deployment = make_deployment()
+    admin = deployment.new_user("admin")
+    for i in range(prior):
+        admin.add_user("bob", f"g{i}")
+    admin.add_user("nobody", "extra")
+    return deployment, deployment.user_identity("admin")
+
+
+@pytest.mark.parametrize("prior", [1, 200])
+def test_membership_toggle(benchmark, make_deployment, prior):
+    deployment, identity = _deployment_with_memberships(make_deployment, prior)
+
+    def toggle():
+        conn = deployment.connect(identity)
+        conn.add_user("bob", "extra")
+        conn.remove_user("bob", "extra")
+
+    benchmark(toggle)
+
+
+@pytest.mark.parametrize("prior", [1, 200])
+def test_permission_toggle(benchmark, make_deployment, prior):
+    deployment = make_deployment()
+    admin = deployment.new_user("admin")
+    admin.add_user("nobody", "extra")
+    admin.upload("/shared.dat", bytes(10_000))
+    for i in range(prior):
+        admin.set_permission("/shared.dat", default_group(f"px{i}"), "r")
+    identity = deployment.user_identity("admin")
+
+    def toggle():
+        conn = deployment.connect(identity)
+        conn.set_permission("/shared.dat", "extra", "rw")
+        conn.set_permission("/shared.dat", "extra", "")
+
+    benchmark(toggle)

@@ -1,0 +1,43 @@
+"""E4 / Fig. 5 — individual-file rollback protection overhead.
+
+One 10 kB up/download with pre-existing files, rollback protection on
+and off, binary-tree and flat layouts.  The full 2^x−1 sweep is
+``python -m repro.bench fig5 --full``.
+"""
+
+import pytest
+
+from repro.bench.workloads import binary_tree_paths, directories_of, flat_paths, unique_bytes
+from repro.core.enclave_app import SeGShareOptions
+
+FILE_SIZE = 10_000
+PRELOADED = 255
+
+
+def _populated(make_deployment, rollback, layout_fn):
+    options = SeGShareOptions(rollback="individual" if rollback else "off")
+    deployment = make_deployment(options)
+    handler = deployment.server.enclave.handler
+    paths = layout_fn(PRELOADED)
+    for directory in directories_of(paths):
+        handler.put_dir("seeder", directory)
+    for i, path in enumerate(paths):
+        handler.put_file("seeder", path, unique_bytes("bench5", i, FILE_SIZE))
+    return deployment, deployment.new_user("u")
+
+
+@pytest.mark.parametrize("rollback", [False, True], ids=["off", "on"])
+@pytest.mark.parametrize("layout", [binary_tree_paths, flat_paths], ids=["tree", "flat"])
+def test_upload_with_preloaded_files(benchmark, make_deployment, rollback, layout):
+    deployment, client = _populated(make_deployment, rollback, layout)
+    data = unique_bytes("bench5-probe", 0, FILE_SIZE)
+    counter = iter(range(100_000))
+    benchmark(lambda: client.upload(f"/probe{next(counter)}.dat", data))
+
+
+@pytest.mark.parametrize("rollback", [False, True], ids=["off", "on"])
+@pytest.mark.parametrize("layout", [binary_tree_paths, flat_paths], ids=["tree", "flat"])
+def test_download_with_preloaded_files(benchmark, make_deployment, rollback, layout):
+    deployment, client = _populated(make_deployment, rollback, layout)
+    client.upload("/probe.dat", unique_bytes("bench5-probe", 0, FILE_SIZE))
+    benchmark(lambda: client.download("/probe.dat"))

@@ -1,0 +1,36 @@
+"""Benchmark fixtures: shared key material and deployment helpers.
+
+The pytest-benchmark files measure REAL wall time of the simulated
+operations (the virtual-clock latencies that reproduce the paper's
+figures are printed by ``python -m repro.bench <experiment>``); each
+bench also attaches the relevant virtual-time result via ``extra_info``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.enclave_app import SeGShareOptions
+from repro.core.server import Deployment, deploy
+from repro.crypto import rsa
+from repro.netsim import azure_wan_env
+
+
+@pytest.fixture(scope="session")
+def user_key() -> rsa.RsaPrivateKey:
+    return rsa.generate_keypair(1024)
+
+
+@pytest.fixture()
+def make_deployment(user_key):
+    def factory(options: SeGShareOptions | None = None) -> Deployment:
+        deployment = deploy(env=azure_wan_env(), options=options)
+        original = deployment.new_user
+
+        def new_user(user_id: str, key=None, key_bits: int = 1024):
+            return original(user_id, key=key or user_key, key_bits=key_bits)
+
+        deployment.new_user = new_user  # type: ignore[method-assign]
+        return deployment
+
+    return factory

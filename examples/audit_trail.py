@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Tamper-evident audit logging (extension beyond the paper).
+
+Every request is logged inside the enclave — encrypted, hash-chained,
+and stored in the untrusted store like everything else.  The provider
+cannot read it, cannot modify it undetected, and the plaintext leaves
+the enclave only against a CA-signed export authorization.
+
+    python examples/audit_trail.py
+"""
+
+from repro.core import deploy
+from repro.core.audit import ca_authorized_export
+from repro.core.enclave_app import SeGShareOptions
+from repro.errors import AccessDenied, RollbackDetected
+
+
+def main() -> None:
+    deployment = deploy(options=SeGShareOptions(audit=True))
+    alice = deployment.new_user("alice")
+    mallory = deployment.new_user("mallory")
+
+    # Generate some activity, including a denied access attempt.
+    alice.mkdir("/hr/")
+    alice.upload("/hr/salaries.csv", b"alice,100")
+    try:
+        mallory.download("/hr/salaries.csv")
+    except AccessDenied:
+        pass
+    alice.set_permission("/hr/salaries.csv", "u:mallory", "deny")
+
+    # The file system owner (via the CA) exports the verified trail.
+    print("audit trail (CA-authorized export):")
+    for record in ca_authorized_export(deployment.ca, deployment.server):
+        args = " ".join(record.args)
+        print(f"  #{record.seq} {record.user_id:<10} {record.op:<10} {args:<28} -> {record.outcome}")
+
+    # The provider tries to scrub mallory's denied attempt from the log.
+    enclave = deployment.server.enclave
+    target = None
+    for record in enclave.audit_log.read_all():
+        if record.user_id == "mallory":
+            target = record.seq
+    store_key = f"\x00audit:rec:{target}"
+    blob = bytearray(enclave.manager.raw_read(store_key))
+    blob[-1] ^= 1  # flip one bit of the encrypted record
+    enclave.manager.raw_write(store_key, bytes(blob))
+
+    try:
+        enclave.audit_log.read_all()
+        raise SystemExit("UNEXPECTED: tampering went undetected")
+    except RollbackDetected as exc:
+        print(f"\nprovider tampering detected: {exc}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Replication: three enclaves on three platforms serve one share.
+
+The paper's Section V-F: all enclaves read the same central repository,
+and the root key SK_r travels from the root enclave to each replica over
+a mutually attested channel that requires **identical measurements** —
+only an enclave built for the same CA can join.
+
+    python examples/replication_cluster.py
+"""
+
+from repro.core.enclave_app import SeGShareEnclave, SeGShareOptions
+from repro.core.replication import ReplicaSet
+from repro.core.server import SeGShareServer, deploy, provision_certificate
+from repro.errors import ReplicationError
+from repro.netsim import azure_wan_env
+from repro.pki import CertificateAuthority
+from repro.sgx import AttestationService, SgxPlatform
+from repro.storage.backends import InMemoryStore
+from repro.storage.stores import StoreSet
+
+
+def make_replica(
+    deployment, shared_backend: InMemoryStore, options: SeGShareOptions
+) -> SeGShareServer:
+    """A replica on its own platform, against the shared repository."""
+    env = azure_wan_env()
+    server = SeGShareServer(
+        env,
+        deployment.ca.public_key,
+        stores=StoreSet.over(shared_backend),
+        options=options,
+        attestation_service=deployment.attestation,
+        platform=SgxPlatform(clock=env.clock),
+    )
+    deployment.attestation.register_platform(
+        server.platform.platform_id,
+        server.platform.quoting_enclave.attestation_public_key,
+    )
+    provision_certificate(
+        deployment.ca, deployment.attestation, server, server.enclave.measurement()
+    )
+    return server
+
+
+def main() -> None:
+    shared_backend = InMemoryStore()
+    options = SeGShareOptions(replica=False)
+    replica_options = SeGShareOptions(replica=True)
+
+    deployment = deploy(stores=StoreSet.over(shared_backend), options=options)
+    cluster = ReplicaSet(deployment.server)
+    print(f"root enclave up on platform {deployment.server.platform.platform_id}")
+
+    # Two replicas on fresh platforms join via attested key transfer.
+    for i in range(2):
+        replica = make_replica(deployment, shared_backend, replica_options)
+        assert not replica.enclave.ready, "replica must not serve before joining"
+        cluster.join(replica)
+        print(
+            f"replica {i + 1} joined on platform {replica.platform.platform_id} "
+            f"(ready={replica.enclave.ready})"
+        )
+
+    # A rogue enclave with a DIFFERENT CA key (hence different
+    # measurement) cannot obtain SK_r.
+    rogue_ca = CertificateAuthority(name="rogue-ca")
+    rogue_env = azure_wan_env()
+    rogue_platform = SgxPlatform(clock=rogue_env.clock)
+    rogue = SeGShareServer(
+        rogue_env,
+        rogue_ca.public_key,
+        stores=StoreSet.over(shared_backend),
+        options=replica_options,
+        attestation_service=deployment.attestation,
+        platform=rogue_platform,
+    )
+    deployment.attestation.register_platform(
+        rogue_platform.platform_id,
+        rogue_platform.quoting_enclave.attestation_public_key,
+    )
+    try:
+        cluster.join(rogue)
+        raise SystemExit("UNEXPECTED: rogue enclave obtained the root key")
+    except Exception as exc:  # AttestationError via the enclave boundary
+        print(f"rogue enclave rejected: {type(exc).__name__}")
+
+    # Writes through one server are readable through any other: same
+    # repository, same root key.
+    alice_on_root = deployment.new_user("alice")
+    alice_on_root.upload("/cluster.txt", b"written via the root enclave")
+
+    replica_server = cluster.replicas[0]
+    conn = replica_server.endpoint().connect()
+    from repro.tls import TlsClient
+    from repro.core.client import SeGShareClient
+
+    identity = deployment.user_identity("alice")
+    tls = TlsClient(conn, identity, deployment.ca.public_key, clock=replica_server.env.clock)
+    tls.handshake()
+    alice_on_replica = SeGShareClient(tls)
+    print("read via replica 1:", alice_on_replica.download("/cluster.txt").decode())
+
+
+if __name__ == "__main__":
+    main()

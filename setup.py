@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+``pip install -e .`` on modern toolchains uses pyproject.toml directly; this
+file exists so that fully offline environments without the ``wheel`` package
+can still do ``python setup.py develop``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,25 @@
+"""Baseline systems the evaluation compares against.
+
+* :mod:`repro.baselines.webdav_plain` — the TLS-enabled but plaintext-
+  storing Apache httpd and nginx WebDAV servers of Fig. 3.
+* :mod:`repro.baselines.hybrid_encryption` — a hybrid-encryption (HE)
+  cryptographic file sharing system in the style of SiRiUS/Plutus, whose
+  revocations re-encrypt files and re-wrap keys; the contrast that
+  motivates SeGShare's design (objective P3).
+"""
+
+from repro.baselines.hybrid_encryption import HybridEncryptionShare
+from repro.baselines.webdav_plain import (
+    APACHE_PROFILE,
+    NGINX_PROFILE,
+    PlainWebDavServer,
+    WebDavProfile,
+)
+
+__all__ = [
+    "APACHE_PROFILE",
+    "NGINX_PROFILE",
+    "HybridEncryptionShare",
+    "PlainWebDavServer",
+    "WebDavProfile",
+]

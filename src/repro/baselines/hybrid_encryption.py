@@ -1,0 +1,207 @@
+"""A hybrid-encryption (HE) cryptographic file sharing baseline.
+
+The design point SeGShare argues against (paper Sections I and III-D):
+each file is encrypted under a fresh symmetric file key; the file key is
+wrapped with the public key of every user (or group member) who may read
+it.  Users decrypt the wrap client-side and gain **plaintext access to
+the file key** — which is exactly why *immediate* revocation is
+expensive:
+
+* revoking one user's permission requires generating a new file key,
+  re-encrypting the whole file, and re-wrapping the new key for every
+  remaining user;
+* revoking a group membership requires that procedure for **every file**
+  the group can access.
+
+This module implements the scheme functionally (PAE for the bulk, RSA-
+cost-modelled key wrapping) and charges client-side crypto time to the
+environment clock, so the ``ablation_revocation`` bench can plot the
+asymmetry against SeGShare's constant-time revocation.  Lazy revocation
+(deferring re-encryption until the next write, the common workaround the
+paper criticizes as a security window) is available as an option.
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass, field
+
+from repro.crypto import default_pae, derive_key
+from repro.errors import AccessDenied, RequestError
+from repro.netsim.clock import SimClock
+
+# Client-side crypto costs: RSA-2048 wrap/unwrap and AES at ~1.8 GB/s.
+_WRAP_COST = 90e-6  # public-key encryption of a file key
+_UNWRAP_COST = 600e-6  # private-key decryption
+_AEAD_BPS = 1.8e9
+
+
+@dataclass
+class _FileEntry:
+    ciphertext: bytes
+    wrapped_keys: dict[str, bytes]  # user -> wrap of the file key
+    key_version: int = 0
+    stale_users: set[str] = field(default_factory=set)  # lazy-revoked
+
+
+class HybridEncryptionShare:
+    """One HE-protected share with user-level grants and group support."""
+
+    def __init__(self, clock: SimClock | None = None, lazy_revocation: bool = False) -> None:
+        self._clock = clock
+        self._lazy = lazy_revocation
+        self._pae = default_pae()
+        self._files: dict[str, _FileEntry] = {}
+        self._groups: dict[str, set[str]] = {}
+        self._group_files: dict[str, set[str]] = {}
+        # Simulated per-user asymmetric keys: a wrap is PAE under a
+        # user-derived key, with RSA costs charged to the clock.
+        self._wrap_root = secrets.token_bytes(32)
+
+    # -- cost accounting ---------------------------------------------------------
+
+    def _charge(self, seconds: float) -> None:
+        if self._clock is not None:
+            self._clock.charge(seconds, account="he-crypto")
+
+    def _wrap_key(self, user: str) -> bytes:
+        return derive_key(self._wrap_root, "he/user-wrap", user.encode(), length=16)
+
+    def _wrap(self, user: str, file_key: bytes) -> bytes:
+        self._charge(_WRAP_COST)
+        return self._pae.encrypt(self._wrap_key(user), file_key, aad=b"he-wrap")
+
+    def _unwrap(self, user: str, wrapped: bytes) -> bytes:
+        self._charge(_UNWRAP_COST)
+        return self._pae.decrypt(self._wrap_key(user), wrapped, aad=b"he-wrap")
+
+    # -- groups --------------------------------------------------------------------
+
+    def create_group(self, group: str, members: set[str]) -> None:
+        self._groups[group] = set(members)
+        self._group_files.setdefault(group, set())
+
+    def grant_group(self, path: str, group: str) -> None:
+        """Give every current member access; HE has no real group indirection —
+        the file key is wrapped per member."""
+        entry = self._entry(path)
+        file_key = self._any_key(entry)
+        for member in self._groups[group]:
+            if member not in entry.wrapped_keys:
+                entry.wrapped_keys[member] = self._wrap(member, file_key)
+        self._group_files[group].add(path)
+
+    def add_group_member(self, group: str, user: str) -> int:
+        """Adding is cheap-ish: wrap the key of each group file for the user."""
+        self._groups[group].add(user)
+        for path in self._group_files[group]:
+            entry = self._entry(path)
+            entry.wrapped_keys[user] = self._wrap(user, self._any_key(entry))
+        return len(self._group_files[group])
+
+    def remove_group_member(self, group: str, user: str) -> int:
+        """Immediate membership revocation: re-encrypt EVERY group file.
+
+        Returns the number of files touched — the quantity the ablation
+        bench plots.
+        """
+        self._groups[group].discard(user)
+        for path in self._group_files[group]:
+            self.revoke(path, user)
+        return len(self._group_files[group])
+
+    # -- files ----------------------------------------------------------------------
+
+    def upload(self, user: str, path: str, data: bytes) -> None:
+        file_key = secrets.token_bytes(16)
+        self._charge(len(data) / _AEAD_BPS)
+        ciphertext = self._pae.encrypt(file_key, data, aad=path.encode())
+        self._files[path] = _FileEntry(
+            ciphertext=ciphertext, wrapped_keys={user: self._wrap(user, file_key)}
+        )
+
+    def grant(self, path: str, user: str) -> None:
+        entry = self._entry(path)
+        entry.wrapped_keys[user] = self._wrap(user, self._any_key(entry))
+        entry.stale_users.discard(user)
+
+    def revoke(self, path: str, user: str) -> None:
+        """Permission revocation.
+
+        Eager mode re-keys and re-encrypts now; lazy mode just drops the
+        wrap and marks the file stale — the revoked user can still decrypt
+        the unchanged ciphertext with the old key (the security window).
+        """
+        entry = self._entry(path)
+        if self._lazy:
+            # Lazy revocation just drops the wrap; no crypto at all now —
+            # the revoked user's old key still opens the ciphertext.
+            entry.wrapped_keys.pop(user, None)
+            entry.stale_users.add(user)
+            return
+        old_key = self._any_key(entry)
+        entry.wrapped_keys.pop(user, None)
+        self._rekey(path, entry, old_key)
+
+    def _rekey(self, path: str, entry: _FileEntry, old_key: bytes) -> None:
+        data = self._pae.decrypt(old_key, entry.ciphertext, aad=path.encode())
+        self._charge(2 * len(data) / _AEAD_BPS)
+        new_key = secrets.token_bytes(16)
+        entry.ciphertext = self._pae.encrypt(new_key, data, aad=path.encode())
+        entry.key_version += 1
+        entry.stale_users.clear()
+        for user in list(entry.wrapped_keys):
+            entry.wrapped_keys[user] = self._wrap(user, new_key)
+
+    def write(self, user: str, path: str, data: bytes) -> None:
+        """A write re-keys in lazy mode (that is what lazy revocation defers to)."""
+        entry = self._entry(path)
+        file_key = self._unwrap_for(user, entry)
+        if self._lazy and entry.stale_users:
+            new_key = secrets.token_bytes(16)
+            entry.key_version += 1
+            entry.stale_users.clear()
+            for holder in list(entry.wrapped_keys):
+                entry.wrapped_keys[holder] = self._wrap(holder, new_key)
+            file_key = new_key
+        self._charge(len(data) / _AEAD_BPS)
+        entry.ciphertext = self._pae.encrypt(file_key, data, aad=path.encode())
+
+    def download(self, user: str, path: str) -> bytes:
+        entry = self._entry(path)
+        file_key = self._unwrap_for(user, entry)
+        self._charge(len(entry.ciphertext) / _AEAD_BPS)
+        return self._pae.decrypt(file_key, entry.ciphertext, aad=path.encode())
+
+    def can_decrypt_with_old_key(self, path: str, old_key: bytes) -> bool:
+        """Attack probe for the lazy-revocation window: does the *old* file
+        key still open the current ciphertext?"""
+        try:
+            self._pae.decrypt(old_key, self._entry(path).ciphertext, aad=path.encode())
+            return True
+        except Exception:
+            return False
+
+    def leak_file_key(self, user: str, path: str) -> bytes:
+        """What HE cannot prevent: an authorized user extracting the raw
+        file key from their client (paper: 'users gain plaintext access
+        to the file key')."""
+        return self._unwrap_for(user, self._entry(path))
+
+    # -- internals ------------------------------------------------------------------
+
+    def _entry(self, path: str) -> _FileEntry:
+        entry = self._files.get(path)
+        if entry is None:
+            raise RequestError(f"no file at {path!r}")
+        return entry
+
+    def _any_key(self, entry: _FileEntry) -> bytes:
+        user, wrapped = next(iter(entry.wrapped_keys.items()))
+        return self._unwrap(user, wrapped)
+
+    def _unwrap_for(self, user: str, entry: _FileEntry) -> bytes:
+        wrapped = entry.wrapped_keys.get(user)
+        if wrapped is None:
+            raise AccessDenied(f"{user!r} holds no wrapped key for this file")
+        return self._unwrap(user, wrapped)

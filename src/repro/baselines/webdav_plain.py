@@ -1,0 +1,123 @@
+"""Plaintext-storing WebDAV servers: the Apache and nginx baselines of Fig. 3.
+
+Both are TLS-terminating web servers that store uploads *unencrypted* —
+the latency baselines the paper races against.  Real bytes flow over the
+simulated link; each server charges its own per-request and per-byte
+processing costs on top, calibrated so the paper's 200 MB numbers come
+out (§VII-B: upload/download 4.74 s / 2.62 s for Apache, 1.84 s / 0.93 s
+for nginx on the Azure pair):
+
+* the nginx profile is nearly transport-bound (sendfile-style zero-copy),
+* the Apache profile pays markedly more per ingested byte (buffered
+  writes plus synchronous disk behaviour) and per served byte.
+
+Neither provides any access control beyond possessing the URL — which is
+the point of the comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import StorageError
+from repro.netsim.network import NetworkEnv
+from repro.storage.backends import InMemoryStore
+from repro.tls.session import STREAM_CHUNK, chunk_payload
+
+
+@dataclass(frozen=True)
+class WebDavProfile:
+    """Per-server processing costs (seconds, seconds/byte)."""
+
+    name: str
+    request_overhead: float
+    per_byte_in: float
+    per_byte_out: float
+    tls_handshake: float
+
+
+APACHE_PROFILE = WebDavProfile(
+    name="apache-httpd",
+    request_overhead=0.004,
+    per_byte_in=14.4e-9,
+    per_byte_out=8.4e-9,
+    tls_handshake=0.0012,
+)
+
+NGINX_PROFILE = WebDavProfile(
+    name="nginx",
+    request_overhead=0.0015,
+    per_byte_in=0.20e-9,
+    per_byte_out=0.15e-9,
+    tls_handshake=0.0009,
+)
+
+
+class PlainWebDavServer:
+    """A plaintext WebDAV file server with a calibrated cost profile."""
+
+    def __init__(self, env: NetworkEnv, profile: WebDavProfile) -> None:
+        self.env = env
+        self.profile = profile
+        self.store = InMemoryStore()
+
+    def _account(self) -> str:
+        return f"{self.profile.name}-cpu"
+
+    def connect(self) -> "PlainWebDavClient":
+        """TLS handshake: one WAN round trip plus asymmetric crypto."""
+        self.env.clock.charge(self.env.link.spec.rtt, account="network")
+        self.env.clock.charge(self.profile.tls_handshake, account=self._account())
+        return PlainWebDavClient(self)
+
+    # -- server-side request processing -------------------------------------------
+
+    def _process_put(self, path: str, data: bytes) -> None:
+        clock = self.env.clock
+        clock.charge(self.profile.request_overhead, account=self._account())
+        clock.charge(len(data) * self.profile.per_byte_in, account=self._account())
+        self.store.put(path, data)
+
+    def _process_get(self, path: str) -> bytes:
+        clock = self.env.clock
+        clock.charge(self.profile.request_overhead, account=self._account())
+        data = self.store.get(path)
+        clock.charge(len(data) * self.profile.per_byte_out, account=self._account())
+        return data
+
+
+class PlainWebDavClient:
+    """Client handle charging transfer time for PUT/GET round trips."""
+
+    def __init__(self, server: PlainWebDavServer) -> None:
+        self._server = server
+        self._link = server.env.link
+
+    def put(self, path: str, data: bytes) -> None:
+        """HTTP PUT: stream the body, then receive the status line."""
+        first = True
+        for chunk in chunk_payload(data, STREAM_CHUNK):
+            if first:
+                self._link.transfer_up(len(chunk) + 256)  # request line + headers
+                first = False
+            else:
+                self._link.stream_up(len(chunk))
+        self._server._process_put(path, data)
+        self._link.transfer_down(128)  # "201 Created"
+
+    def get(self, path: str) -> bytes:
+        """HTTP GET: request line up, streamed body down."""
+        self._link.transfer_up(256)
+        try:
+            data = self._server._process_get(path)
+        except StorageError:
+            self._link.transfer_down(128)
+            raise
+        first = True
+        for chunk in chunk_payload(data, STREAM_CHUNK):
+            if first:
+                self._link.transfer_down(len(chunk) + 128)
+                first = False
+            else:
+                self._link.stream_down(len(chunk))
+        return data

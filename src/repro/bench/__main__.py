@@ -1,0 +1,66 @@
+"""Command-line entry point: ``python -m repro.bench <experiment>``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench import figures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the tables and figures of the SeGShare paper.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[
+            "fig3", "exp2", "fig4", "fig5", "storage", "table3", "tcb",
+            "revocation", "mset", "dedup", "rotation", "crypto", "all",
+        ],
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="paper-scale parameters (slower); default uses reduced sweeps",
+    )
+    args = parser.parse_args(argv)
+
+    runners = {
+        "fig3": lambda: figures.fig3(
+            sizes_mb=(1, 10, 50, 100, 200) if args.full else (1, 10, 50)
+        ).format(),
+        "exp2": lambda: figures.exp2().format(),
+        "fig4": lambda: figures.fig4(
+            counts=(1, 10, 100, 1000) if args.full else (1, 10, 100)
+        ).format(),
+        "fig5": lambda: figures.fig5(max_x=14 if args.full else 8).format(),
+        "storage": lambda: figures.storage(
+            sizes_mb=(10, 200) if args.full else (10,)
+        ).format(),
+        "table3": figures.table3,
+        "tcb": figures.tcb,
+        "revocation": lambda: figures.ablation_revocation(
+            file_counts=(10, 100, 500) if args.full else (10, 50)
+        ).format(),
+        "mset": lambda: figures.ablation_mset(
+            file_count=511 if args.full else 127
+        ).format(),
+        "dedup": lambda: figures.ablation_dedup().format(),
+        "rotation": lambda: figures.ablation_rotation(
+            file_counts=(10, 50, 200) if args.full else (10, 50)
+        ).format(),
+        "crypto": lambda: figures.crypto_throughput().format(),
+    }
+    if args.experiment == "all":
+        for name, runner in runners.items():
+            print(runner())
+            print()
+    else:
+        print(runners[args.experiment]())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

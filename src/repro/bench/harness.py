@@ -1,0 +1,76 @@
+"""Experiment plumbing: timing helpers, result records, table rendering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.netsim.clock import SimClock
+
+
+@dataclass
+class ExperimentResult:
+    """One experiment's output: named columns, one dict per row."""
+
+    experiment: str
+    description: str
+    columns: list[str]
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    notes: str = ""
+
+    def add(self, **values: Any) -> None:
+        self.rows.append(values)
+
+    def format(self) -> str:
+        return (
+            f"== {self.experiment}: {self.description} ==\n"
+            + format_rows(self.columns, self.rows)
+            + (f"\n{self.notes}" if self.notes else "")
+        )
+
+    def series(self, x: str, y: str) -> list[tuple[Any, Any]]:
+        """Extract an (x, y) series, e.g. for asserting figure shapes."""
+        return [(row[x], row[y]) for row in self.rows if y in row]
+
+
+def format_rows(columns: list[str], rows: list[dict[str, Any]]) -> str:
+    """Render rows as a fixed-width text table."""
+    widths = {col: len(col) for col in columns}
+    rendered: list[dict[str, str]] = []
+    for row in rows:
+        cells = {}
+        for col in columns:
+            value = row.get(col, "")
+            if isinstance(value, float):
+                text = f"{value:.4f}"
+            else:
+                text = str(value)
+            cells[col] = text
+            widths[col] = max(widths[col], len(text))
+        rendered.append(cells)
+    header = "  ".join(f"{col:>{widths[col]}}" for col in columns)
+    lines = [header, "-" * len(header)]
+    for cells in rendered:
+        lines.append("  ".join(f"{cells[col]:>{widths[col]}}" for col in columns))
+    return "\n".join(lines)
+
+
+def timed(clock: SimClock, fn: Callable[[], Any]) -> float:
+    """Virtual seconds consumed by ``fn()``."""
+    start = clock.now()
+    fn()
+    return clock.now() - start
+
+
+def mean_ci95(samples: list[float]) -> tuple[float, float]:
+    """Mean and 95% confidence half-width — the paper's error bars.
+
+    Uses the normal approximation (1.96·sd/√n), adequate for the n=100
+    repetitions the paper runs; returns (mean, 0.0) for n < 2.
+    """
+    n = len(samples)
+    mean = sum(samples) / n
+    if n < 2:
+        return mean, 0.0
+    variance = sum((x - mean) ** 2 for x in samples) / (n - 1)
+    return mean, 1.96 * (variance**0.5) / (n**0.5)

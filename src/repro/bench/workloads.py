@@ -1,0 +1,56 @@
+"""Deterministic workload generation for benchmarks and tests.
+
+All content is derived from seeds via SHAKE-256, so every run sees the
+same bytes without storing fixtures.  ``unique_bytes`` guarantees
+distinct content per (seed, index) — important for the dedup benches,
+where duplicate ratios must be exact.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+MB = 1_000_000  # the paper uses decimal megabytes
+KB = 1_000
+
+
+def pseudo_bytes(seed: str, size: int) -> bytes:
+    """``size`` deterministic bytes derived from ``seed``."""
+    return hashlib.shake_256(seed.encode("utf-8")).digest(size) if size else b""
+
+
+def unique_bytes(seed: str, index: int, size: int) -> bytes:
+    """Deterministic content, distinct for every (seed, index)."""
+    return pseudo_bytes(f"{seed}/{index}", size)
+
+
+def binary_tree_paths(count: int) -> list[str]:
+    """``count`` file paths arranged as leaves of a binary directory tree.
+
+    Mirrors Fig. 5's layout (1): directories form a binary tree and each
+    leaf directory holds one file.  Path ``i`` encodes the bit pattern of
+    ``i`` as nested ``0/``/``1/`` directories.
+    """
+    paths = []
+    for i in range(count):
+        bits = format(i, "b") if i else "0"
+        directory = "/" + "/".join(f"b{bit}" for bit in bits) + "/"
+        paths.append(directory + f"f{i}.dat")
+    return paths
+
+
+def flat_paths(count: int) -> list[str]:
+    """``count`` file paths directly under the root — Fig. 5's layout (2)."""
+    return [f"/f{i}.dat" for i in range(count)]
+
+
+def directories_of(paths: list[str]) -> list[str]:
+    """All directories needed to hold ``paths``, in creation order."""
+    seen: dict[str, None] = {}
+    for path in paths:
+        parts = path.split("/")[1:-1]
+        prefix = "/"
+        for part in parts:
+            prefix = prefix + part + "/"
+            seen.setdefault(prefix)
+    return list(seen)

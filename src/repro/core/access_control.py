@@ -1,0 +1,166 @@
+"""The access control component (paper Table IV and Section V-B).
+
+Implements the internal operations ``auth_f``, ``auth_g``, ``exists_g``
+and the relation updates (``updateRel``) over the encrypted metadata
+files, via the trusted file manager:
+
+* ``auth_f(u, p, f)`` — ∃g: (u,g) ∈ rG ∧ ((p,g,f) ∈ rP ∨ (g,f) ∈ rFO).
+  With the inheritance extension, a permission entry for group g on f
+  takes precedence over g's entry on f's parent; a ``pdeny`` entry is
+  such an override that grants nothing.
+* ``auth_g(u, g2)`` — ∃g1: (u,g1) ∈ rG ∧ (g1,g2) ∈ rGO.
+
+Every user is implicitly a member of their default group ``g_u``, so the
+group machinery uniformly covers individual-user sharing.
+"""
+
+from __future__ import annotations
+
+from repro.core.acl import USER_REGISTRY_ID, AclFile
+from repro.core.file_manager import TrustedFileManager
+from repro.core.model import (
+    Permission,
+    default_group,
+    is_default_group,
+    validate_group_id,
+)
+from repro.errors import RequestError
+from repro.fsmodel import parent
+
+_USER_LIST_PATH = USER_REGISTRY_ID
+
+
+class AccessControl:
+    """Authorization checks and relation updates."""
+
+    def __init__(self, manager: TrustedFileManager) -> None:
+        self._manager = manager
+
+    # -- relation lookups -----------------------------------------------------
+
+    def user_groups(self, user_id: str) -> set[str]:
+        """All groups of ``u`` per rG, plus the implicit default group."""
+        groups = set(self._manager.read_member_list(user_id).groups)
+        groups.add(default_group(user_id))
+        return groups
+
+    def exists_g(self, group_id: str) -> bool:
+        """Table IV ``exists_g``; default groups always exist."""
+        if is_default_group(group_id):
+            return True
+        return self._manager.read_group_list().exists(group_id)
+
+    def auth_g(self, user_id: str, group_id: str) -> bool:
+        """May ``user_id`` change group ``group_id``'s membership?"""
+        if is_default_group(group_id):
+            return False  # default groups are immutable
+        group_list = self._manager.read_group_list()
+        if not group_list.exists(group_id):
+            return False
+        owners = set(group_list.owners(group_id))
+        return bool(owners & self.user_groups(user_id))
+
+    def auth_f(self, user_id: str, perm: Permission | None, path: str) -> bool:
+        """May ``user_id`` exercise ``perm`` on the file at ``path``?
+
+        ``perm=None`` is the paper's ``auth_f(u, "", f)`` — an
+        ownership-only check (used by ``set_p`` and the other
+        owner-restricted requests).
+        """
+        if not self._manager.exists(path) or not self._manager.acl_exists(path):
+            return False  # the root directory has no ACL; nobody "owns" it
+        acl = self._manager.read_acl(path)
+        groups = self.user_groups(user_id)
+        if any(acl.is_owner(group) for group in groups):
+            return True
+        if perm is None:
+            return False
+
+        parent_acl: AclFile | None = None
+        if acl.inherit and path != "/":
+            parent_path = parent(path)
+            if self._manager.acl_exists(parent_path):
+                parent_acl = self._manager.read_acl(parent_path)
+
+        granted = False
+        for group in groups:
+            perms = acl.lookup(group)
+            if not perms and parent_acl is not None:
+                perms = parent_acl.lookup(group)
+            if Permission.DENY in perms:
+                # Deny wins: an explicit pdeny for ANY of the user's groups
+                # vetoes grants obtained through other memberships — the
+                # only reading under which pdeny can actually exclude a
+                # user who also holds a broader group grant.
+                return False
+            if perm in perms:
+                granted = True
+        return granted
+
+    # -- relation updates (updateRel) --------------------------------------------
+
+    def create_group(self, creator_id: str, group_id: str) -> None:
+        """updateRel(G, G ∪ g): new group owned by the creator's default group.
+
+        Per Algo. 1 the creator also becomes the group's first member.
+        """
+        validate_group_id(group_id)
+        group_list = self._manager.read_group_list()
+        group_list.create(group_id, default_group(creator_id))
+        self._manager.write_group_list(group_list)
+        members = self._manager.read_member_list(creator_id)
+        members.add(group_id)
+        self._manager.write_member_list(creator_id, members)
+        self._register_user(creator_id)
+
+    def add_member(self, user_id: str, group_id: str) -> None:
+        """updateRel(g, g ∪ u): touches only ``user_id``'s member list."""
+        members = self._manager.read_member_list(user_id)
+        members.add(group_id)
+        self._manager.write_member_list(user_id, members)
+        self._register_user(user_id)
+
+    def remove_member(self, user_id: str, group_id: str) -> None:
+        """updateRel(g, g \\ u): immediate revocation, one member list."""
+        members = self._manager.read_member_list(user_id)
+        members.remove(group_id)
+        self._manager.write_member_list(user_id, members)
+
+    def add_group_owner(self, group_id: str, owner_group: str) -> None:
+        """Extend rGO: ``owner_group`` now also owns ``group_id``."""
+        group_list = self._manager.read_group_list()
+        if not is_default_group(owner_group) and not group_list.exists(owner_group):
+            raise RequestError(f"no group {owner_group!r}")
+        group_list.add_owner(group_id, owner_group)
+        self._manager.write_group_list(group_list)
+
+    def delete_group(self, group_id: str) -> int:
+        """Delete a group: scan all member lists (the paper's known-slow path).
+
+        Returns the number of member lists that were updated.
+        """
+        group_list = self._manager.read_group_list()
+        group_list.delete(group_id)
+        self._manager.write_group_list(group_list)
+        touched = 0
+        for user_id in self.known_users():
+            members = self._manager.read_member_list(user_id)
+            if group_id in members:
+                members.remove(group_id)
+                self._manager.write_member_list(user_id, members)
+                touched += 1
+        return touched
+
+    # -- user registry (supports the delete-group scan) ----------------------------
+
+    def known_users(self) -> list[str]:
+        """Users with a member list — the group store's root listing."""
+        if not self._manager.member_list_exists(_USER_LIST_PATH):
+            return []
+        return self._manager.read_member_list(_USER_LIST_PATH).groups
+
+    def _register_user(self, user_id: str) -> None:
+        registry = self._manager.read_member_list(_USER_LIST_PATH)
+        if user_id not in registry:
+            registry.add(user_id)
+            self._manager.write_member_list(_USER_LIST_PATH, registry)

@@ -1,0 +1,185 @@
+"""Tamper-evident audit logging (an extension beyond the paper).
+
+Enterprises deploying a file sharing service need to answer *who did
+what, when* — and in SeGShare's threat model the log itself lives in
+untrusted storage, so it must be as protected as the data.  The enclave
+appends one encrypted record per processed request:
+
+* each record is PAE-encrypted under a key derived from SK_r, with its
+  sequence number as associated data (no reordering/substitution);
+* records are hash-chained: the head object stores the record count and
+  ``chain = H(chain_prev || record_plaintext)``, so any modification or
+  truncation of the middle of the log breaks verification;
+* the head is a single small object.  Replaying an *old head together
+  with the matching records* is a whole-log rollback — exactly the class
+  of attack Section V-E's monotonic counter addresses, so the audit head
+  participates in the whole-FS anchor when that mode is active (the
+  enclave writes it through the guarded content path).
+
+Reading the log is an administrative action: the enclave only exports
+plaintext records against a CA-signed authorization, mirroring the
+backup-reset flow of Section V-G.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.crypto import default_pae, derive_key
+from repro.errors import IntegrityError, RollbackDetected
+from repro.util.serialization import Reader, Writer
+
+_HEAD_PATH = "\x00audit:head"
+_RECORD_PREFIX = "\x00audit:rec:"
+
+AUDIT_EXPORT_CONTEXT = b"segshare-audit-export\x00"
+
+
+@dataclass(frozen=True)
+class AuditRecord:
+    """One logged request."""
+
+    seq: int
+    timestamp: float
+    user_id: str
+    op: str
+    args: tuple[str, ...]
+    outcome: str
+
+    def serialize(self) -> bytes:
+        return (
+            Writer()
+            .u64(self.seq)
+            .u64(int(self.timestamp * 1_000_000))
+            .str(self.user_id)
+            .str(self.op)
+            .str_list(list(self.args))
+            .str(self.outcome)
+            .take()
+        )
+
+    @classmethod
+    def deserialize(cls, data: bytes) -> "AuditRecord":
+        r = Reader(data)
+        record = cls(
+            seq=r.u64(),
+            timestamp=r.u64() / 1_000_000,
+            user_id=r.str(),
+            op=r.str(),
+            args=tuple(r.str_list()),
+            outcome=r.str(),
+        )
+        r.expect_end()
+        return record
+
+
+class AuditLog:
+    """Hash-chained, encrypted, append-only request log.
+
+    ``raw_write``/``raw_read``/``raw_exists`` come from the trusted file
+    manager's low-level content-store access; the log pays one small
+    object write per appended record plus the head update.
+    """
+
+    def __init__(self, manager, root_key: bytes) -> None:
+        self._manager = manager
+        self._key = derive_key(root_key, "segshare/audit", length=16)
+        self._pae = default_pae()
+        if not self._manager.raw_exists(_HEAD_PATH):
+            self._store_head(0, hashlib.sha256(b"audit-genesis").digest())
+
+    # -- head ------------------------------------------------------------------
+
+    def _store_head(self, count: int, chain: bytes) -> None:
+        plain = Writer().u64(count).bytes(chain).take()
+        blob = self._pae.encrypt(self._key, plain, aad=b"audit-head")
+        self._manager.raw_write(_HEAD_PATH, blob)
+
+    def _load_head(self) -> tuple[int, bytes]:
+        try:
+            plain = self._pae.decrypt(
+                self._key, self._manager.raw_read(_HEAD_PATH), aad=b"audit-head"
+            )
+        except IntegrityError as exc:
+            raise RollbackDetected("audit head failed verification") from exc
+        r = Reader(plain)
+        count = r.u64()
+        chain = r.bytes()
+        r.expect_end()
+        return count, chain
+
+    # -- appending ----------------------------------------------------------------
+
+    def append(
+        self, timestamp: float, user_id: str, op: str, args: tuple[str, ...], outcome: str
+    ) -> int:
+        """Log one request; returns its sequence number."""
+        count, chain = self._load_head()
+        record = AuditRecord(
+            seq=count,
+            timestamp=timestamp,
+            user_id=user_id,
+            op=op,
+            args=args,
+            outcome=outcome,
+        )
+        plain = record.serialize()
+        blob = self._pae.encrypt(
+            self._key, plain, aad=b"audit-rec\x00" + count.to_bytes(8, "big")
+        )
+        self._manager.raw_write(_RECORD_PREFIX + str(count), blob)
+        new_chain = hashlib.sha256(chain + plain).digest()
+        self._store_head(count + 1, new_chain)
+        return count
+
+    # -- reading -------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._load_head()[0]
+
+    def read_all(self) -> list[AuditRecord]:
+        """Decrypt and verify the whole chain; raises on any tamper."""
+        count, expected_chain = self._load_head()
+        chain = hashlib.sha256(b"audit-genesis").digest()
+        records = []
+        for seq in range(count):
+            path = _RECORD_PREFIX + str(seq)
+            if not self._manager.raw_exists(path):
+                raise RollbackDetected(f"audit record {seq} is missing")
+            try:
+                plain = self._pae.decrypt(
+                    self._key,
+                    self._manager.raw_read(path),
+                    aad=b"audit-rec\x00" + seq.to_bytes(8, "big"),
+                )
+            except IntegrityError as exc:
+                raise RollbackDetected(f"audit record {seq} failed verification") from exc
+            chain = hashlib.sha256(chain + plain).digest()
+            records.append(AuditRecord.deserialize(plain))
+        if chain != expected_chain:
+            raise RollbackDetected("audit chain does not match the head")
+        return records
+
+    def verify(self) -> int:
+        """Verify the chain; returns the record count."""
+        return len(self.read_all())
+
+
+def export_message_bytes(platform_id: str, nonce: bytes) -> bytes:
+    """The exact bytes the CA signs to authorize an audit export."""
+    return AUDIT_EXPORT_CONTEXT + Writer().str(platform_id).bytes(nonce).take()
+
+
+def ca_authorized_export(ca, server) -> list[AuditRecord]:
+    """Full export flow: the CA signs, the enclave verifies and exports.
+
+    ``ca`` is a :class:`repro.pki.CertificateAuthority`, ``server`` a
+    :class:`repro.core.server.SeGShareServer`.
+    """
+    import secrets
+
+    nonce = secrets.token_bytes(16)
+    signature = ca.sign_message(export_message_bytes(server.platform.platform_id, nonce))
+    blobs = server.handle.call("audit_export", nonce, signature)
+    return [AuditRecord.deserialize(blob) for blob in blobs]

@@ -1,0 +1,64 @@
+"""File system backup and restore (paper Section V-G).
+
+Backups are trivial for the cloud provider: copy the (encrypted) objects
+on disk.  Restoration depends on who reads them back:
+
+* the *same* enclave still holds the sealed root key — it just serves the
+  restored objects;
+* a *different* enclave needs the replication flow of Section V-F to
+  obtain SK_r first.
+
+With whole-file-system rollback protection active, a restore is by
+definition a rollback, so the enclave refuses to serve until the CA
+authorizes the state reset with a signed message; the enclave then checks
+the restored tree's internal consistency and re-anchors the monotonic
+counter (:meth:`repro.core.enclave_app.SeGShareEnclave.reset_after_restore`).
+"""
+
+from __future__ import annotations
+
+import secrets
+
+from repro.core.server import SeGShareServer
+from repro.errors import BackupError
+from repro.pki import CertificateAuthority
+from repro.storage.backends import InMemoryStore
+
+
+def take_backup(server: SeGShareServer) -> dict[str, dict[str, bytes]]:
+    """Snapshot all three stores — a plain provider-side disk copy."""
+    snapshot = {}
+    for name in ("content", "group", "dedup"):
+        store = getattr(server.stores, name)
+        if not isinstance(store, InMemoryStore):
+            raise BackupError("take_backup supports in-memory stores only")
+        snapshot[name] = store.snapshot()
+    return snapshot
+
+
+def restore_backup(server: SeGShareServer, snapshot: dict[str, dict[str, bytes]]) -> None:
+    """Overwrite the stores with ``snapshot`` (the provider restores disks)."""
+    for name, objects in snapshot.items():
+        store = getattr(server.stores, name)
+        if not isinstance(store, InMemoryStore):
+            raise BackupError("restore_backup supports in-memory stores only")
+        store.restore(objects)
+
+
+def ca_signed_reset(
+    ca: CertificateAuthority, server: SeGShareServer
+) -> tuple[bytes, bytes]:
+    """The CA authorizes a rollback-state reset for ``server``'s platform.
+
+    Returns ``(nonce, signature)`` for
+    :meth:`SeGShareEnclave.reset_after_restore`.
+    """
+    nonce = secrets.token_bytes(16)
+    message = type(server.enclave).reset_message_bytes(server.platform.platform_id, nonce)
+    return nonce, ca.sign_message(message)
+
+
+def authorize_restore(ca: CertificateAuthority, server: SeGShareServer) -> None:
+    """Full restore acceptance: CA signs, enclave verifies and re-anchors."""
+    nonce, signature = ca_signed_reset(ca, server)
+    server.handle.call("reset_after_restore", nonce, signature)

@@ -1,0 +1,186 @@
+"""Server-side, file-based deduplication (paper Section V-A).
+
+Uploaded plaintext is deduplicated *inside* the enclave — possible only
+because the enclave holds the file keys — and a single encrypted copy is
+kept, shared across users and groups.  Per the paper:
+
+* the incoming file is streamed into the deduplication store under a
+  unique random name while an HMAC over its content (keyed with the root
+  key SK_r) is computed,
+* the HMAC's hex string ``hName`` identifies the content; if an object
+  for ``hName`` already exists the fresh copy is deleted, otherwise it is
+  adopted,
+* the content file in the content store holds only ``hName`` — a
+  symbolic-link-like indirection.
+
+Beyond the paper, the store reference-counts ``hName`` entries so that
+deleting the last referring file reclaims the stored copy.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import secrets
+
+from repro.crypto import derive_key
+from repro.errors import StorageError
+from repro.sgx.protected_fs import ProtectedFs
+from repro.util.serialization import Reader, Writer
+
+_INDEX_PATH = "dedup-index"
+_OBJECT_PREFIX = "obj:"
+
+
+class DedupStore:
+    """The deduplication store: content-addressed objects plus an index."""
+
+    def __init__(self, pfs: ProtectedFs, root_key: bytes) -> None:
+        self._pfs = pfs
+        self._hmac_key = derive_key(root_key, "segshare/dedup-hmac")
+        # hName -> (object id, reference count)
+        self._index: dict[str, tuple[str, int]] = {}
+        if self._pfs.exists(_INDEX_PATH):
+            self._load_index()
+
+    # -- index persistence -----------------------------------------------------
+
+    def _load_index(self) -> None:
+        r = Reader(self._pfs.read_file(_INDEX_PATH))
+        count = r.u32()
+        self._index = {}
+        for _ in range(count):
+            h_name = r.str()
+            object_id = r.str()
+            refcount = r.u32()
+            self._index[h_name] = (object_id, refcount)
+        r.expect_end()
+
+    def _store_index(self) -> None:
+        w = Writer()
+        w.u32(len(self._index))
+        for h_name in sorted(self._index):
+            object_id, refcount = self._index[h_name]
+            w.str(h_name)
+            w.str(object_id)
+            w.u32(refcount)
+        self._pfs.write_file(_INDEX_PATH, w.take())
+
+    # -- content hashing -----------------------------------------------------
+
+    def hasher(self) -> "hmac.HMAC":
+        """Incremental HMAC for streaming uploads."""
+        return hmac.new(self._hmac_key, digestmod=hashlib.sha256)
+
+    def h_name(self, content: bytes) -> str:
+        digest = hmac.new(self._hmac_key, content, hashlib.sha256).digest()
+        return digest.hex()
+
+    # -- ingestion -----------------------------------------------------------
+
+    def begin_upload(self) -> "DedupUpload":
+        """Start streaming an upload into a temporary object."""
+        object_id = _OBJECT_PREFIX + secrets.token_hex(16)
+        return DedupUpload(self, object_id)
+
+    def _commit(self, object_id: str, h_name: str) -> str:
+        """Adopt or discard a freshly written object; returns the ``hName``."""
+        existing = self._index.get(h_name)
+        if existing is not None:
+            self._pfs.remove(object_id)
+            self._index[h_name] = (existing[0], existing[1] + 1)
+        else:
+            self._index[h_name] = (object_id, 1)
+        self._store_index()
+        return h_name
+
+    def put(self, content: bytes) -> str:
+        """Non-streaming ingestion of a whole value."""
+        upload = self.begin_upload()
+        upload.write(content)
+        return upload.finish()
+
+    # -- access and lifecycle ---------------------------------------------------
+
+    def get(self, h_name: str) -> bytes:
+        """Read an object, verifying it still hashes to ``h_name``.
+
+        Content addressing doubles as rollback protection for this store:
+        replaying an *older* object under the same name changes its HMAC
+        and is caught here.
+        """
+        entry = self._index.get(h_name)
+        if entry is None:
+            raise StorageError(f"no deduplicated object {h_name!r}")
+        content = self._pfs.read_file(entry[0])
+        if self.h_name(content) != h_name:
+            raise StorageError(f"deduplicated object {h_name!r} failed content check")
+        return content
+
+    def open_read(self, h_name: str):
+        entry = self._index.get(h_name)
+        if entry is None:
+            raise StorageError(f"no deduplicated object {h_name!r}")
+        return self._pfs.open_read(entry[0])
+
+    def size(self, h_name: str) -> int:
+        entry = self._index.get(h_name)
+        if entry is None:
+            raise StorageError(f"no deduplicated object {h_name!r}")
+        with self._pfs.open_read(entry[0]) as handle:
+            return handle.size
+
+    def add_reference(self, h_name: str) -> None:
+        """A second content file now points at ``h_name``."""
+        object_id, refcount = self._index[h_name]
+        self._index[h_name] = (object_id, refcount + 1)
+        self._store_index()
+
+    def release(self, h_name: str) -> None:
+        """Drop one reference; the last reference reclaims the object."""
+        entry = self._index.get(h_name)
+        if entry is None:
+            raise StorageError(f"no deduplicated object {h_name!r}")
+        object_id, refcount = entry
+        if refcount <= 1:
+            del self._index[h_name]
+            self._pfs.remove(object_id)
+        else:
+            self._index[h_name] = (object_id, refcount - 1)
+        self._store_index()
+
+    def refcount(self, h_name: str) -> int:
+        entry = self._index.get(h_name)
+        return 0 if entry is None else entry[1]
+
+    def object_count(self) -> int:
+        return len(self._index)
+
+
+class DedupUpload:
+    """A streaming upload into the deduplication store."""
+
+    def __init__(self, store: DedupStore, object_id: str) -> None:
+        self._store = store
+        self._object_id = object_id
+        self._handle = store._pfs.open_write(object_id)
+        self._hasher = store.hasher()
+        self._done = False
+
+    def write(self, chunk: bytes) -> None:
+        self._hasher.update(chunk)
+        self._handle.write(chunk)
+
+    def finish(self) -> str:
+        """Close the object and commit it; returns the content's ``hName``."""
+        if self._done:
+            raise StorageError("upload already finished")
+        self._done = True
+        self._handle.close()
+        return self._store._commit(self._object_id, self._hasher.hexdigest())
+
+    def abort(self) -> None:
+        if not self._done:
+            self._done = True
+            self._handle.close()
+            self._store._pfs.remove(self._object_id)

@@ -1,0 +1,566 @@
+"""The SeGShare enclave (paper Fig. 1, trusted side).
+
+Everything inside the dashed box of Fig. 1 lives in this
+:class:`repro.sgx.Enclave` subclass: the trusted TLS interface, the
+request handler, the access control component, and the trusted file
+manager.  The hard-coded CA public key is part of the enclave's
+measurement, so a CA that attests the measurement knows the enclave was
+built for it.
+
+The ECALL surface is deliberately tiny — certification (CSR/certificate
+installation), TLS session management, record forwarding, replication,
+and backup reset — mirroring the paper's "well-defined interface"
+argument.  :meth:`tcb_loc_report` reproduces the enclave-LoC accounting
+(the paper's 8441 lines).
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass
+
+from repro.core.access_control import AccessControl
+from repro.core.audit import AuditLog, export_message_bytes
+from repro.core.file_manager import TrustedFileManager
+from repro.core.request_handler import RequestHandler, UploadSink
+from repro.core.requests import Op, Request, Response
+from repro.core.rollback import FlatStoreGuard, RollbackGuard
+from repro.core.rotation import (
+    RotationStats,
+    replay_state,
+    rotate_message_bytes,
+    snapshot_state,
+    wipe_stores,
+)
+from repro.crypto import derive_key, rsa
+from repro.errors import (
+    AccessDenied,
+    AttestationError,
+    BackupError,
+    EnclaveError,
+    ReplicationError,
+    ReproError,
+    RequestError,
+)
+from repro.pki import Certificate, CertificateSigningRequest, CertificateUsage
+from repro.sgx import attestation as att
+from repro.sgx.counters import MonotonicCounter, RoteCounterService
+from repro.sgx.enclave import Enclave, TcbReport, ecall
+from repro.sgx.sealing import seal, unseal
+from repro.storage.stores import StoreSet
+from repro.tls.channel import StreamingResponse, TrustedTlsInterface
+from repro.tls.handshake import ServerIdentity
+from repro.tls.session import CryptoCostProfile
+from repro.util.serialization import Writer
+from repro.webdav.http import HttpRequest
+from repro.webdav.server_adapter import WebDavAdapter
+
+#: Prefix selecting the WebDAV protocol on the TLS channel (Section VI).
+_WEBDAV_MARKER = b"WEBDAV\x00"
+
+# Sealed blobs only unseal on the platform that sealed them, so every
+# platform keeps its own copies (replicas over a shared backend would
+# otherwise trip over each other's blobs).
+_SEALED_ROOT_KEY = "\x00segshare:sealed-root-key:{platform}"
+_SEALED_TLS_KEY = "\x00segshare:sealed-tls-key:{platform}"
+_SERVER_CERT = "\x00segshare:server-cert:{platform}"
+
+_RESET_CONTEXT = b"segshare-reset\x00"
+
+
+@dataclass(frozen=True)
+class SeGShareOptions:
+    """Build-time configuration of a SeGShare enclave.
+
+    ``rollback`` is one of ``"off"``, ``"individual"`` (Section V-D), or
+    ``"whole_fs"`` (Section V-E, adds a monotonic counter).
+    ``counter_kind`` picks the counter backing whole-FS protection:
+    ``"sgx"`` (slow, wearing) or ``"rote"`` (replicated, fast).
+    ``replica`` starts the enclave without a root key; it must join a
+    root enclave via replication before serving (Section V-F).
+    """
+
+    hide_paths: bool = False
+    enable_dedup: bool = False
+    rollback: str = "off"
+    counter_kind: str = "sgx"
+    rollback_buckets: int = 64
+    replica: bool = False
+    audit: bool = False
+    quota_bytes: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.rollback not in ("off", "individual", "whole_fs"):
+            raise ValueError(f"bad rollback mode {self.rollback!r}")
+        if self.counter_kind not in ("sgx", "rote"):
+            raise ValueError(f"bad counter kind {self.counter_kind!r}")
+
+
+class SeGShareEnclave(Enclave):
+    """The trusted part of a SeGShare server."""
+
+    #: Modules running inside the enclave — the trusted computing base.
+    TCB_MODULES = (
+        "repro.core.access_control",
+        "repro.core.acl",
+        "repro.core.dedup",
+        "repro.core.file_manager",
+        "repro.core.hiding",
+        "repro.core.model",
+        "repro.core.request_handler",
+        "repro.core.requests",
+        "repro.core.rollback",
+        "repro.crypto.aes",
+        "repro.crypto.dh",
+        "repro.crypto.gcm",
+        "repro.crypto.kdf",
+        "repro.crypto.merkle",
+        "repro.crypto.mset_hash",
+        "repro.crypto.pae",
+        "repro.crypto.primes",
+        "repro.crypto.rsa",
+        "repro.fsmodel.directory",
+        "repro.fsmodel.paths",
+        "repro.pki.certificate",
+        "repro.sgx.protected_fs",
+        "repro.sgx.sealing",
+        "repro.tls.channel",
+        "repro.tls.handshake",
+        "repro.tls.records",
+        "repro.tls.session",
+        "repro.util.encoding",
+        "repro.util.serialization",
+        "repro.webdav.http",
+        "repro.webdav.server_adapter",
+    )
+
+    def __init__(
+        self,
+        ca_public_key: rsa.RsaPublicKey,
+        stores: StoreSet,
+        options: SeGShareOptions | None = None,
+        attestation_service: att.AttestationService | None = None,
+    ) -> None:
+        super().__init__()
+        self._ca_public_key = ca_public_key
+        self._stores = stores
+        self._options = options or SeGShareOptions()
+        self._attestation_service = attestation_service
+        self._root_key: bytes | None = None
+        self._tls_key: rsa.RsaPrivateKey | None = None
+        self._pending_join: object | None = None
+        self.handler: RequestHandler | None = None
+        self.manager: TrustedFileManager | None = None
+        self.guard: RollbackGuard | None = None
+        self.group_guard: FlatStoreGuard | None = None
+        self.audit_log: AuditLog | None = None
+        self.tls: TrustedTlsInterface | None = None
+
+    # -- identity ----------------------------------------------------------------
+
+    def config_measurement_extra(self) -> bytes:
+        """The hard-coded CA public key — the paper's build-for-this-CA trick."""
+        return self._ca_public_key.serialize()
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def on_load(self) -> None:
+        clock = self.platform.clock
+        self.tls = TrustedTlsInterface(
+            self,
+            self._ca_public_key,
+            clock=clock,
+            costs=CryptoCostProfile(
+                aead_bytes_per_second=self.platform.costs.aead_bytes_per_second
+            ),
+        )
+        root_key_slot = self._slot(_SEALED_ROOT_KEY)
+        if self._stores.content.exists(root_key_slot):
+            self._root_key = unseal(self, self._stores.content.get(root_key_slot))
+        elif not self._options.replica:
+            self._root_key = secrets.token_bytes(32)
+            self._stores.content.put(root_key_slot, seal(self, self._root_key))
+        if self._root_key is not None:
+            self._build_components()
+        self._restore_tls_identity()
+
+    def _slot(self, template: str) -> str:
+        return template.format(platform=self.platform.platform_id)
+
+    def _build_components(self) -> None:
+        assert self._root_key is not None
+        self.manager = TrustedFileManager(
+            self._stores,
+            self._root_key,
+            enclave=self,
+            hide_paths=self._options.hide_paths,
+            enable_dedup=self._options.enable_dedup,
+        )
+        self.access = AccessControl(self.manager)
+        self.handler = RequestHandler(
+            self.manager, self.access, quota_bytes=self._options.quota_bytes
+        )
+        if self._options.rollback != "off":
+            counter = None
+            if self._options.rollback == "whole_fs":
+                counter = self._platform_counter()
+            self.guard = RollbackGuard(
+                self.manager,
+                self._root_key,
+                buckets=self._options.rollback_buckets,
+                enclave=self,
+                counter=counter,
+            )
+            self.manager.guard = self.guard
+            self.group_guard = FlatStoreGuard(
+                self.manager,
+                self._root_key,
+                buckets=self._options.rollback_buckets,
+                enclave=self,
+                counter=counter,
+            )
+            self.manager.group_guard = self.group_guard
+        self.webdav = WebDavAdapter(self.handler)
+        if self._options.audit:
+            self.audit_log = AuditLog(self.manager, self._root_key)
+
+    def _platform_counter(self) -> "MonotonicCounter | RoteCounterService":
+        """The platform's counter service, created once and shared across
+        enclave restarts (hardware counters survive enclave teardown)."""
+        attr = f"_segshare_counter_{self._options.counter_kind}"
+        service = getattr(self.platform, attr, None)
+        if service is None:
+            if self._options.counter_kind == "sgx":
+                service = MonotonicCounter(self.platform.clock, self.platform.costs)
+            else:
+                service = RoteCounterService(self.platform.clock, self.platform.costs)
+            setattr(self.platform, attr, service)
+        return service
+
+    @property
+    def ready(self) -> bool:
+        """True once the enclave has a root key and can serve requests."""
+        return self.handler is not None
+
+    # -- certification component (trusted part) ------------------------------------------
+
+    @ecall
+    def create_csr(self) -> bytes:
+        """Generate the temporary key pair and return a CSR (setup step 2)."""
+        self._check_alive()
+        key = rsa.generate_keypair(1024)
+        self._tls_key = key
+        self.charge_if_clocked(self.platform.costs.rsa_sign * 40, "keygen")
+        csr = CertificateSigningRequest(
+            subject="segshare-enclave",
+            usage=CertificateUsage.SERVER,
+            public_key=key.public_key,
+            attributes={"measurement": self.measurement().hex()},
+        )
+        return csr.serialize()
+
+    @ecall
+    def install_certificate(self, cert_bytes: bytes) -> None:
+        """Validate and install the CA-issued server certificate (step 3).
+
+        Persists the certificate and seals the key pair so a restarted
+        enclave resumes with the same identity.
+        """
+        self._check_alive()
+        if self._tls_key is None:
+            raise EnclaveError("no pending CSR")
+        cert = Certificate.deserialize(cert_bytes)
+        cert.verify(self._ca_public_key)
+        cert.require_usage(CertificateUsage.SERVER)
+        if cert.public_key != self._tls_key.public_key:
+            raise EnclaveError("certificate does not match the pending key pair")
+        self._stores.content.put(self._slot(_SERVER_CERT), cert.serialize())
+        self._stores.content.put(
+            self._slot(_SEALED_TLS_KEY), seal(self, self._tls_key.serialize())
+        )
+        assert self.tls is not None
+        self.tls.install_identity(ServerIdentity(cert, self._tls_key))
+
+    def _restore_tls_identity(self) -> None:
+        cert_slot = self._slot(_SERVER_CERT)
+        key_slot = self._slot(_SEALED_TLS_KEY)
+        if self._stores.content.exists(cert_slot) and self._stores.content.exists(key_slot):
+            cert = Certificate.deserialize(self._stores.content.get(cert_slot))
+            key = rsa.RsaPrivateKey.deserialize(
+                unseal(self, self._stores.content.get(key_slot))
+            )
+            self._tls_key = key
+            assert self.tls is not None
+            self.tls.install_identity(ServerIdentity(cert, key))
+
+    def charge_if_clocked(self, seconds: float, account: str) -> None:
+        if self.platform.clock is not None:
+            self.charge(seconds, account)
+
+    # -- TLS ECALLs ------------------------------------------------------------------------
+
+    @ecall
+    def new_session(self) -> int:
+        self._check_alive()
+        assert self.tls is not None
+        return self.tls.new_session()
+
+    @ecall
+    def on_record(self, session_id: int, raw: bytes) -> list[bytes]:
+        """Process one TLS record.
+
+        The record buffer is the enclave's only per-request allocation —
+        the paper's "small, constant size buffer" claim, made checkable
+        through the EPC model: the working set never grows with file
+        size, so paging never triggers (tests/core/test_epc_usage.py).
+        """
+        self._check_alive()
+        assert self.tls is not None
+        self.platform.epc.alloc(len(raw))
+        try:
+            return self.tls.on_record(session_id, raw)
+        finally:
+            self.platform.epc.free(len(raw))
+
+    @ecall
+    def close_session(self, session_id: int) -> None:
+        self._check_alive()
+        assert self.tls is not None
+        self.tls.close_session(session_id)
+
+    # -- TlsApplication ------------------------------------------------------------------------
+
+    def handle_message(self, client_cert: Certificate, payload: bytes) -> "bytes | StreamingResponse":
+        if self.handler is None:
+            return Response.error("server is not ready (replica has not joined)").serialize()
+        if payload.startswith(_WEBDAV_MARKER):
+            return self._handle_webdav(client_cert, payload[len(_WEBDAV_MARKER):])
+        try:
+            request = Request.deserialize(payload)
+        except ReproError as exc:
+            return Response.error(str(exc)).serialize()
+        result = self.handler.handle(client_cert.user_id, request)
+        outcome = "ok" if isinstance(result, StreamingResponse) else result.status.name.lower()
+        self._audit(client_cert.user_id, request.op.name, request.args, outcome)
+        if isinstance(result, StreamingResponse):
+            return result
+        return result.serialize()
+
+    def open_upload(self, client_cert: Certificate, header: bytes) -> UploadSink | object:
+        if self.handler is None:
+            return _RejectingSink(Response.error("server is not ready"))
+        try:
+            request = Request.deserialize(header)
+            if request.op is not Op.PUT_FILE:
+                raise RequestError("streaming messages must be PUT_FILE")
+            sink = self.handler.open_upload(client_cert.user_id, request.args[0])
+            if self.audit_log is not None:
+                return _AuditedSink(self, client_cert.user_id, request, sink)
+            return sink
+        except AccessDenied:
+            self._audit(client_cert.user_id, Op.PUT_FILE.name, request.args, "denied")
+            return _RejectingSink(Response.denied())
+        except ReproError as exc:
+            return _RejectingSink(Response.error(str(exc)))
+
+    def _handle_webdav(self, client_cert: Certificate, raw: bytes) -> bytes:
+        """Section VI front end: a WebDAV message over the secure channel."""
+        from repro.webdav.http import HttpResponse
+
+        op = "DAV"
+        args: tuple[str, ...] = ()
+        try:
+            request = HttpRequest.parse(raw)
+            op = f"DAV-{request.method.value}"
+            args = (request.path,)
+            response = self.webdav.dispatch(client_cert.user_id, request)
+        except ReproError as exc:
+            response = HttpResponse(400, "Bad Request", body=str(exc).encode())
+        self._audit(client_cert.user_id, op, args, str(response.status))
+        return response.serialize()
+
+    def _audit(self, user_id: str, op: str, args: tuple, outcome: str) -> None:
+        if self.audit_log is not None:
+            now = self.platform.clock.now() if self.platform.clock else 0.0
+            self.audit_log.append(now, user_id, op, tuple(args), outcome)
+
+    @ecall
+    def audit_export(self, nonce: bytes, signature: bytes) -> list[bytes]:
+        """Export the verified audit trail against a CA-signed authorization.
+
+        Plaintext records leave the enclave only through this gate — the
+        untrusted host cannot read the log on its own.
+        """
+        self._check_alive()
+        if self.audit_log is None:
+            raise EnclaveError("audit logging is not enabled")
+        message = export_message_bytes(self.platform.platform_id, nonce)
+        if not rsa.verify(self._ca_public_key, message, signature):
+            raise BackupError("audit export authorization is invalid")
+        return [record.serialize() for record in self.audit_log.read_all()]
+
+    # -- replication (Section V-F) ------------------------------------------------------------
+
+    @ecall
+    def replication_begin_join(self) -> tuple[bytes, bytes]:
+        """Replica side, step 1: (quote, DH public) to present to a root enclave."""
+        self._check_alive()
+        if self._root_key is not None:
+            raise ReplicationError("this enclave already has a root key")
+        qe = self._quoting_enclave()
+        keypair, quote = att.enclave_key_exchange_offer(self, qe)
+        self._pending_join = keypair
+        return quote.serialize(), keypair.public_bytes()
+
+    @ecall
+    def replication_share_root_key(
+        self, peer_quote_bytes: bytes, peer_public: bytes
+    ) -> tuple[bytes, bytes, bytes]:
+        """Root side: verify the replica's quote and return the wrapped SK_r.
+
+        Returns (own quote, own DH public, PAE-encrypted SK_r).  Per the
+        paper, the measurements must be **equal** — both enclaves were
+        compiled for the same CA.
+        """
+        self._check_alive()
+        if self._root_key is None:
+            raise ReplicationError("this enclave has no root key to share")
+        quote = att.Quote.deserialize(peer_quote_bytes)
+        self._verify_peer_quote(quote, peer_public)
+        qe = self._quoting_enclave()
+        keypair, own_quote = att.enclave_key_exchange_offer(self, qe)
+        shared = att.enclave_key_exchange_finish(keypair, peer_public)
+        channel_key = derive_key(shared, "segshare/replication", length=16)
+        from repro.crypto import default_pae
+
+        wrapped = default_pae().encrypt(channel_key, self._root_key, aad=b"segshare-root-key")
+        return own_quote.serialize(), keypair.public_bytes(), wrapped
+
+    @ecall
+    def replication_complete_join(
+        self, root_quote_bytes: bytes, root_public: bytes, wrapped_key: bytes
+    ) -> None:
+        """Replica side, step 2: verify the root enclave and adopt SK_r."""
+        self._check_alive()
+        keypair = self._pending_join
+        if keypair is None:
+            raise ReplicationError("no join in progress")
+        quote = att.Quote.deserialize(root_quote_bytes)
+        self._verify_peer_quote(quote, root_public)
+        shared = att.enclave_key_exchange_finish(keypair, root_public)
+        channel_key = derive_key(shared, "segshare/replication", length=16)
+        from repro.crypto import default_pae
+
+        self._root_key = default_pae().decrypt(channel_key, wrapped_key, aad=b"segshare-root-key")
+        self._pending_join = None
+        self._stores.content.put(self._slot(_SEALED_ROOT_KEY), seal(self, self._root_key))
+        self._build_components()
+
+    def _verify_peer_quote(self, quote: att.Quote, peer_public: bytes) -> None:
+        if self._attestation_service is None:
+            raise ReplicationError("no attestation service configured")
+        self._attestation_service.verify(quote, expected_measurement=self.measurement())
+        if quote.report_data != att.bind_public_value(peer_public):
+            raise AttestationError("peer quote does not bind the offered public value")
+
+    def _quoting_enclave(self) -> att.QuotingEnclave:
+        qe = getattr(self.platform, "quoting_enclave", None)
+        if qe is None:
+            raise ReplicationError("platform has no quoting enclave")
+        return qe
+
+    # -- backup restore (Section V-G) -------------------------------------------------------------
+
+    @staticmethod
+    def reset_message_bytes(platform_id: str, nonce: bytes) -> bytes:
+        """The exact bytes the CA signs to authorize a rollback-state reset."""
+        return _RESET_CONTEXT + Writer().str(platform_id).bytes(nonce).take()
+
+    @ecall
+    def reset_after_restore(self, nonce: bytes, signature: bytes) -> None:
+        """Accept a restored backup: CA-signed reset, consistency check,
+        counter overwrite (the paper's restoration procedure)."""
+        self._check_alive()
+        message = self.reset_message_bytes(self.platform.platform_id, nonce)
+        if not rsa.verify(self._ca_public_key, message, signature):
+            raise BackupError("reset message signature is invalid")
+        if self.guard is not None:
+            self.guard.verify_restored_state()
+            self.guard.accept_current_state()
+        if self.group_guard is not None:
+            self.group_guard.accept_current_state()
+
+    # -- root-key rotation (production extension; see repro/core/rotation.py) ----
+
+    @ecall
+    def rotate_root_key(self, nonce: bytes, signature: bytes) -> RotationStats:
+        """Re-key the whole deployment under a fresh SK_r.
+
+        Requires a CA-signed authorization; verifies the current state
+        through the rollback guards while snapshotting, then rebuilds
+        everything — file keys, hidden paths, dedup addresses, guard
+        trees, audit chain — under the new key.
+        """
+        self._check_alive()
+        message = rotate_message_bytes(self.platform.platform_id, nonce)
+        if not rsa.verify(self._ca_public_key, message, signature):
+            raise BackupError("rotation authorization is invalid")
+        if self.manager is None:
+            raise EnclaveError("enclave is not ready")
+        snapshot = snapshot_state(self.manager, self.audit_log)
+        wipe_stores(self.manager, preserve_prefix="\x00segshare:")
+        self._root_key = secrets.token_bytes(32)
+        self._stores.content.put(
+            self._slot(_SEALED_ROOT_KEY), seal(self, self._root_key)
+        )
+        self._build_components()
+        return replay_state(self.manager, self.audit_log, snapshot)
+
+    # -- introspection ------------------------------------------------------------------------------
+
+    def tcb_loc_report(self) -> TcbReport:
+        """Lines of code inside the enclave — the paper's Table-less 8441-LoC claim."""
+        return self.tcb_report()
+
+
+class _AuditedSink:
+    """Wraps an upload sink so the final outcome lands in the audit log."""
+
+    def __init__(self, enclave: SeGShareEnclave, user_id: str, request: Request, sink) -> None:
+        self._enclave = enclave
+        self._user_id = user_id
+        self._request = request
+        self._sink = sink
+
+    def write(self, chunk: bytes) -> None:
+        self._sink.write(chunk)
+
+    def finish(self) -> bytes:
+        result = self._sink.finish()
+        outcome = Response.deserialize(result).status.name.lower()
+        self._enclave._audit(
+            self._user_id, self._request.op.name, self._request.args, outcome
+        )
+        return result
+
+    def abort(self) -> None:
+        self._sink.abort()
+        self._enclave._audit(
+            self._user_id, self._request.op.name, self._request.args, "aborted"
+        )
+
+
+class _RejectingSink:
+    """Upload sink that drains the stream and answers with a fixed response."""
+
+    def __init__(self, response: Response) -> None:
+        self._response = response
+
+    def write(self, chunk: bytes) -> None:
+        del chunk  # stream is consumed and discarded
+
+    def finish(self) -> bytes:
+        return self._response.serialize()
+
+    def abort(self) -> None:
+        pass

@@ -1,0 +1,142 @@
+"""The objective matrix of the paper's Tables II and III.
+
+Table II defines functional (F1–F10), performance (P1–P5), and security
+(S1–S5) objectives; Table III classifies SeGShare and related work
+against them.  This module encodes both machine-readably so the
+``table3`` bench can print the classification, and — for SeGShare's own
+column — so tests can assert that the *implementation* actually exhibits
+each claimed objective (see ``tests/core/test_features.py``).
+
+Support levels: ``FULL`` (filled circle), ``PARTIAL`` (half circle),
+``NO`` (empty circle), ``NA`` (dash — not part of the design).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Support(enum.Enum):
+    FULL = "full"
+    PARTIAL = "partial"
+    NO = "no"
+    NA = "-"
+
+    @property
+    def symbol(self) -> str:
+        return {"full": "●", "partial": "◐", "no": "○", "-": "–"}[self.value]
+
+
+@dataclass(frozen=True)
+class Objective:
+    key: str
+    description: str
+
+
+OBJECTIVES: tuple[Objective, ...] = (
+    Objective("F1", "File sharing with individual users / groups"),
+    Objective("F2", "Dynamic permissions / group memberships"),
+    Objective("F3", "Users set permissions"),
+    Objective("F4", "Separate read and write permissions"),
+    Objective("F5", "Users (and administrators) do not need special hardware"),
+    Objective("F6", "Non-interactive permission / membership updates"),
+    Objective("F7", "Multiple file owners / group owners"),
+    Objective("F8", "Separation of authentication and authorization"),
+    Objective("F9", "Deduplication of encrypted files"),
+    Objective("F10", "Permissions can be inherited from parent directory"),
+    Objective("P1", "Constant client storage"),
+    Objective("P2", "Group-based permission definition"),
+    Objective("P3", "Revocations do not require re-encryption of files"),
+    Objective("P4", "Constant number of ciphertexts per file"),
+    Objective("P5", "Different groups can access the same encrypted file"),
+    Objective("S1", "Confidentiality of files / structure / permissions / groups"),
+    Objective("S2", "Integrity of files / structure / permissions / groups"),
+    Objective("S3", "End-to-end protection of user files"),
+    Objective("S4", "Immediate revocation"),
+    Objective("S5", "Rollback protection for files / whole file system"),
+)
+
+_F = Support.FULL
+_P = Support.PARTIAL
+_N = Support.NO
+_X = Support.NA
+
+
+@dataclass(frozen=True)
+class SystemRow:
+    name: str
+    based_on: str
+    support: dict[str, Support]
+
+
+def _row(name: str, based_on: str, **kwargs: Support) -> SystemRow:
+    support = {objective.key: kwargs.get(objective.key, _N) for objective in OBJECTIVES}
+    return SystemRow(name=name, based_on=based_on, support=support)
+
+
+#: Table III, abridged to the headline systems the paper discusses in
+#: the text.  Group-related objectives are "not part of the design" for
+#: the pure-crypto systems without group support, as in the paper.
+TABLE3: tuple[SystemRow, ...] = (
+    _row(
+        "SiRiUS [10]", "HE",
+        F1=_P, F2=_P, F3=_F, F4=_F, F5=_F, F6=_P, P1=_N, P3=_N, P4=_F, P5=_X,
+        S1=_P, S2=_P, S3=_F, S4=_N, S5=_N,
+    ),
+    _row(
+        "Plutus [19]", "HE",
+        F1=_P, F2=_P, F3=_F, F4=_F, F5=_F, F6=_P, P1=_N, P3=_N, P4=_F, P5=_X,
+        S1=_P, S2=_P, S3=_F, S4=_N, S5=_N,
+    ),
+    _row(
+        "Garrison et al. [23]", "IBE, ABE",
+        F1=_F, F2=_F, F3=_F, F4=_F, F5=_F, F6=_P, P1=_N, P2=_F, P3=_N, P4=_F,
+        P5=_F, S1=_P, S2=_N, S3=_F, S4=_N, S5=_N,
+    ),
+    _row(
+        "REED [22]", "ABE",
+        F1=_P, F2=_P, F3=_F, F4=_N, F5=_F, F6=_P, F9=_F, P1=_N, P3=_P, P4=_F,
+        P5=_X, S1=_P, S2=_P, S3=_F, S4=_N, S5=_N,
+    ),
+    _row(
+        "A-SKY [24]", "HE (TEE)",
+        F1=_F, F2=_F, F3=_F, F4=_P, F5=_F, F6=_F, P1=_N, P2=_F, P3=_N, P4=_F,
+        S1=_P, S2=_P, S3=_F, S4=_N, S5=_N,
+    ),
+    _row(
+        "IBBE-SGX [25]", "IBBE (TEE)",
+        F1=_F, F2=_F, F3=_F, F4=_N, F5=_F, F6=_F, P1=_N, P2=_F, P3=_N, P4=_F,
+        S1=_P, S2=_N, S3=_F, S4=_N, S5=_N,
+    ),
+    _row(
+        "NEXUS [26]", "(TEE)",
+        F1=_F, F2=_F, F3=_F, F4=_N, F5=_N, F6=_F, F8=_F, P1=_N, P3=_F, P4=_F,
+        S1=_F, S2=_F, S3=_F, S4=_F, S5=_N,
+    ),
+    _row(
+        "Pesos [27]", "(TEE)",
+        F1=_F, F2=_F, F3=_F, F4=_F, F5=_F, F6=_F, F7=_P, F8=_F, P1=_F, P2=_P,
+        P3=_F, P4=_F, P5=_F, S1=_P, S2=_P, S3=_F, S4=_F, S5=_N,
+    ),
+    _row(
+        "SeGShare", "(TEE)",
+        F1=_F, F2=_F, F3=_F, F4=_F, F5=_F, F6=_F, F7=_F, F8=_F, F9=_F, F10=_F,
+        P1=_F, P2=_F, P3=_F, P4=_F, P5=_F, S1=_F, S2=_F, S3=_F, S4=_F, S5=_F,
+    ),
+)
+
+
+def segshare_row() -> SystemRow:
+    return TABLE3[-1]
+
+
+def format_table3() -> str:
+    """Render the classification like the paper's Table III."""
+    keys = [objective.key for objective in OBJECTIVES]
+    header = f"{'system':<22} {'based on':<10} " + " ".join(f"{k:>3}" for k in keys)
+    lines = [header, "-" * len(header)]
+    for row in TABLE3:
+        cells = " ".join(f"{row.support[k].symbol:>3}" for k in keys)
+        lines.append(f"{row.name:<22} {row.based_on:<10} {cells}")
+    return "\n".join(lines)

@@ -1,0 +1,413 @@
+"""Trusted and untrusted file managers (paper Section IV-B, Fig. 1).
+
+The **trusted file manager** runs inside the enclave.  It encrypts and
+decrypts every stored file with PAE under a per-file key derived from the
+root key SK_r, optionally hides paths (Section V-C), deduplicates content
+(Section V-A), and drives the rollback guard (Section V-D).  Storage goes
+through the Protected File System Library clone, whose 4 KiB chunking and
+Merkle integrity mirror Intel's library.
+
+The **untrusted file manager** is the raw object store — here the
+:class:`repro.storage.StoreSet` handed in from the host.  The trusted
+side reaches it only through the ProtectedFs OCALL accounting, never with
+plaintext.
+
+Content-store plaintext formats:
+
+* directory files (paths ending in ``/``): a serialized
+  :class:`repro.fsmodel.DirectoryFile`,
+* content files: one kind byte — INLINE (0) followed by raw bytes, or
+  POINTER (1) followed by a dedup ``hName`` (the symbolic-link-style
+  indirection of Section V-A).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import TYPE_CHECKING, Iterator
+
+from repro.core.acl import (
+    GROUP_LIST_PATH,
+    USER_REGISTRY_ID,
+    AclFile,
+    GroupListFile,
+    MemberListFile,
+    acl_path,
+    member_list_path,
+)
+from repro.core.dedup import DedupStore
+from repro.core.hiding import HmacPathTransform, IdentityTransform
+from repro.crypto import derive_key
+from repro.errors import FileSystemError, ProtectedFsError
+from repro.fsmodel import DirectoryFile
+from repro.sgx.enclave import Enclave
+from repro.sgx.protected_fs import ProtectedFs
+from repro.storage.stores import StoreSet
+from repro.util.serialization import Reader, Writer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.rollback import FlatStoreGuard, RollbackGuard
+
+_KIND_INLINE = 0
+_KIND_POINTER = 1
+
+#: Logical-path prefix for rollback-guard node objects.  Contains NUL,
+#: which is invalid in user paths, so collisions are impossible.
+GUARD_PREFIX = "\x00rb:"
+
+
+class TrustedFileManager:
+    """The enclave component owning all persistent state."""
+
+    def __init__(
+        self,
+        stores: StoreSet,
+        root_key: bytes,
+        enclave: Enclave | None = None,
+        hide_paths: bool = False,
+        enable_dedup: bool = False,
+    ) -> None:
+        self._root_key = root_key
+        self._enclave = enclave
+        self._content = ProtectedFs(
+            stores.content, master_key=derive_key(root_key, "segshare/store/content", length=16),
+            enclave=enclave,
+        )
+        self._group = ProtectedFs(
+            stores.group, master_key=derive_key(root_key, "segshare/store/group", length=16),
+            enclave=enclave,
+        )
+        self._dedup_pfs = ProtectedFs(
+            stores.dedup, master_key=derive_key(root_key, "segshare/store/dedup", length=16),
+            enclave=enclave,
+        )
+        self._transform = HmacPathTransform(root_key) if hide_paths else IdentityTransform()
+        self.dedup: DedupStore | None = (
+            DedupStore(self._dedup_pfs, root_key) if enable_dedup else None
+        )
+        self.guard: "RollbackGuard | None" = None
+        self.group_guard: "FlatStoreGuard | None" = None
+        self._stores = stores
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _sp(self, path: str) -> str:
+        """Logical path -> storage path (possibly hidden)."""
+        return self._transform.storage_path(path)
+
+    def _charge_hash(self, nbytes: int) -> None:
+        if self._enclave is not None and self._enclave.platform.clock is not None:
+            self._enclave.charge(
+                self._enclave.platform.costs.hash_time(nbytes), account="hashing"
+            )
+
+    def _content_hash(self, data: bytes) -> bytes:
+        self._charge_hash(len(data))
+        return hashlib.sha256(data).digest()
+
+    # -- existence ----------------------------------------------------------------
+
+    def exists(self, path: str) -> bool:
+        """Table IV ``exists_f``: is there a stored file at ``path``?"""
+        return self._content.exists(self._sp(path))
+
+    # -- directory files ------------------------------------------------------------
+
+    def read_dir(self, path: str) -> DirectoryFile:
+        data = self._read_guarded(path)
+        return DirectoryFile.deserialize(data)
+
+    def write_dir(self, path: str, directory: DirectoryFile) -> None:
+        self._write_guarded(path, directory.serialize())
+
+    # -- content files ---------------------------------------------------------------
+
+    def write_content(self, path: str, data: bytes) -> None:
+        """Store a content file, deduplicating when enabled."""
+        if self.dedup is not None:
+            h_name = self.dedup.put(data)
+            record = Writer().u8(_KIND_POINTER).str(h_name).take()
+        else:
+            record = Writer().u8(_KIND_INLINE).raw(data).take()
+        old_pointer = self._pointer_target(path)
+        self._write_guarded(path, record)
+        if old_pointer is not None and self.dedup is not None:
+            self.dedup.release(old_pointer)
+
+    def read_content(self, path: str) -> bytes:
+        record = self._read_guarded(path)
+        r = Reader(record)
+        kind = r.u8()
+        if kind == _KIND_INLINE:
+            return r.raw(r.remaining)
+        if kind == _KIND_POINTER:
+            if self.dedup is None:
+                raise FileSystemError(f"{path!r} is a dedup pointer but dedup is disabled")
+            return self.dedup.get(r.str())
+        raise FileSystemError(f"corrupt content record at {path!r}")
+
+    def content_size(self, path: str) -> int:
+        record = self._read_guarded(path)
+        r = Reader(record)
+        kind = r.u8()
+        if kind == _KIND_INLINE:
+            return r.remaining
+        assert self.dedup is not None
+        return self.dedup.size(r.str())
+
+    def _pointer_target(self, path: str) -> str | None:
+        """The dedup hName the current record points to, if any."""
+        if not self.exists(path):
+            return None
+        try:
+            record = self._content.read_file(self._sp(path))
+        except ProtectedFsError:
+            return None
+        r = Reader(record)
+        if r.u8() != _KIND_POINTER:
+            return None
+        return r.str()
+
+    def delete_content(self, path: str) -> None:
+        """Delete a content or directory file (releasing dedup references)."""
+        pointer = self._pointer_target(path)
+        self._delete_guarded(path)
+        if pointer is not None and self.dedup is not None:
+            self.dedup.release(pointer)
+
+    # -- streaming content -----------------------------------------------------------
+
+    def open_content_upload(self, path: str) -> "ContentUpload":
+        """Begin a chunk-by-chunk upload to ``path`` (constant enclave buffer)."""
+        return ContentUpload(self, path)
+
+    def iter_content(self, path: str) -> tuple[int, Iterator[bytes]]:
+        """(plaintext size, chunk iterator) for a streamed download.
+
+        The rollback guard, when active, needs the full content hash, so
+        guarded reads verify before streaming; the chunks still cross the
+        channel one at a time.
+        """
+        record = self._read_guarded(path)
+        r = Reader(record)
+        kind = r.u8()
+        if kind == _KIND_INLINE:
+            data = r.raw(r.remaining)
+            from repro.tls.session import chunk_payload  # local import avoids cycle
+
+            return len(data), iter(chunk_payload(data))
+        assert self.dedup is not None
+        h_name = r.str()
+        handle = self.dedup.open_read(h_name)
+
+        def chunks() -> Iterator[bytes]:
+            with handle:
+                while (chunk := handle.read_chunk()) is not None:
+                    yield chunk
+
+        return handle.size, chunks()
+
+    # -- ACL files -------------------------------------------------------------------
+
+    def acl_exists(self, path: str) -> bool:
+        return self.exists(acl_path(path))
+
+    def read_acl(self, path: str) -> AclFile:
+        return AclFile.deserialize(self._read_guarded(acl_path(path)))
+
+    def write_acl(self, path: str, acl: AclFile) -> None:
+        self._write_guarded(acl_path(path), acl.serialize())
+
+    def delete_acl(self, path: str) -> None:
+        self._delete_guarded(acl_path(path))
+
+    # -- group store -------------------------------------------------------------------
+
+    def _group_read_guarded(self, logical_path: str) -> bytes:
+        data = self._group.read_file(self._sp(logical_path))
+        if self.group_guard is not None:
+            self.group_guard.verify_read(logical_path, self._content_hash(data))
+        return data
+
+    def _group_write_guarded(self, logical_path: str, data: bytes) -> None:
+        sp = self._sp(logical_path)
+        old_hash = None
+        if self.group_guard is not None and self._group.exists(sp):
+            old_hash = self._content_hash(self._group.read_file(sp))
+        self._group.write_file(sp, data)
+        if self.group_guard is not None:
+            self.group_guard.on_write(logical_path, self._content_hash(data), old_hash)
+
+    def read_group_list(self) -> GroupListFile:
+        if not self._group.exists(self._sp(GROUP_LIST_PATH)):
+            return GroupListFile()
+        return GroupListFile.deserialize(self._group_read_guarded(GROUP_LIST_PATH))
+
+    def write_group_list(self, group_list: GroupListFile) -> None:
+        self._group_write_guarded(GROUP_LIST_PATH, group_list.serialize())
+
+    def member_list_exists(self, user_id: str) -> bool:
+        return self._group.exists(self._sp(member_list_path(user_id)))
+
+    def read_member_list(self, user_id: str) -> MemberListFile:
+        if not self.member_list_exists(user_id):
+            return MemberListFile()
+        return MemberListFile.deserialize(
+            self._group_read_guarded(member_list_path(user_id))
+        )
+
+    def write_member_list(self, user_id: str, members: MemberListFile) -> None:
+        self._group_write_guarded(member_list_path(user_id), members.serialize())
+
+    # -- quota ledger (group store; resource accounting, not a security
+    # -- boundary — see repro/core/request_handler.py) --------------------------------
+
+    def read_quota(self, user_id: str) -> int:
+        """Bytes currently accounted to ``user_id``."""
+        sp = self._sp("quota:" + user_id)
+        if not self._group.exists(sp):
+            return 0
+        r = Reader(self._group.read_file(sp))
+        used = r.u64()
+        r.expect_end()
+        return used
+
+    def write_quota(self, user_id: str, used: int) -> None:
+        self._group.write_file(self._sp("quota:" + user_id), Writer().u64(used).take())
+
+    # -- unverified group access for the flat rollback guard -------------------------
+
+    def raw_group_read(self, logical_path: str) -> bytes:
+        return self._group.read_file(self._sp(logical_path))
+
+    def raw_group_write(self, logical_path: str, data: bytes) -> None:
+        self._group.write_file(self._sp(logical_path), data)
+
+    def raw_group_exists(self, logical_path: str) -> bool:
+        return self._group.exists(self._sp(logical_path))
+
+    def group_logical_paths(self) -> list[str]:
+        """All guarded group-store files: group list, registry, member lists.
+
+        Enumerated through the user registry so the list works under path
+        hiding too (storage keys are HMACs and cannot be enumerated).
+        """
+        paths = []
+        registry_path = member_list_path(USER_REGISTRY_ID)
+        for path in (GROUP_LIST_PATH, registry_path):
+            if self.raw_group_exists(path):
+                paths.append(path)
+        if self.raw_group_exists(registry_path):
+            registry = MemberListFile.deserialize(self.raw_group_read(registry_path))
+            for user_id in registry.groups:
+                path = member_list_path(user_id)
+                if self.raw_group_exists(path):
+                    paths.append(path)
+        return paths
+
+    # -- guarded low-level I/O ------------------------------------------------------------
+
+    def _read_guarded(self, path: str) -> bytes:
+        if not self.exists(path):
+            raise FileSystemError(f"no file at {path!r}")
+        data = self._content.read_file(self._sp(path))
+        if self.guard is not None:
+            self.guard.verify_read(path, self._content_hash(data))
+        return data
+
+    def _write_guarded(self, path: str, data: bytes) -> None:
+        old_hash = None
+        if self.guard is not None and self.exists(path):
+            old_hash = self._content_hash(self._content.read_file(self._sp(path)))
+        self._content.write_file(self._sp(path), data)
+        if self.guard is not None:
+            self.guard.on_write(path, self._content_hash(data), old_hash)
+
+    def _delete_guarded(self, path: str) -> None:
+        if not self.exists(path):
+            raise FileSystemError(f"no file at {path!r}")
+        old_hash = None
+        if self.guard is not None:
+            old_hash = self._content_hash(self._content.read_file(self._sp(path)))
+        self._content.remove(self._sp(path))
+        if self.guard is not None:
+            self.guard.on_delete(path, old_hash)
+
+    # -- unverified access for the rollback guard -----------------------------------------
+
+    def raw_read(self, path: str) -> bytes:
+        """Read without rollback verification (guard internals only)."""
+        return self._content.read_file(self._sp(path))
+
+    def raw_exists(self, path: str) -> bool:
+        return self._content.exists(self._sp(path))
+
+    def raw_write(self, path: str, data: bytes) -> None:
+        """Write without guard hooks (guard node persistence)."""
+        self._content.write_file(self._sp(path), data)
+
+    def raw_delete(self, path: str) -> None:
+        self._content.remove(self._sp(path))
+
+    # -- statistics -------------------------------------------------------------------------
+
+    def stored_bytes(self) -> dict[str, int]:
+        """Bytes per store in untrusted storage — the overhead experiments."""
+        return {
+            "content": self._stores.content.total_bytes(),
+            "group": self._stores.group.total_bytes(),
+            "dedup": self._stores.dedup.total_bytes(),
+        }
+
+    def content_stored_size(self, path: str) -> int:
+        """Untrusted bytes behind one file (following dedup pointers)."""
+        total = self._content.stored_size(self._sp(path))
+        pointer = self._pointer_target(path)
+        if pointer is not None and self.dedup is not None:
+            object_id = self.dedup._index[pointer][0]
+            total += self._dedup_pfs.stored_size(object_id)
+        return total
+
+
+class ContentUpload:
+    """Streaming upload sink used by the request handler.
+
+    Chunks flow straight into the deduplication store (or an inline
+    record) while a SHA-256 for the rollback guard and, with dedup, the
+    HMAC for ``hName`` are computed incrementally — the enclave holds one
+    chunk at a time.
+    """
+
+    def __init__(self, manager: TrustedFileManager, path: str) -> None:
+        self._manager = manager
+        self._path = path
+        self._size = 0
+        self._dedup_upload = manager.dedup.begin_upload() if manager.dedup else None
+        self._inline_parts: list[bytes] | None = None if manager.dedup else []
+
+    def write(self, chunk: bytes) -> None:
+        self._size += len(chunk)
+        if self._dedup_upload is not None:
+            self._dedup_upload.write(chunk)
+        else:
+            assert self._inline_parts is not None
+            self._inline_parts.append(chunk)
+
+    def finish(self) -> None:
+        """Commit the upload as the content of ``path``."""
+        manager = self._manager
+        old_pointer = manager._pointer_target(self._path)
+        if self._dedup_upload is not None:
+            h_name = self._dedup_upload.finish()
+            record = Writer().u8(_KIND_POINTER).str(h_name).take()
+        else:
+            assert self._inline_parts is not None
+            record = Writer().u8(_KIND_INLINE).raw(b"".join(self._inline_parts)).take()
+        manager._write_guarded(self._path, record)
+        if old_pointer is not None and manager.dedup is not None:
+            manager.dedup.release(old_pointer)
+
+    def abort(self) -> None:
+        if self._dedup_upload is not None:
+            self._dedup_upload.abort()
+        self._inline_parts = None

@@ -1,0 +1,40 @@
+"""Filename and directory-structure hiding (paper Section V-C).
+
+Before a path reaches the untrusted file manager, the trusted file
+manager replaces it with the hex HMAC of the path under the root key
+SK_r.  All objects then live at pseudorandom, flat locations: the
+untrusted storage learns neither names nor the tree shape.  Directory
+listing still works because directory files store the original child
+paths *inside* their encrypted content.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+
+from repro.crypto import derive_key
+
+
+class PathTransform:
+    """Maps logical SeGShare paths to storage keys."""
+
+    def storage_path(self, path: str) -> str:
+        raise NotImplementedError
+
+
+class IdentityTransform(PathTransform):
+    """No hiding: storage keys equal logical paths (hiding disabled)."""
+
+    def storage_path(self, path: str) -> str:
+        return path
+
+
+class HmacPathTransform(PathTransform):
+    """The Section V-C transform: path -> hex(HMAC(SK_r, path))."""
+
+    def __init__(self, root_key: bytes) -> None:
+        self._key = derive_key(root_key, "segshare/path-hiding")
+
+    def storage_path(self, path: str) -> str:
+        return hmac.new(self._key, path.encode("utf-8"), hashlib.sha256).hexdigest()

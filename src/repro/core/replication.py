@@ -1,0 +1,62 @@
+"""SeGShare replication (paper Section V-F).
+
+Multiple enclaves — possibly on different platforms — serve the same
+share from one central data repository.  Two things make that work:
+
+1. every enclave's untrusted file manager points at the shared backend
+   (``StoreSet.over(shared_backend)``), and
+2. every enclave holds the same root key SK_r, transferred from a *root
+   enclave* (one that already has it) over a mutually attested channel in
+   which both sides require the **same measurement** — possible because
+   the CA's public key is hard-coded and thus part of the measurement.
+
+The orchestration below is pure untrusted plumbing: it shuttles quotes,
+DH publics, and the PAE-wrapped key between the enclaves' ECALLs; it can
+never read SK_r.
+
+Replication is also the disaster-recovery story: with at least one root
+enclave alive, SK_r survives the loss of any single platform (whose
+sealed blob would otherwise be the only copy).
+"""
+
+from __future__ import annotations
+
+from repro.core.server import SeGShareServer
+from repro.errors import ReplicationError
+
+
+def transfer_root_key(root: SeGShareServer, replica: SeGShareServer) -> None:
+    """Run the join protocol: ``replica`` obtains SK_r from ``root``.
+
+    Raises :class:`ReplicationError` (or an attestation error from inside
+    the enclaves) if either side's quote fails verification or the
+    measurements differ.
+    """
+    if root.enclave is replica.enclave:
+        raise ReplicationError("cannot replicate an enclave with itself")
+    replica_quote, replica_pub = replica.handle.call("replication_begin_join")
+    root_quote, root_pub, wrapped = root.handle.call(
+        "replication_share_root_key", replica_quote, replica_pub
+    )
+    replica.handle.call("replication_complete_join", root_quote, root_pub, wrapped)
+
+
+class ReplicaSet:
+    """A root server plus joined replicas over one shared repository.
+
+    Lock management and storage replication are out of the paper's scope
+    (and this class's): all replicas here serve the same backend, and the
+    synchronous simulation serializes their operations.
+    """
+
+    def __init__(self, root: SeGShareServer) -> None:
+        self.root = root
+        self.replicas: list[SeGShareServer] = []
+
+    def join(self, replica: SeGShareServer) -> None:
+        transfer_root_key(self.root, replica)
+        self.replicas.append(replica)
+
+    @property
+    def all_servers(self) -> list[SeGShareServer]:
+        return [self.root, *self.replicas]

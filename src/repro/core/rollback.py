@@ -1,0 +1,542 @@
+"""Rollback protection (paper Sections V-D and V-E).
+
+Individual-file rollback protection builds a hash tree mirroring the
+directory tree: every content file, ACL, and (empty) directory is a leaf;
+every directory is an inner node.  Two optimizations from the paper are
+implemented exactly:
+
+* **multiset hashes** (MSet-XOR-Hash) replace plain hashes, so updating a
+  child only subtracts the stale child hash and adds the new one — no
+  sibling is ever touched on a write;
+* **bucket hashes**: each inner node keeps ``B`` bucket multiset hashes,
+  a child's bucket chosen by hashing its path.  Leaf validation then
+  recomputes *one* bucket per tree level, reading only the files in that
+  bucket — the measured effect in Fig. 5.
+
+An inner node's *main hash* combines its path, the hash of its directory
+file content (the children list), and its bucket digests.  The root main
+hash is persisted in an anchor object; with whole-file-system protection
+enabled (Section V-E) every update also increments a TEE monotonic
+counter whose value is stored in the anchor, so replaying an old
+*complete* file system (anchor included) is detected on the next read.
+
+Guard node objects and the anchor live in the content store under a
+NUL-prefixed namespace that user paths cannot reach; their freshness
+needs no separate protection because each is authenticated by its
+parent's bucket digest, up to the counter-protected root.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+
+from repro.core.acl import acl_path
+from repro.core.file_manager import GUARD_PREFIX, TrustedFileManager
+from repro.crypto import derive_key
+from repro.crypto.mset_hash import MSetXorHash
+from repro.errors import RollbackDetected
+from repro.fsmodel import DirectoryFile, parent
+from repro.sgx.counters import MonotonicCounter, RoteCounterService
+from repro.sgx.enclave import Enclave
+from repro.util.serialization import Reader, Writer
+
+_ANCHOR_PATH = GUARD_PREFIX + "anchor"
+ROOT = "/"
+
+
+def _node_path(dir_path: str) -> str:
+    return GUARD_PREFIX + "node:" + dir_path
+
+
+@dataclass
+class _Node:
+    """Inner-node state for one directory."""
+
+    path: str
+    dir_hash: bytes
+    buckets: list[MSetXorHash]
+
+    def serialize(self) -> bytes:
+        w = Writer().str(self.path).bytes(self.dir_hash).u32(len(self.buckets))
+        for bucket in self.buckets:
+            w.bytes(bucket.serialize())
+        return w.take()
+
+    @classmethod
+    def deserialize(cls, key: bytes, data: bytes) -> "_Node":
+        r = Reader(data)
+        path = r.str()
+        dir_hash = r.bytes()
+        count = r.u32()
+        buckets = [MSetXorHash.deserialize(key, r.bytes()) for _ in range(count)]
+        r.expect_end()
+        return cls(path=path, dir_hash=dir_hash, buckets=buckets)
+
+
+class RollbackGuard:
+    """The hash tree over the content store.
+
+    ``counter``/``counter_id`` enable whole-file-system protection; pass a
+    :class:`MonotonicCounter` or :class:`RoteCounterService` plus the
+    enclave that owns the counter.
+    """
+
+    def __init__(
+        self,
+        manager: TrustedFileManager,
+        root_key: bytes,
+        buckets: int = 64,
+        enclave: Enclave | None = None,
+        counter: "MonotonicCounter | RoteCounterService | None" = None,
+        counter_id: str = "segshare-fs",
+    ) -> None:
+        self._manager = manager
+        self._key = derive_key(root_key, "segshare/rollback")
+        self._buckets = buckets
+        self._enclave = enclave
+        self._counter = counter
+        self._counter_id = counter_id
+        if counter is not None and enclave is None:
+            raise RollbackDetected("whole-FS protection needs the owning enclave")
+        if counter is not None and not counter.exists(counter_id):
+            counter.create(enclave, counter_id)
+        if not self._manager.raw_exists(_node_path(ROOT)):
+            self._bootstrap()
+
+    # -- hashing -------------------------------------------------------------------
+
+    def _charge_hash(self, nbytes: int) -> None:
+        if self._enclave is not None and self._enclave.platform.clock is not None:
+            self._enclave.charge(
+                self._enclave.platform.costs.hash_time(nbytes), account="rollback"
+            )
+
+    def _leaf_main(self, path: str, content_hash: bytes) -> bytes:
+        self._charge_hash(len(path) + len(content_hash))
+        return hmac.new(
+            self._key, b"leaf\x00" + path.encode("utf-8") + b"\x00" + content_hash, hashlib.sha256
+        ).digest()
+
+    def _node_main(self, node: _Node) -> bytes:
+        mac = hmac.new(self._key, b"node\x00", hashlib.sha256)
+        mac.update(node.path.encode("utf-8") + b"\x00")
+        mac.update(node.dir_hash)
+        for bucket in node.buckets:
+            mac.update(bucket.digest())
+        self._charge_hash(64 + 40 * len(node.buckets))
+        return mac.digest()
+
+    def _bucket_of(self, child_path: str) -> int:
+        digest = hashlib.sha256(child_path.encode("utf-8")).digest()
+        return int.from_bytes(digest[:4], "big") % self._buckets
+
+    # -- node persistence --------------------------------------------------------------
+
+    def _empty_node(self, dir_path: str, dir_hash: bytes) -> _Node:
+        return _Node(
+            path=dir_path,
+            dir_hash=dir_hash,
+            buckets=[MSetXorHash(self._key) for _ in range(self._buckets)],
+        )
+
+    def _load_node(self, dir_path: str) -> _Node:
+        data = self._manager.raw_read(_node_path(dir_path))
+        return _Node.deserialize(self._key, data)
+
+    def _save_node(self, node: _Node) -> None:
+        self._manager.raw_write(_node_path(node.path), node.serialize())
+
+    def _node_exists(self, dir_path: str) -> bool:
+        return self._manager.raw_exists(_node_path(dir_path))
+
+    # -- anchor ---------------------------------------------------------------------------
+
+    def _write_anchor(self, root_main: bytes) -> None:
+        counter_value = 0
+        if self._counter is not None:
+            counter_value = self._counter.increment(self._enclave, self._counter_id)
+        blob = Writer().bytes(root_main).u64(counter_value).take()
+        self._manager.raw_write(_ANCHOR_PATH, blob)
+
+    def _read_anchor(self) -> tuple[bytes, int]:
+        r = Reader(self._manager.raw_read(_ANCHOR_PATH))
+        root_main = r.bytes()
+        counter_value = r.u64()
+        r.expect_end()
+        return root_main, counter_value
+
+    def _verify_anchor(self, root_main: bytes) -> None:
+        stored_main, stored_counter = self._read_anchor()
+        if stored_main != root_main:
+            raise RollbackDetected("root hash does not match the anchored value")
+        if self._counter is not None:
+            current = self._counter.read(self._enclave, self._counter_id)
+            if stored_counter != current:
+                raise RollbackDetected(
+                    "file system rolled back: anchor counter "
+                    f"{stored_counter} != TEE counter {current}"
+                )
+
+    def _bootstrap(self) -> None:
+        """First-ever start: anchor the current (normally empty) root directory.
+
+        Enabling the guard over a store that already contains user files is
+        a migration, not a bootstrap — the tree must be built with
+        :meth:`rebuild` in that case.
+        """
+        if self._manager.raw_exists(ROOT):
+            root_dir_data = self._manager.raw_read(ROOT)
+        else:
+            root_dir_data = DirectoryFile().serialize()
+        root = self._empty_node(ROOT, hashlib.sha256(root_dir_data).digest())
+        self._save_node(root)
+        self._write_anchor(self._node_main(root))
+
+    def rebuild(self) -> None:
+        """Rebuild the whole tree from current storage and re-anchor it.
+
+        Used when enabling rollback protection on an existing share and by
+        the backup-restore flow after a CA-signed reset.
+        """
+        self._walk_dir(ROOT, save=True)
+        self._write_anchor(self.root_hash())
+
+    # -- update hooks (called by the trusted file manager) -----------------------------------
+
+    def on_write(self, path: str, new_hash: bytes, old_hash: bytes | None) -> None:
+        """A file at ``path`` now has content hash ``new_hash``."""
+        if path.endswith("/"):
+            self._on_dir_write(path, new_hash, old_hash)
+        else:
+            old_main = self._leaf_main(path, old_hash) if old_hash is not None else None
+            new_main = self._leaf_main(path, new_hash)
+            self._propagate(parent(path), path, old_main, new_main)
+
+    def on_delete(self, path: str, old_hash: bytes) -> None:
+        if path.endswith("/"):
+            node = self._load_node(path)
+            old_main = self._node_main(node)
+            self._manager.raw_delete(_node_path(path))
+            self._propagate(parent(path), path, old_main, None)
+        else:
+            self._propagate(parent(path), path, self._leaf_main(path, old_hash), None)
+
+    def _on_dir_write(self, path: str, new_hash: bytes, old_hash: bytes | None) -> None:
+        if self._node_exists(path):
+            node = self._load_node(path)
+            old_main = self._node_main(node)
+            node.dir_hash = new_hash
+            self._save_node(node)
+            new_main = self._node_main(node)
+        else:
+            node = self._empty_node(path, new_hash)
+            old_main = None
+            self._save_node(node)
+            new_main = self._node_main(node)
+        if path == ROOT:
+            self._write_anchor(new_main)
+        else:
+            self._propagate(parent(path), path, old_main, new_main)
+
+    def _propagate(
+        self,
+        dir_path: str,
+        child_path: str,
+        old_child_main: bytes | None,
+        new_child_main: bytes | None,
+    ) -> None:
+        """Apply a child-main change at ``dir_path`` and walk to the root.
+
+        This is the paper's O(depth) incremental update: one bucket
+        subtract/add per level, no sibling access.
+        """
+        while True:
+            node = self._load_node(dir_path)
+            old_main = self._node_main(node)
+            node.buckets[self._bucket_of(child_path)].update(old_child_main, new_child_main)
+            self._save_node(node)
+            new_main = self._node_main(node)
+            if dir_path == ROOT:
+                self._write_anchor(new_main)
+                return
+            child_path = dir_path
+            old_child_main, new_child_main = old_main, new_main
+            dir_path = parent(dir_path)
+
+    # -- verification (called on every guarded read) -----------------------------------------
+
+    def _member_main(self, member: str, target: str, target_main: bytes) -> bytes:
+        """Main hash of one bucket member, substituting the target's hash."""
+        if member == target:
+            return target_main
+        if member.endswith("/"):
+            return self._node_main(self._load_node(member))
+        data = self._manager.raw_read(member)
+        self._charge_hash(len(data))
+        return self._leaf_main(member, hashlib.sha256(data).digest())
+
+    def _bucket_members(self, node: _Node, bucket: int) -> list[str]:
+        """All *present* children of ``node`` falling into ``bucket``.
+
+        Children are the directory file's entries plus each entry's ACL —
+        the leaf/inner population of the paper's Fig. 2.  Listed-but-
+        missing files are skipped: an attacker deleting a file cannot hide
+        it (its main hash is still in the stored bucket, so recomputation
+        mismatches), and multi-step operations like move may transiently
+        leave a listing ahead of the object it names.
+        """
+        directory = DirectoryFile.deserialize(self._manager.raw_read(node.path))
+        members = []
+        for child in directory.children:
+            for candidate in (child, acl_path(child)):
+                if candidate.endswith("/"):
+                    present = self._node_exists(candidate)
+                else:
+                    present = self._manager.raw_exists(candidate)
+                if present and self._bucket_of(candidate) == bucket:
+                    members.append(candidate)
+        return members
+
+    def verify_read(self, path: str, content_hash: bytes) -> None:
+        """Validate freshness of ``path`` against the hash-tree chain.
+
+        Per level, recompute exactly one bucket hash from the files in
+        that bucket and compare against the inner node's stored digest;
+        finally compare the root main hash (and counter) with the anchor.
+        """
+        if path.endswith("/"):
+            node = self._load_node(path)
+            if node.dir_hash != content_hash:
+                raise RollbackDetected(f"directory file {path!r} is stale")
+            child_main = self._node_main(node)
+            if path == ROOT:
+                self._verify_anchor(child_main)
+                return
+            child = path
+        else:
+            child = path
+            child_main = self._leaf_main(path, content_hash)
+
+        dir_path = parent(child)
+        while True:
+            node = self._load_node(dir_path)
+            bucket = self._bucket_of(child)
+            expected = node.buckets[bucket]
+            recomputed = MSetXorHash(self._key)
+            seen_target = False
+            for member in self._bucket_members(node, bucket):
+                recomputed.add(self._member_main(member, child, child_main))
+                seen_target = seen_target or member == child
+            if not seen_target or recomputed.digest() != expected.digest():
+                raise RollbackDetected(
+                    f"bucket hash mismatch for {child!r} under {dir_path!r}: "
+                    "a file in this bucket was rolled back or removed"
+                )
+            child = dir_path
+            child_main = self._node_main(node)
+            if dir_path == ROOT:
+                self._verify_anchor(child_main)
+                return
+            dir_path = parent(dir_path)
+
+    # -- maintenance ---------------------------------------------------------------------------
+
+    def root_hash(self) -> bytes:
+        """Current root main hash (for backup/reset flows)."""
+        return self._node_main(self._load_node(ROOT))
+
+    def recompute_root_hash(self) -> bytes:
+        """Full recomputation of the root main hash from storage, without
+        modifying any node — the consistency check of the restore flow."""
+        return self._walk_dir(ROOT, save=False)
+
+    def _walk_dir(self, dir_path: str, save: bool) -> bytes:
+        """Recompute one directory's node bottom-up; optionally persist it."""
+        dir_data = self._manager.raw_read(dir_path)
+        node = self._empty_node(dir_path, hashlib.sha256(dir_data).digest())
+        directory = DirectoryFile.deserialize(dir_data)
+        for child in directory.children:
+            for candidate in (child, acl_path(child)):
+                if candidate.endswith("/"):
+                    main = self._walk_dir(candidate, save)
+                elif self._manager.raw_exists(candidate):
+                    data = self._manager.raw_read(candidate)
+                    main = self._leaf_main(candidate, hashlib.sha256(data).digest())
+                else:
+                    continue
+                node.buckets[self._bucket_of(candidate)].add(main)
+        if save:
+            self._save_node(node)
+        return self._node_main(node)
+
+    def verify_restored_state(self) -> None:
+        """Check a restored backup's internal consistency (paper §V-G).
+
+        The recomputed root hash must match both the restored anchor's
+        value and the restored root node — i.e. the backup is a complete,
+        untampered snapshot.  The counter is *not* checked here; the
+        caller re-anchors afterwards with :meth:`accept_current_state`.
+        """
+        recomputed = self.recompute_root_hash()
+        stored_main, _ = self._read_anchor()
+        if recomputed != stored_main or recomputed != self.root_hash():
+            raise RollbackDetected("restored file system is internally inconsistent")
+
+    def accept_current_state(self) -> None:
+        """Re-anchor the *current* storage state (CA-authorized reset, §V-G).
+
+        Recomputes nothing — the hash tree in storage is taken as-is and
+        the anchor (plus counter) is rewritten to match it.  Only the
+        backup-restore flow may call this, after checking the CA's signed
+        reset message.
+        """
+        self._write_anchor(self.root_hash())
+
+
+class FlatStoreGuard:
+    """Rollback protection for the group store (paper: "protecting the
+    group store ... is a straightforward adaption").
+
+    The group store is flat — the group list, the user registry, and one
+    member list per user — so the tree degenerates to a single inner node
+    with bucket multiset hashes over all leaves.  Leaf enumeration comes
+    from the user registry (itself a protected leaf, so a stale registry
+    is caught like any other leaf).  The node's main hash is anchored,
+    optionally bound to a monotonic counter, exactly as for the content
+    store.
+    """
+
+    _NODE_PATH = "\x00rbg:node"
+    _ANCHOR_PATH = "\x00rbg:anchor"
+
+    def __init__(
+        self,
+        manager: TrustedFileManager,
+        root_key: bytes,
+        buckets: int = 64,
+        enclave: Enclave | None = None,
+        counter: "MonotonicCounter | RoteCounterService | None" = None,
+        counter_id: str = "segshare-group",
+    ) -> None:
+        self._manager = manager
+        self._key = derive_key(root_key, "segshare/rollback-group")
+        self._buckets = buckets
+        self._enclave = enclave
+        self._counter = counter
+        self._counter_id = counter_id
+        if counter is not None and enclave is None:
+            raise RollbackDetected("whole-FS protection needs the owning enclave")
+        if counter is not None and not counter.exists(counter_id):
+            counter.create(enclave, counter_id)
+        if not self._manager.raw_group_exists(self._NODE_PATH):
+            self._bootstrap()
+
+    def _leaf_main(self, path: str, content_hash: bytes) -> bytes:
+        return hmac.new(
+            self._key, b"leaf\x00" + path.encode("utf-8") + b"\x00" + content_hash, hashlib.sha256
+        ).digest()
+
+    def _bucket_of(self, path: str) -> int:
+        digest = hashlib.sha256(path.encode("utf-8")).digest()
+        return int.from_bytes(digest[:4], "big") % self._buckets
+
+    def _node_main(self, buckets: list[MSetXorHash]) -> bytes:
+        mac = hmac.new(self._key, b"flatnode\x00", hashlib.sha256)
+        for bucket in buckets:
+            mac.update(bucket.digest())
+        return mac.digest()
+
+    # -- node/anchor persistence -------------------------------------------------
+
+    def _load_node(self) -> list[MSetXorHash]:
+        r = Reader(self._manager.raw_group_read(self._NODE_PATH))
+        count = r.u32()
+        buckets = [MSetXorHash.deserialize(self._key, r.bytes()) for _ in range(count)]
+        r.expect_end()
+        return buckets
+
+    def _save_node(self, buckets: list[MSetXorHash]) -> None:
+        w = Writer().u32(len(buckets))
+        for bucket in buckets:
+            w.bytes(bucket.serialize())
+        self._manager.raw_group_write(self._NODE_PATH, w.take())
+
+    def _write_anchor(self, main: bytes) -> None:
+        counter_value = 0
+        if self._counter is not None:
+            counter_value = self._counter.increment(self._enclave, self._counter_id)
+        self._manager.raw_group_write(
+            self._ANCHOR_PATH, Writer().bytes(main).u64(counter_value).take()
+        )
+
+    def _verify_anchor(self, main: bytes) -> None:
+        r = Reader(self._manager.raw_group_read(self._ANCHOR_PATH))
+        stored_main = r.bytes()
+        stored_counter = r.u64()
+        r.expect_end()
+        if stored_main != main:
+            raise RollbackDetected("group store root hash does not match the anchor")
+        if self._counter is not None:
+            current = self._counter.read(self._enclave, self._counter_id)
+            if stored_counter != current:
+                raise RollbackDetected(
+                    "group store rolled back: anchor counter "
+                    f"{stored_counter} != TEE counter {current}"
+                )
+
+    def _bootstrap(self) -> None:
+        buckets = [MSetXorHash(self._key) for _ in range(self._buckets)]
+        for path in self._manager.group_logical_paths():
+            data = self._manager.raw_group_read(path)
+            buckets[self._bucket_of(path)].add(
+                self._leaf_main(path, hashlib.sha256(data).digest())
+            )
+        self._save_node(buckets)
+        self._write_anchor(self._node_main(buckets))
+
+    # -- hooks ----------------------------------------------------------------------
+
+    def on_write(self, path: str, new_hash: bytes, old_hash: bytes | None) -> None:
+        buckets = self._load_node()
+        bucket = buckets[self._bucket_of(path)]
+        if old_hash is not None:
+            bucket.remove(self._leaf_main(path, old_hash))
+        bucket.add(self._leaf_main(path, new_hash))
+        self._save_node(buckets)
+        self._write_anchor(self._node_main(buckets))
+
+    def on_delete(self, path: str, old_hash: bytes) -> None:
+        buckets = self._load_node()
+        buckets[self._bucket_of(path)].remove(self._leaf_main(path, old_hash))
+        self._save_node(buckets)
+        self._write_anchor(self._node_main(buckets))
+
+    def verify_read(self, path: str, content_hash: bytes) -> None:
+        """Recompute ``path``'s bucket from all group files in it and check
+        it against the anchored node."""
+        buckets = self._load_node()
+        target_bucket = self._bucket_of(path)
+        recomputed = MSetXorHash(self._key)
+        seen_target = False
+        for member in self._manager.group_logical_paths():
+            if self._bucket_of(member) != target_bucket:
+                continue
+            if member == path:
+                main = self._leaf_main(member, content_hash)
+                seen_target = True
+            else:
+                data = self._manager.raw_group_read(member)
+                main = self._leaf_main(member, hashlib.sha256(data).digest())
+            recomputed.add(main)
+        if not seen_target or recomputed.digest() != buckets[target_bucket].digest():
+            raise RollbackDetected(
+                f"group store bucket mismatch for {path!r}: a member list or "
+                "the group list was rolled back"
+            )
+        self._verify_anchor(self._node_main(buckets))
+
+    def accept_current_state(self) -> None:
+        """Re-anchor the current group store (CA-authorized restore)."""
+        self._bootstrap()

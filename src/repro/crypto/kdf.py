@@ -1,0 +1,46 @@
+"""HKDF-SHA256 (RFC 5869) and labeled key derivation.
+
+The trusted file manager derives one file key per path from the sealed
+root key SK_r (Section IV-B of the paper); the TLS layer derives record
+keys from the DH shared secret.  Both go through HKDF so that every
+derived key is bound to an explicit, domain-separating label.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+
+_HASH_LEN = hashlib.sha256().digest_size
+
+
+def hkdf_extract(salt: bytes, ikm: bytes) -> bytes:
+    """HKDF-Extract: PRK = HMAC(salt, ikm)."""
+    if not salt:
+        salt = bytes(_HASH_LEN)
+    return hmac.new(salt, ikm, hashlib.sha256).digest()
+
+
+def hkdf_expand(prk: bytes, info: bytes, length: int) -> bytes:
+    """HKDF-Expand: derive ``length`` bytes of output keyed by ``info``."""
+    if length > 255 * _HASH_LEN:
+        raise ValueError("HKDF output too long")
+    blocks = []
+    block = b""
+    counter = 1
+    while sum(len(b) for b in blocks) < length:
+        block = hmac.new(prk, block + info + bytes([counter]), hashlib.sha256).digest()
+        blocks.append(block)
+        counter += 1
+    return b"".join(blocks)[:length]
+
+
+def derive_key(root_key: bytes, label: str, context: bytes = b"", length: int = 32) -> bytes:
+    """Derive a subkey from ``root_key`` bound to ``label`` and ``context``.
+
+    Example: the per-file key of the paper is
+    ``derive_key(SK_r, "segshare/file-key", path.encode())``.
+    """
+    prk = hkdf_extract(b"repro.kdf.v1", root_key)
+    info = label.encode("utf-8") + b"\x00" + context
+    return hkdf_expand(prk, info, length)

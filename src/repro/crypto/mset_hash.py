@@ -1,0 +1,110 @@
+"""Incremental multiset hashes (MSet-XOR-Hash, Clarke et al., ASIACRYPT'03).
+
+The rollback-protection extension (paper Section V-D) replaces plain
+hashes in the Merkle tree with multiset hashes so that an inner node's
+hash can be updated incrementally: subtract the stale child hash, add the
+new one, never touching siblings.
+
+MSet-XOR-Hash represents a multiset M of byte strings as::
+
+    H(M) = XOR over m in M of H_K(m),  together with |M| mod 2^64
+
+where ``H_K`` is HMAC-SHA256 under a fixed key.  XOR is commutative and
+self-inverse, which gives exactly the add/remove/combine operations the
+tree needs.  Security (set-collision resistance for a secret key) is
+inherited from the PRF; see the cited paper for the proof.
+
+The count is tracked because the plain XOR collapses duplicate elements;
+including the cardinality detects a multiset being replayed an even
+number of times.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+
+from repro.util.serialization import Reader, Writer
+
+DIGEST_SIZE = 32
+
+
+class MSetXorHash:
+    """A mutable multiset hash value.
+
+    >>> a = MSetXorHash(b"k")
+    >>> a.add(b"x"); a.add(b"y"); a.remove(b"x")
+    >>> b = MSetXorHash(b"k")
+    >>> b.add(b"y")
+    >>> a == b
+    True
+    """
+
+    __slots__ = ("_key", "_acc", "_count")
+
+    def __init__(self, key: bytes, acc: bytes = bytes(DIGEST_SIZE), count: int = 0) -> None:
+        self._key = key
+        self._acc = acc
+        self._count = count
+
+    def _h(self, element: bytes) -> bytes:
+        return hmac.new(self._key, element, hashlib.sha256).digest()
+
+    def add(self, element: bytes) -> None:
+        """Add one occurrence of ``element`` to the multiset."""
+        self._acc = bytes(a ^ b for a, b in zip(self._acc, self._h(element)))
+        self._count = (self._count + 1) & 0xFFFFFFFFFFFFFFFF
+
+    def remove(self, element: bytes) -> None:
+        """Remove one occurrence of ``element`` (XOR is self-inverse)."""
+        self._acc = bytes(a ^ b for a, b in zip(self._acc, self._h(element)))
+        self._count = (self._count - 1) & 0xFFFFFFFFFFFFFFFF
+
+    def update(self, old: bytes | None, new: bytes | None) -> None:
+        """Replace ``old`` with ``new`` in one call (either may be None)."""
+        if old is not None:
+            self.remove(old)
+        if new is not None:
+            self.add(new)
+
+    def combine(self, other: "MSetXorHash") -> None:
+        """Fold another multiset hash (same key) into this one."""
+        if other._key != self._key:
+            raise ValueError("cannot combine multiset hashes under different keys")
+        self._acc = bytes(a ^ b for a, b in zip(self._acc, other._acc))
+        self._count = (self._count + other._count) & 0xFFFFFFFFFFFFFFFF
+
+    def digest(self) -> bytes:
+        """The 40-byte hash value: 32-byte accumulator || 8-byte count."""
+        return self._acc + self._count.to_bytes(8, "big")
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def copy(self) -> "MSetXorHash":
+        return MSetXorHash(self._key, self._acc, self._count)
+
+    def serialize(self) -> bytes:
+        return Writer().bytes(self._acc).u64(self._count).take()
+
+    @classmethod
+    def deserialize(cls, key: bytes, data: bytes) -> "MSetXorHash":
+        r = Reader(data)
+        acc = r.bytes()
+        count = r.u64()
+        r.expect_end()
+        if len(acc) != DIGEST_SIZE:
+            raise ValueError("bad multiset hash accumulator size")
+        return cls(key, acc, count)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MSetXorHash):
+            return NotImplemented
+        return self._key == other._key and self._acc == other._acc and self._count == other._count
+
+    def __hash__(self) -> int:
+        return hash((self._acc, self._count))
+
+    def __repr__(self) -> str:
+        return f"MSetXorHash(count={self._count}, acc={self._acc[:4].hex()}…)"

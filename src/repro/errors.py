@@ -1,0 +1,102 @@
+"""Exception hierarchy shared across the SeGShare reproduction.
+
+Every package raises subclasses of :class:`ReproError` so callers can
+distinguish failures of this library from programming errors.  Security
+failures deliberately carry little detail: an authentication tag mismatch,
+for example, reports *that* verification failed, never *why*, mirroring how
+the paper's enclave returns a generic error to the untrusted host.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class CryptoError(ReproError):
+    """Base class for cryptographic failures."""
+
+
+class IntegrityError(CryptoError):
+    """Authenticated decryption or hash verification failed."""
+
+
+class KeyError_(CryptoError):
+    """A key was malformed, of the wrong size, or unusable."""
+
+
+class CertificateError(ReproError):
+    """Certificate parsing, validation, or signature verification failed."""
+
+
+class EnclaveError(ReproError):
+    """Base class for simulated-SGX failures."""
+
+
+class EnclaveCrashed(EnclaveError):
+    """The enclave was destroyed or has not been initialized."""
+
+
+class SealingError(EnclaveError):
+    """Sealed blob could not be unsealed (wrong enclave, CPU, or tamper)."""
+
+
+class AttestationError(EnclaveError):
+    """Quote verification failed or the measurement was not the expected one."""
+
+
+class CounterError(EnclaveError):
+    """Monotonic counter failure (worn out, unknown id, non-monotonic write)."""
+
+
+class ProtectedFsError(EnclaveError):
+    """Protected file system failure (integrity, handle misuse, missing file)."""
+
+
+class TlsError(ReproError):
+    """TLS handshake or record-layer failure."""
+
+
+class NetworkError(ReproError):
+    """Simulated-network failure (closed connection, unreachable peer)."""
+
+
+class StorageError(ReproError):
+    """Untrusted store failure (missing object, backend I/O error)."""
+
+
+class FileSystemError(ReproError):
+    """File system model violation (bad path, missing parent, type clash)."""
+
+
+class PathError(FileSystemError):
+    """A path was syntactically invalid."""
+
+
+class AccessDenied(ReproError):
+    """The access control check rejected the request.
+
+    Deliberately carries no detail about *which* relation failed; the
+    enclave must not leak policy internals to unauthorized callers.
+    """
+
+
+class RequestError(ReproError):
+    """A request was syntactically invalid or referenced a missing object."""
+
+
+class RollbackDetected(ReproError):
+    """Rollback protection detected a stale file or file system state."""
+
+
+class ReplicationError(ReproError):
+    """Root-key transfer or replica management failed."""
+
+
+class BackupError(ReproError):
+    """Backup creation or restoration failed."""
+
+
+class WebDavError(ReproError):
+    """WebDAV front-end protocol violation."""

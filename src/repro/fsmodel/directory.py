@@ -1,0 +1,58 @@
+"""Directory file content: the sorted child list.
+
+Per the paper, each directory file "stores a list of all its children";
+Algo. 1 appends the child's path on ``put``.  The list is kept sorted so
+lookups and removals are logarithmic, the same discipline the ACL files
+use.  The serialized form is what the trusted file manager encrypts.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+from repro.errors import FileSystemError
+from repro.util.serialization import Reader, Writer
+
+
+class DirectoryFile:
+    """In-enclave representation of a directory file's plaintext content."""
+
+    def __init__(self, children: list[str] | None = None) -> None:
+        self._children = sorted(children or [])
+
+    @property
+    def children(self) -> list[str]:
+        """Sorted child paths (copies; mutate via add/remove)."""
+        return list(self._children)
+
+    def __contains__(self, child: str) -> bool:
+        index = bisect.bisect_left(self._children, child)
+        return index < len(self._children) and self._children[index] == child
+
+    def __len__(self) -> int:
+        return len(self._children)
+
+    def add(self, child: str) -> None:
+        """Insert a child path; idempotent."""
+        index = bisect.bisect_left(self._children, child)
+        if index < len(self._children) and self._children[index] == child:
+            return
+        self._children.insert(index, child)
+
+    def remove(self, child: str) -> None:
+        index = bisect.bisect_left(self._children, child)
+        if index >= len(self._children) or self._children[index] != child:
+            raise FileSystemError(f"{child!r} is not a child of this directory")
+        del self._children[index]
+
+    def serialize(self) -> bytes:
+        return Writer().str_list(self._children).take()
+
+    @classmethod
+    def deserialize(cls, data: bytes) -> "DirectoryFile":
+        r = Reader(data)
+        children = r.str_list()
+        r.expect_end()
+        directory = cls()
+        directory._children = sorted(children)
+        return directory

@@ -1,0 +1,121 @@
+"""Path rules of the paper's file system model (Section II-C).
+
+* The root directory is ``"/"``.
+* A directory path is the concatenation of all directory names from the
+  root, delimited **and concluded** by ``"/"`` — so directory paths always
+  end with a slash: ``/D/``, ``/D/E/``.
+* A content-file path is its parent directory's path plus the filename:
+  ``/D/F`` — content paths never end with a slash.
+* Names are flexible but must not contain ``"/"`` and must be non-empty.
+
+This module is pure string logic with no I/O; the request handler uses
+``isDir``/``parent`` exactly as Algo. 1 does.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PathError
+
+ROOT = "/"
+
+# Characters disallowed in names beyond "/": NUL breaks the storage-key
+# encoding and the two suffix markers are reserved for sibling files.
+_FORBIDDEN = {"\x00"}
+RESERVED_SUFFIXES = (".acl",)
+
+
+def is_dir_path(path: str) -> bool:
+    """True iff ``path`` is syntactically a directory path (ends with "/")."""
+    return path.endswith("/")
+
+
+def is_valid_path(path: str) -> bool:
+    try:
+        validate_path(path)
+    except PathError:
+        return False
+    return True
+
+
+def validate_path(path: str) -> None:
+    """Raise :class:`PathError` unless ``path`` is well formed."""
+    if not path.startswith(ROOT):
+        raise PathError(f"path must be absolute: {path!r}")
+    if path == ROOT:
+        return
+    body = path[1:-1] if path.endswith("/") else path[1:]
+    if not body:
+        raise PathError(f"empty path component in {path!r}")
+    for component in body.split("/"):
+        if not component:
+            raise PathError(f"empty path component in {path!r}")
+        for ch in component:
+            if ch in _FORBIDDEN:
+                raise PathError(f"forbidden character in path component {component!r}")
+
+
+def parent(path: str) -> str:
+    """Parent directory path of ``path`` (Table IV's ``parent``).
+
+    >>> parent("/D/F")
+    '/D/'
+    >>> parent("/D/E/")
+    '/D/'
+    >>> parent("/F")
+    '/'
+    """
+    validate_path(path)
+    if path == ROOT:
+        raise PathError("the root directory has no parent")
+    trimmed = path[:-1] if path.endswith("/") else path
+    cut = trimmed.rfind("/")
+    return trimmed[: cut + 1]
+
+
+def name_of(path: str) -> str:
+    """The final name component (directory name or filename).
+
+    >>> name_of("/D/F")
+    'F'
+    >>> name_of("/D/E/")
+    'E'
+    """
+    validate_path(path)
+    if path == ROOT:
+        return "/"
+    trimmed = path[:-1] if path.endswith("/") else path
+    return trimmed[trimmed.rfind("/") + 1 :]
+
+
+def join(directory: str, name: str, is_dir: bool = False) -> str:
+    """Append ``name`` to directory path ``directory``.
+
+    >>> join("/D/", "F")
+    '/D/F'
+    >>> join("/", "E", is_dir=True)
+    '/E/'
+    """
+    if not is_dir_path(directory):
+        raise PathError(f"{directory!r} is not a directory path")
+    if "/" in name or not name:
+        raise PathError(f"invalid name {name!r}")
+    result = directory + name + ("/" if is_dir else "")
+    validate_path(result)
+    return result
+
+
+def ancestors(path: str) -> list[str]:
+    """All ancestor directories from the root down, excluding ``path`` itself.
+
+    >>> ancestors("/D/E/F")
+    ['/', '/D/', '/D/E/']
+    """
+    validate_path(path)
+    if path == ROOT:
+        return []
+    result = [ROOT]
+    trimmed = path[1:-1] if path.endswith("/") else path[1:]
+    components = trimmed.split("/")
+    for component in components[:-1]:
+        result.append(result[-1] + component + "/")
+    return result

@@ -1,0 +1,24 @@
+"""Deterministic simulation substrate: virtual time and a network model.
+
+The paper's evaluation runs on two Azure VMs (client in central US, server
+in east US).  This package replaces that testbed with a virtual clock and
+a calibrated link/cost model so latency experiments are deterministic and
+reproducible on any machine.  Real bytes still flow through real crypto;
+only *time* is simulated.
+"""
+
+from repro.netsim.clock import SimClock
+from repro.netsim.network import Link, LinkSpec, NetworkEnv, azure_wan_env, lan_env
+from repro.netsim.transport import Connection, Endpoint, Listener
+
+__all__ = [
+    "Connection",
+    "Endpoint",
+    "Link",
+    "LinkSpec",
+    "Listener",
+    "NetworkEnv",
+    "SimClock",
+    "azure_wan_env",
+    "lan_env",
+]

@@ -1,0 +1,70 @@
+"""A virtual clock for deterministic latency accounting.
+
+Components never sleep; they *charge* durations to the clock.  A latency
+measurement is then simply ``clock.now() - start``.  Because every charge
+is deterministic (cost models are pure functions of byte counts and
+operation types), experiment results are reproducible bit-for-bit.
+
+The clock also keeps named accounts so experiments can break a latency
+down into components (network, crypto, enclave transitions, storage),
+which the ablation benches report.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+
+class SimClock:
+    """Virtual time in seconds, advanced explicitly by cost charges."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._accounts: dict[str, float] = defaultdict(float)
+
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def charge(self, seconds: float, account: str = "other") -> None:
+        """Advance the clock by ``seconds``, attributing them to ``account``."""
+        if seconds < 0:
+            raise ValueError(f"cannot charge negative time: {seconds}")
+        self._now += seconds
+        self._accounts[account] += seconds
+
+    def advance_to(self, timestamp: float, account: str = "wait") -> None:
+        """Move the clock forward to ``timestamp`` if it is in the future."""
+        if timestamp > self._now:
+            self._accounts[account] += timestamp - self._now
+            self._now = timestamp
+
+    def accounts(self) -> dict[str, float]:
+        """A snapshot of time spent per account since construction."""
+        return dict(self._accounts)
+
+    def reset_accounts(self) -> None:
+        self._accounts.clear()
+
+
+class Stopwatch:
+    """Measure a span of virtual time.
+
+    >>> clock = SimClock()
+    >>> with Stopwatch(clock) as watch:
+    ...     clock.charge(0.25, "network")
+    >>> watch.elapsed
+    0.25
+    """
+
+    def __init__(self, clock: SimClock) -> None:
+        self._clock = clock
+        self._start = 0.0
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = self._clock.now()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.elapsed = self._clock.now() - self._start

@@ -1,0 +1,21 @@
+"""Minimal public-key infrastructure: certificates, CSRs, and a CA.
+
+Stands in for the X.509 machinery of the paper's setup phase (Section
+IV-A): the file system owner's certificate authority issues client
+certificates carrying identity information and provisions server
+certificates to attested enclaves.
+"""
+
+from repro.pki.ca import CertificateAuthority
+from repro.pki.certificate import (
+    Certificate,
+    CertificateSigningRequest,
+    CertificateUsage,
+)
+
+__all__ = [
+    "Certificate",
+    "CertificateAuthority",
+    "CertificateSigningRequest",
+    "CertificateUsage",
+]

@@ -1,0 +1,151 @@
+"""Certificates and certificate signing requests.
+
+A :class:`Certificate` binds a subject name and identity attributes (user
+id, mail address, full name — the fields the paper lists) to an RSA public
+key, under the CA's signature.  The format is a canonical binary encoding
+rather than ASN.1 DER: the reproduction needs the trust semantics of
+X.509, not its syntax.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.crypto import rsa
+from repro.errors import CertificateError
+from repro.util.serialization import Reader, Writer
+
+
+class CertificateUsage(enum.Enum):
+    """What a certificate is allowed to authenticate."""
+
+    CLIENT = "client"
+    SERVER = "server"
+    CA = "ca"
+
+
+@dataclass(frozen=True)
+class CertificateSigningRequest:
+    """A CSR: subject identity plus the public key to certify.
+
+    During the setup phase the enclave generates a temporary key pair and
+    hands the CA a CSR containing the public half (paper Section IV-A,
+    message 2).
+    """
+
+    subject: str
+    usage: CertificateUsage
+    public_key: rsa.RsaPublicKey
+    attributes: dict[str, str] = field(default_factory=dict)
+
+    def tbs_bytes(self) -> bytes:
+        """Canonical to-be-signed encoding."""
+        w = Writer()
+        w.str(self.subject)
+        w.str(self.usage.value)
+        w.bytes(self.public_key.serialize())
+        w.u32(len(self.attributes))
+        for key in sorted(self.attributes):
+            w.str(key)
+            w.str(self.attributes[key])
+        return w.take()
+
+    def serialize(self) -> bytes:
+        return self.tbs_bytes()
+
+    @classmethod
+    def deserialize(cls, data: bytes) -> "CertificateSigningRequest":
+        r = Reader(data)
+        subject = r.str()
+        usage = CertificateUsage(r.str())
+        public_key = rsa.RsaPublicKey.deserialize(r.bytes())
+        attributes = {}
+        for _ in range(r.u32()):
+            key = r.str()
+            attributes[key] = r.str()
+        r.expect_end()
+        return cls(subject=subject, usage=usage, public_key=public_key, attributes=attributes)
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """A signed certificate.
+
+    ``serial`` makes every issued certificate unique; ``issuer`` names the
+    CA; ``attributes`` carries the identity information that SeGShare's
+    request handler uses for authorization (separation of authentication
+    and authorization, objective F8).
+    """
+
+    serial: int
+    subject: str
+    issuer: str
+    usage: CertificateUsage
+    public_key: rsa.RsaPublicKey
+    attributes: dict[str, str]
+    signature: bytes
+
+    def tbs_bytes(self) -> bytes:
+        w = Writer()
+        w.u64(self.serial)
+        w.str(self.subject)
+        w.str(self.issuer)
+        w.str(self.usage.value)
+        w.bytes(self.public_key.serialize())
+        w.u32(len(self.attributes))
+        for key in sorted(self.attributes):
+            w.str(key)
+            w.str(self.attributes[key])
+        return w.take()
+
+    def serialize(self) -> bytes:
+        return Writer().bytes(self.tbs_bytes()).bytes(self.signature).take()
+
+    @classmethod
+    def deserialize(cls, data: bytes) -> "Certificate":
+        outer = Reader(data)
+        tbs = outer.bytes()
+        signature = outer.bytes()
+        outer.expect_end()
+
+        r = Reader(tbs)
+        serial = r.u64()
+        subject = r.str()
+        issuer = r.str()
+        usage = CertificateUsage(r.str())
+        public_key = rsa.RsaPublicKey.deserialize(r.bytes())
+        attributes = {}
+        for _ in range(r.u32()):
+            key = r.str()
+            attributes[key] = r.str()
+        r.expect_end()
+        return cls(
+            serial=serial,
+            subject=subject,
+            issuer=issuer,
+            usage=usage,
+            public_key=public_key,
+            attributes=attributes,
+            signature=signature,
+        )
+
+    def verify(self, ca_public_key: rsa.RsaPublicKey) -> None:
+        """Verify the CA signature; raise :class:`CertificateError` on failure."""
+        if not rsa.verify(ca_public_key, self.tbs_bytes(), self.signature):
+            raise CertificateError(f"certificate for {self.subject!r} has an invalid signature")
+
+    def require_usage(self, usage: CertificateUsage) -> None:
+        if self.usage is not usage:
+            raise CertificateError(
+                f"certificate for {self.subject!r} is a {self.usage.value} "
+                f"certificate, expected {usage.value}"
+            )
+
+    @property
+    def user_id(self) -> str:
+        """The identity the enclave authorizes on — the ``uid`` attribute.
+
+        Falls back to the subject name so minimal test certificates work.
+        """
+        return self.attributes.get("uid", self.subject)

@@ -1,0 +1,47 @@
+"""Simulated Intel SGX substrate.
+
+The paper's system runs inside an SGX enclave; this package models every
+SGX facility SeGShare touches (Section II-A of the paper):
+
+* memory isolation and the 128 MiB EPC with paging costs (:mod:`epc`),
+* enclaves with measurements and an explicit ECALL interface (:mod:`enclave`),
+* data sealing (:mod:`sealing`),
+* local and remote attestation (:mod:`attestation`),
+* monotonic counters, including a ROTE-style replicated variant
+  (:mod:`counters`),
+* switchless calls (:mod:`switchless`),
+* the Protected File System Library (:mod:`protected_fs`).
+
+The model enforces the *semantics* (who can call what, what unseals where,
+what a quote proves) and charges the *costs* (transitions, paging,
+counter increments) to the simulation clock; it does not provide real
+hardware isolation, as recorded in DESIGN.md's substitution table.
+"""
+
+from repro.sgx.attestation import AttestationService, Quote, QuotingEnclave
+from repro.sgx.counters import MonotonicCounter, RoteCounterService
+from repro.sgx.enclave import Enclave, EnclaveHandle, SgxPlatform, ecall
+from repro.sgx.epc import EpcModel
+from repro.sgx.costmodel import SgxCostModel
+from repro.sgx.protected_fs import ProtectedFs
+from repro.sgx.sealing import SealPolicy, seal, unseal
+from repro.sgx.switchless import SwitchlessQueue
+
+__all__ = [
+    "AttestationService",
+    "Enclave",
+    "EnclaveHandle",
+    "EpcModel",
+    "MonotonicCounter",
+    "ProtectedFs",
+    "Quote",
+    "QuotingEnclave",
+    "RoteCounterService",
+    "SealPolicy",
+    "SgxCostModel",
+    "SgxPlatform",
+    "SwitchlessQueue",
+    "ecall",
+    "seal",
+    "unseal",
+]

@@ -1,0 +1,351 @@
+"""The Intel Protected File System Library, re-implemented (Section II-A).
+
+On write, data is split into 4 KiB chunks, each chunk is encrypted with
+PAE, and chunk integrity is bound into a Merkle hash tree whose root is
+kept in an encrypted metadata node.  On read, confidentiality and
+integrity of every chunk is verified.  At any point, a file may have one
+writer handle or any number of reader handles.
+
+Keys: the file-system master key is either provided manually or derived
+from the enclave's sealing key — both options the real library offers.
+Each file gets its own key derived from the master key and the file path,
+and every chunk's associated data binds (path, chunk index) so chunks
+cannot be swapped between files or positions.
+
+Note the scope: this protects *individual file* integrity.  Freshness of
+the file *system* (rollback across files) is the job of
+:mod:`repro.core.rollback`, mirroring the paper's split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto import default_pae, derive_key
+from repro.crypto.merkle import MerkleTree
+from repro.errors import IntegrityError, ProtectedFsError
+from repro.sgx.enclave import Enclave
+from repro.sgx.sealing import SealPolicy
+from repro.storage.backends import UntrustedStore
+from repro.util.serialization import Reader, Writer
+
+CHUNK_SIZE = 4096
+
+_META_SUFFIX = "\x00meta"
+
+
+def _chunk_key(path: str, index: int) -> str:
+    return f"{path}\x00chunk\x00{index}"
+
+
+def _chunk_aad(path: str, index: int) -> bytes:
+    return Writer().str(path).u32(index).take()
+
+
+@dataclass
+class _Meta:
+    size: int
+    chunk_count: int
+    merkle_root: bytes
+
+    def serialize(self) -> bytes:
+        return Writer().u64(self.size).u32(self.chunk_count).bytes(self.merkle_root).take()
+
+    @classmethod
+    def deserialize(cls, data: bytes) -> "_Meta":
+        r = Reader(data)
+        meta = cls(size=r.u64(), chunk_count=r.u32(), merkle_root=r.bytes())
+        r.expect_end()
+        return meta
+
+
+class ProtectedFs:
+    """A protected file system over an untrusted store.
+
+    ``master_key`` may be passed explicitly; otherwise it is derived from
+    the enclave's platform fuse key and signer identity (the "derive from
+    sealing key" mode of the real library), in which case ``enclave`` is
+    required.
+    """
+
+    def __init__(
+        self,
+        store: UntrustedStore,
+        master_key: bytes | None = None,
+        enclave: Enclave | None = None,
+    ) -> None:
+        if master_key is None:
+            if enclave is None:
+                raise ProtectedFsError("need a master key or an enclave to derive one")
+            master_key = derive_key(
+                enclave.platform.fuse_key,
+                f"pfs/master/{SealPolicy.MRSIGNER.value}",
+                enclave.signer_id(),
+                length=16,
+            )
+        self._master_key = master_key
+        self._store = store
+        self._enclave = enclave
+        self._pae = default_pae()
+        self._open_writers: set[str] = set()
+        self._open_readers: dict[str, int] = {}
+
+    # -- cost accounting ------------------------------------------------------
+
+    def _charge_crypto(self, nbytes: int) -> None:
+        if self._enclave is not None and self._enclave.platform.clock is not None:
+            self._enclave.charge(
+                self._enclave.platform.costs.aead_time(nbytes), account="pfs-crypto"
+            )
+
+    def _charge_read(self, nbytes: int) -> None:
+        """The read path pays decryption plus integrity-verification time."""
+        if self._enclave is not None and self._enclave.platform.clock is not None:
+            costs = self._enclave.platform.costs
+            self._enclave.charge(
+                costs.aead_time(nbytes) + nbytes / costs.pfs_read_bytes_per_second,
+                account="pfs-crypto",
+            )
+
+    def _charge_ocall(self) -> None:
+        if self._enclave is not None:
+            self._enclave.ocall(account="pfs-io")
+
+    # -- keys -----------------------------------------------------------------
+
+    def _file_key(self, path: str) -> bytes:
+        return derive_key(self._master_key, "pfs/file-key", path.encode("utf-8"), length=16)
+
+    # -- handle bookkeeping ---------------------------------------------------
+
+    def _acquire_writer(self, path: str) -> None:
+        if path in self._open_writers:
+            raise ProtectedFsError(f"{path!r} already has an open writer handle")
+        if self._open_readers.get(path):
+            raise ProtectedFsError(f"{path!r} has open reader handles")
+        self._open_writers.add(path)
+
+    def _release_writer(self, path: str) -> None:
+        self._open_writers.discard(path)
+
+    def _acquire_reader(self, path: str) -> None:
+        if path in self._open_writers:
+            raise ProtectedFsError(f"{path!r} has an open writer handle")
+        self._open_readers[path] = self._open_readers.get(path, 0) + 1
+
+    def _release_reader(self, path: str) -> None:
+        count = self._open_readers.get(path, 0)
+        if count <= 1:
+            self._open_readers.pop(path, None)
+        else:
+            self._open_readers[path] = count - 1
+
+    # -- whole-file API -------------------------------------------------------
+
+    def write_file(self, path: str, data: bytes) -> None:
+        """Create or replace the protected file at ``path``."""
+        with self.open_write(path) as handle:
+            handle.write(data)
+
+    def read_file(self, path: str) -> bytes:
+        """Read and verify the whole protected file at ``path``."""
+        with self.open_read(path) as handle:
+            return handle.read_all()
+
+    def exists(self, path: str) -> bool:
+        return self._store.exists(path + _META_SUFFIX)
+
+    def remove(self, path: str) -> None:
+        """Delete the file and all its chunks."""
+        if path in self._open_writers or self._open_readers.get(path):
+            raise ProtectedFsError(f"{path!r} has open handles")
+        meta = self._load_meta(path)
+        self._charge_ocall()
+        self._store.delete(path + _META_SUFFIX)
+        for index in range(meta.chunk_count):
+            self._store.delete(_chunk_key(path, index))
+
+    def list_paths(self) -> list[str]:
+        """All protected file paths in the store."""
+        return sorted(
+            key[: -len(_META_SUFFIX)]
+            for key in self._store.keys()
+            if key.endswith(_META_SUFFIX)
+        )
+
+    def stored_size(self, path: str) -> int:
+        """Total untrusted bytes used by the file (meta + chunks)."""
+        meta = self._load_meta(path)
+        total = self._store.size(path + _META_SUFFIX)
+        for index in range(meta.chunk_count):
+            total += self._store.size(_chunk_key(path, index))
+        return total
+
+    # -- streaming handles ----------------------------------------------------
+
+    def open_write(self, path: str) -> "WriteHandle":
+        self._acquire_writer(path)
+        return WriteHandle(self, path)
+
+    def open_read(self, path: str) -> "ReadHandle":
+        meta = self._load_meta(path)
+        self._acquire_reader(path)
+        return ReadHandle(self, path, meta)
+
+    # -- internals -----------------------------------------------------------
+
+    def _load_meta(self, path: str) -> _Meta:
+        self._charge_ocall()
+        key = path + _META_SUFFIX
+        if not self._store.exists(key):
+            raise ProtectedFsError(f"no protected file at {path!r}")
+        blob = self._store.get(key)
+        self._charge_read(len(blob))
+        try:
+            plain = self._pae.decrypt(self._file_key(path), blob, aad=b"pfs-meta\x00" + path.encode())
+        except IntegrityError as exc:
+            raise ProtectedFsError(f"metadata of {path!r} failed verification") from exc
+        return _Meta.deserialize(plain)
+
+    def _store_meta(self, path: str, meta: _Meta) -> None:
+        plain = meta.serialize()
+        self._charge_crypto(len(plain))
+        blob = self._pae.encrypt(self._file_key(path), plain, aad=b"pfs-meta\x00" + path.encode())
+        self._charge_ocall()
+        self._store.put(path + _META_SUFFIX, blob)
+
+    def _write_chunk(self, path: str, index: int, chunk: bytes) -> bytes:
+        """Encrypt and store one chunk; returns the ciphertext (Merkle leaf)."""
+        self._charge_crypto(len(chunk))
+        blob = self._pae.encrypt(self._file_key(path), chunk, aad=_chunk_aad(path, index))
+        self._charge_ocall()
+        self._store.put(_chunk_key(path, index), blob)
+        return blob
+
+    def _read_chunk(self, path: str, index: int) -> tuple[bytes, bytes]:
+        """Load one chunk; returns (plaintext, ciphertext)."""
+        self._charge_ocall()
+        key = _chunk_key(path, index)
+        if not self._store.exists(key):
+            raise ProtectedFsError(f"chunk {index} of {path!r} is missing")
+        blob = self._store.get(key)
+        self._charge_read(len(blob))
+        try:
+            plain = self._pae.decrypt(self._file_key(path), blob, aad=_chunk_aad(path, index))
+        except IntegrityError as exc:
+            raise ProtectedFsError(f"chunk {index} of {path!r} failed verification") from exc
+        return plain, blob
+
+
+class WriteHandle:
+    """Exclusive, append-only writer.  Closing finalizes the Merkle root."""
+
+    def __init__(self, fs: ProtectedFs, path: str) -> None:
+        self._fs = fs
+        self._path = path
+        self._buffer = bytearray()
+        self._size = 0
+        self._index = 0
+        self._leaves: list[bytes] = []
+        self._closed = False
+
+    def write(self, data: bytes) -> None:
+        if self._closed:
+            raise ProtectedFsError("write on closed handle")
+        self._buffer.extend(data)
+        self._size += len(data)
+        while len(self._buffer) >= CHUNK_SIZE:
+            chunk = bytes(self._buffer[:CHUNK_SIZE])
+            del self._buffer[:CHUNK_SIZE]
+            self._leaves.append(self._fs._write_chunk(self._path, self._index, chunk))
+            self._index += 1
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            if self._buffer or self._index == 0:
+                chunk = bytes(self._buffer)
+                self._leaves.append(self._fs._write_chunk(self._path, self._index, chunk))
+                self._index += 1
+            # Remove stale chunks from a previous, longer version of the file.
+            stale = self._index
+            while self._fs._store.exists(_chunk_key(self._path, stale)):
+                self._fs._store.delete(_chunk_key(self._path, stale))
+                stale += 1
+            root = MerkleTree(self._leaves).root()
+            self._fs._store_meta(
+                self._path, _Meta(size=self._size, chunk_count=self._index, merkle_root=root)
+            )
+        finally:
+            self._fs._release_writer(self._path)
+
+    def __enter__(self) -> "WriteHandle":
+        return self
+
+    def __exit__(self, exc_type: object, *exc_info: object) -> None:
+        if exc_type is None:
+            self.close()
+        else:
+            self._closed = True
+            self._fs._release_writer(self._path)
+
+
+class ReadHandle:
+    """Shared, sequential reader with chunk-by-chunk verification."""
+
+    def __init__(self, fs: ProtectedFs, path: str, meta: _Meta) -> None:
+        self._fs = fs
+        self._path = path
+        self._meta = meta
+        self._index = 0
+        self._leaves: list[bytes] = []
+        self._pending = bytearray()
+        self._closed = False
+
+    @property
+    def size(self) -> int:
+        return self._meta.size
+
+    def read_chunk(self) -> bytes | None:
+        """Next plaintext chunk, or None at end of file.
+
+        The Merkle root is checked once the final chunk has been read; a
+        truncated or spliced file therefore cannot be fully read without
+        raising.
+        """
+        if self._closed:
+            raise ProtectedFsError("read on closed handle")
+        if self._index >= self._meta.chunk_count:
+            return None
+        plain, blob = self._fs._read_chunk(self._path, self._index)
+        self._leaves.append(blob)
+        self._index += 1
+        if self._index == self._meta.chunk_count:
+            self._verify_root()
+        return plain
+
+    def read_all(self) -> bytes:
+        parts = []
+        while (chunk := self.read_chunk()) is not None:
+            parts.append(chunk)
+        data = b"".join(parts)
+        if len(data) != self._meta.size:
+            raise ProtectedFsError(f"size mismatch reading {self._path!r}")
+        return data
+
+    def _verify_root(self) -> None:
+        if MerkleTree(self._leaves).root() != self._meta.merkle_root:
+            raise ProtectedFsError(f"Merkle root mismatch for {self._path!r}")
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._fs._release_reader(self._path)
+
+    def __enter__(self) -> "ReadHandle":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,77 @@
+"""Switchless calls (Section II-A).
+
+Regular ECALLs/OCALLs save and restore CPU state — expensive.  The SGX
+SDK's switchless mode replaces the transition with a task written to a
+shared untrusted buffer that worker threads poll.  SeGShare uses
+switchless calls "for all network and file traffic".
+
+The model executes tasks synchronously (the simulation is single-flow)
+but charges the cheaper switchless cost per call, tracks queue statistics,
+and models *worker exhaustion*: when more concurrent tasks are submitted
+than workers exist, the surplus calls fall back to the regular transition
+cost, which is exactly the SDK's fallback behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.netsim.clock import SimClock
+from repro.sgx.costmodel import SgxCostModel
+
+
+@dataclass
+class SwitchlessStats:
+    submitted: int = 0
+    fast: int = 0
+    fallback: int = 0
+
+
+class SwitchlessQueue:
+    """A pool of untrusted (or trusted) worker threads serving calls.
+
+    ``workers`` mirrors the SDK's ``uworkers``/``tworkers`` setting.  Use
+    :meth:`submit` to run a callable as a switchless call and
+    :meth:`concurrency` as a context manager to model concurrent load.
+    """
+
+    def __init__(self, clock: SimClock | None, costs: SgxCostModel, workers: int = 4) -> None:
+        self._clock = clock
+        self._costs = costs
+        self.workers = workers
+        self._in_flight = 0
+        self.stats = SwitchlessStats()
+
+    def submit(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Any:
+        """Run ``fn`` as a switchless call, charging the appropriate cost."""
+        self.stats.submitted += 1
+        self._in_flight += 1
+        try:
+            if self._in_flight <= self.workers:
+                self.stats.fast += 1
+                cost = self._costs.switchless_call
+            else:
+                # No free worker: the SDK falls back to a real transition.
+                self.stats.fallback += 1
+                cost = self._costs.ocall_transition
+            if self._clock is not None:
+                self._clock.charge(cost, account="transitions")
+            return fn(*args, **kwargs)
+        finally:
+            self._in_flight -= 1
+
+    class _Concurrency:
+        def __init__(self, queue: "SwitchlessQueue", n: int) -> None:
+            self._queue = queue
+            self._n = n
+
+        def __enter__(self) -> None:
+            self._queue._in_flight += self._n
+
+        def __exit__(self, *exc_info: object) -> None:
+            self._queue._in_flight -= self._n
+
+    def concurrency(self, n: int) -> "_Concurrency":
+        """Model ``n`` other tasks being in flight for the duration."""
+        return self._Concurrency(self, n)

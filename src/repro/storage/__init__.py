@@ -1,0 +1,6 @@
+"""Untrusted storage: key-value backends and SeGShare's three stores."""
+
+from repro.storage.backends import DiskStore, InMemoryStore, UntrustedStore
+from repro.storage.stores import StoreSet
+
+__all__ = ["DiskStore", "InMemoryStore", "StoreSet", "UntrustedStore"]

@@ -1,0 +1,168 @@
+"""Untrusted key-value storage backends.
+
+Everything the enclave persists goes through this interface — it is the
+"untrusted memory" of the paper.  Objects are opaque byte strings under
+string keys; the backend gives no confidentiality, integrity, or freshness
+guarantees whatsoever (tests exercise exactly those attacks by mutating
+the backend directly).
+
+Two implementations:
+
+* :class:`InMemoryStore` — a dict; the default for tests and benchmarks.
+* :class:`DiskStore` — a directory of files, for the examples that persist
+  a share across process runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import threading
+from abc import ABC, abstractmethod
+from typing import Iterator
+
+from repro.errors import StorageError
+
+
+class UntrustedStore(ABC):
+    """Abstract untrusted object store."""
+
+    @abstractmethod
+    def put(self, key: str, value: bytes) -> None:
+        """Create or overwrite the object at ``key``."""
+
+    @abstractmethod
+    def get(self, key: str) -> bytes:
+        """Return the object at ``key``; raise :class:`StorageError` if absent."""
+
+    @abstractmethod
+    def delete(self, key: str) -> None:
+        """Remove the object at ``key``; raise :class:`StorageError` if absent."""
+
+    @abstractmethod
+    def exists(self, key: str) -> bool:
+        """True if an object exists at ``key``."""
+
+    @abstractmethod
+    def keys(self) -> Iterator[str]:
+        """Iterate over all keys (order unspecified)."""
+
+    @abstractmethod
+    def size(self, key: str) -> int:
+        """Stored size in bytes of the object at ``key``."""
+
+    def total_bytes(self) -> int:
+        """Total stored bytes across all objects (for storage-overhead benches)."""
+        return sum(self.size(key) for key in self.keys())
+
+    def rename(self, old: str, new: str) -> None:
+        """Move an object; default implementation is copy+delete."""
+        self.put(new, self.get(old))
+        self.delete(old)
+
+
+class InMemoryStore(UntrustedStore):
+    """Dict-backed store; thread-safe because the server may use worker threads."""
+
+    def __init__(self) -> None:
+        self._objects: dict[str, bytes] = {}
+        self._lock = threading.RLock()
+
+    def put(self, key: str, value: bytes) -> None:
+        with self._lock:
+            self._objects[key] = bytes(value)
+
+    def get(self, key: str) -> bytes:
+        with self._lock:
+            try:
+                return self._objects[key]
+            except KeyError:
+                raise StorageError(f"no object at key {key!r}") from None
+
+    def delete(self, key: str) -> None:
+        with self._lock:
+            if key not in self._objects:
+                raise StorageError(f"no object at key {key!r}")
+            del self._objects[key]
+
+    def exists(self, key: str) -> bool:
+        with self._lock:
+            return key in self._objects
+
+    def keys(self) -> Iterator[str]:
+        with self._lock:
+            return iter(list(self._objects))
+
+    def size(self, key: str) -> int:
+        return len(self.get(key))
+
+    def snapshot(self) -> dict[str, bytes]:
+        """Copy of all objects — the cloud provider's trivial backup (§V-G)."""
+        with self._lock:
+            return dict(self._objects)
+
+    def restore(self, snapshot: dict[str, bytes]) -> None:
+        """Replace contents with ``snapshot`` — also how rollback attacks are staged."""
+        with self._lock:
+            self._objects = dict(snapshot)
+
+
+class DiskStore(UntrustedStore):
+    """Directory-backed store.
+
+    Keys may contain characters that are not filesystem-safe (SeGShare
+    paths contain ``/``), so each key is stored under the hex SHA-256 of
+    the key with the original key recorded in a sidecar index file.
+    """
+
+    _INDEX_SUFFIX = ".key"
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+
+    def _path(self, key: str) -> str:
+        digest = hashlib.sha256(key.encode("utf-8")).hexdigest()
+        return os.path.join(self.root, digest)
+
+    def put(self, key: str, value: bytes) -> None:
+        path = self._path(key)
+        tmp = path + ".tmp"
+        with open(tmp, "wb") as fh:
+            fh.write(value)
+        os.replace(tmp, path)
+        with open(path + self._INDEX_SUFFIX, "w", encoding="utf-8") as fh:
+            fh.write(key)
+
+    def get(self, key: str) -> bytes:
+        try:
+            with open(self._path(key), "rb") as fh:
+                return fh.read()
+        except FileNotFoundError:
+            raise StorageError(f"no object at key {key!r}") from None
+
+    def delete(self, key: str) -> None:
+        path = self._path(key)
+        try:
+            os.remove(path)
+        except FileNotFoundError:
+            raise StorageError(f"no object at key {key!r}") from None
+        try:
+            os.remove(path + self._INDEX_SUFFIX)
+        except FileNotFoundError:
+            pass
+
+    def exists(self, key: str) -> bool:
+        return os.path.exists(self._path(key))
+
+    def keys(self) -> Iterator[str]:
+        for name in os.listdir(self.root):
+            if name.endswith(self._INDEX_SUFFIX):
+                with open(os.path.join(self.root, name), encoding="utf-8") as fh:
+                    yield fh.read()
+
+    def size(self, key: str) -> int:
+        try:
+            return os.path.getsize(self._path(key))
+        except FileNotFoundError:
+            raise StorageError(f"no object at key {key!r}") from None

@@ -1,0 +1,34 @@
+"""SGX-enabled TLS stack (paper Section VI, Fig. 1).
+
+A TLS-1.2-shaped protocol with the paper's trust split:
+
+* the **untrusted TLS interface** terminates the transport connection and
+  shuttles opaque records — it never sees keys or plaintext;
+* the **trusted TLS interface** inside the enclave performs the handshake
+  with the CA-issued server certificate, verifies the client certificate,
+  and encrypts/decrypts every record — the secure channel genuinely ends
+  inside the enclave.
+
+The handshake signs an ephemeral finite-field DH exchange with both
+certificates (mutual authentication), derives per-direction record keys
+with HKDF, and exchanges Finished MACs over the transcript.  Records are
+protected with the PAE backend using the record sequence number as
+associated data, so reordering, replay, and truncation are all detected.
+"""
+
+from repro.tls.channel import TlsClient, TrustedTlsInterface, UntrustedTlsInterface
+from repro.tls.handshake import ClientIdentity, ServerIdentity
+from repro.tls.records import ContentType, TlsRecord
+from repro.tls.session import STREAM_CHUNK, TlsSession
+
+__all__ = [
+    "STREAM_CHUNK",
+    "ClientIdentity",
+    "ContentType",
+    "ServerIdentity",
+    "TlsClient",
+    "TlsRecord",
+    "TlsSession",
+    "TrustedTlsInterface",
+    "UntrustedTlsInterface",
+]

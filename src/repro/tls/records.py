@@ -1,0 +1,67 @@
+"""TLS record framing.
+
+A record is ``content_type (u8) || length (u32) || payload``.  Handshake
+records carry plaintext handshake messages; application-data records carry
+PAE ciphertext.  The untrusted terminator only ever parses this framing —
+payloads stay opaque to it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import TlsError
+from repro.util.serialization import Reader, Writer
+
+
+class ContentType(enum.IntEnum):
+    HANDSHAKE = 22
+    APPLICATION_DATA = 23
+    ALERT = 21
+
+
+@dataclass(frozen=True)
+class TlsRecord:
+    """One framed TLS record."""
+
+    content_type: ContentType
+    payload: bytes
+
+    def serialize(self) -> bytes:
+        return Writer().u8(int(self.content_type)).bytes(self.payload).take()
+
+    @classmethod
+    def deserialize(cls, data: bytes) -> "TlsRecord":
+        r = Reader(data)
+        try:
+            content_type = ContentType(r.u8())
+        except ValueError as exc:
+            raise TlsError(f"unknown record content type: {exc}") from exc
+        payload = r.bytes()
+        r.expect_end()
+        return cls(content_type=content_type, payload=payload)
+
+
+def handshake_record(payload: bytes) -> bytes:
+    return TlsRecord(ContentType.HANDSHAKE, payload).serialize()
+
+
+def data_record(payload: bytes) -> bytes:
+    return TlsRecord(ContentType.APPLICATION_DATA, payload).serialize()
+
+
+def alert_record(message: str) -> bytes:
+    return TlsRecord(ContentType.ALERT, message.encode("utf-8")).serialize()
+
+
+def parse_record(data: bytes, expected: ContentType) -> bytes:
+    """Parse a record and require its content type; alerts raise TlsError."""
+    record = TlsRecord.deserialize(data)
+    if record.content_type is ContentType.ALERT:
+        raise TlsError(f"peer sent alert: {record.payload.decode('utf-8', 'replace')}")
+    if record.content_type is not expected:
+        raise TlsError(
+            f"expected {expected.name} record, got {record.content_type.name}"
+        )
+    return record.payload

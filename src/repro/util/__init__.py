@@ -1,0 +1,37 @@
+"""Small shared utilities: serialization, encoding, and byte helpers."""
+
+from repro.util.encoding import (
+    ct_equal,
+    from_hex,
+    read_exact,
+    to_hex,
+)
+from repro.util.serialization import (
+    Reader,
+    Writer,
+    pack_bytes,
+    pack_str,
+    pack_u32,
+    pack_u64,
+    unpack_bytes,
+    unpack_str,
+    unpack_u32,
+    unpack_u64,
+)
+
+__all__ = [
+    "Reader",
+    "Writer",
+    "ct_equal",
+    "from_hex",
+    "pack_bytes",
+    "pack_str",
+    "pack_u32",
+    "pack_u64",
+    "read_exact",
+    "to_hex",
+    "unpack_bytes",
+    "unpack_str",
+    "unpack_u32",
+    "unpack_u64",
+]

@@ -1,0 +1,38 @@
+"""Byte-level helpers: hex codecs, constant-time compare, exact reads."""
+
+from __future__ import annotations
+
+import hmac
+from typing import BinaryIO
+
+
+def to_hex(data: bytes) -> str:
+    """Return the lowercase hexadecimal representation of ``data``."""
+    return data.hex()
+
+
+def from_hex(text: str) -> bytes:
+    """Parse a hexadecimal string produced by :func:`to_hex`."""
+    return bytes.fromhex(text)
+
+
+def ct_equal(a: bytes, b: bytes) -> bool:
+    """Compare two byte strings in constant time.
+
+    Used for MAC tags and certificate fingerprints so that comparison time
+    does not leak how many leading bytes matched.
+    """
+    return hmac.compare_digest(a, b)
+
+
+def read_exact(stream: BinaryIO, n: int) -> bytes:
+    """Read exactly ``n`` bytes from ``stream`` or raise ``EOFError``."""
+    chunks = []
+    remaining = n
+    while remaining > 0:
+        chunk = stream.read(remaining)
+        if not chunk:
+            raise EOFError(f"expected {n} bytes, stream ended {remaining} short")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)

@@ -1,0 +1,13 @@
+"""WebDAV front end (paper Section VI).
+
+The prototype follows the WebDAV standard so existing clients work
+unchanged.  This package models the protocol surface SeGShare needs —
+GET, PUT, MKCOL, DELETE, MOVE, PROPFIND, plus the permission/group
+extension headers — and adapts it onto the SeGShare request handler.
+"""
+
+from repro.webdav.client import WebDavTlsClient
+from repro.webdav.http import HttpRequest, HttpResponse, Method
+from repro.webdav.server_adapter import WebDavAdapter
+
+__all__ = ["HttpRequest", "HttpResponse", "Method", "WebDavAdapter", "WebDavTlsClient"]

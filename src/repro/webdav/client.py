@@ -1,0 +1,71 @@
+"""A WebDAV client speaking through the SeGShare TLS channel.
+
+The enclave accepts, next to its native binary protocol, WebDAV messages
+prefixed with a protocol marker — this client builds them.  It is what a
+stock WebDAV client library would look like pointed at SeGShare: the
+paper's compatibility claim (§VI), exercised end to end over the real
+secure channel.
+
+Bodies travel inside the message (WebDAV has no framing of its own
+here); for multi-gigabyte uploads the native client's chunked streaming
+is the better tool.
+"""
+
+from __future__ import annotations
+
+from repro.tls.channel import TlsClient
+from repro.webdav.http import HttpRequest, HttpResponse, Method
+
+#: Marker distinguishing WebDAV payloads from native binary requests.
+WEBDAV_MARKER = b"WEBDAV\x00"
+
+
+class WebDavTlsClient:
+    """WebDAV verbs over an established SeGShare TLS session."""
+
+    def __init__(self, tls: TlsClient) -> None:
+        self._tls = tls
+
+    def _send(self, request: HttpRequest) -> HttpResponse:
+        reply = self._tls.request(WEBDAV_MARKER + request.serialize())
+        return HttpResponse.parse(reply)
+
+    def put(self, path: str, body: bytes) -> HttpResponse:
+        return self._send(HttpRequest(Method.PUT, path, body=body))
+
+    def get(self, path: str) -> HttpResponse:
+        return self._send(HttpRequest(Method.GET, path))
+
+    def mkcol(self, path: str) -> HttpResponse:
+        return self._send(HttpRequest(Method.MKCOL, path))
+
+    def delete(self, path: str) -> HttpResponse:
+        return self._send(HttpRequest(Method.DELETE, path))
+
+    def move(self, src: str, dst: str) -> HttpResponse:
+        return self._send(
+            HttpRequest(Method.MOVE, src, headers={"destination": dst})
+        )
+
+    def propfind(self, path: str, depth: str = "0") -> HttpResponse:
+        return self._send(
+            HttpRequest(Method.PROPFIND, path, headers={"depth": depth})
+        )
+
+    def set_permission(self, path: str, group: str, perms: str) -> HttpResponse:
+        return self._send(
+            HttpRequest(
+                Method.PROPPATCH,
+                path,
+                headers={"x-segshare-set-permission": f"{group} {perms}".strip()},
+            )
+        )
+
+    def set_inherit(self, path: str, inherit: bool) -> HttpResponse:
+        return self._send(
+            HttpRequest(
+                Method.PROPPATCH,
+                path,
+                headers={"x-segshare-inherit": "1" if inherit else "0"},
+            )
+        )

@@ -1,0 +1,101 @@
+"""The HE baseline: functionality and the revocation-cost asymmetry."""
+
+import pytest
+
+from repro.baselines import HybridEncryptionShare
+from repro.errors import AccessDenied
+from repro.netsim import SimClock
+
+
+@pytest.fixture()
+def share():
+    return HybridEncryptionShare()
+
+
+class TestBasics:
+    def test_upload_download(self, share):
+        share.upload("alice", "/f", b"secret")
+        assert share.download("alice", "/f") == b"secret"
+
+    def test_grant_and_download(self, share):
+        share.upload("alice", "/f", b"secret")
+        with pytest.raises(AccessDenied):
+            share.download("bob", "/f")
+        share.grant("/f", "bob")
+        assert share.download("bob", "/f") == b"secret"
+
+    def test_eager_revocation_blocks(self, share):
+        share.upload("alice", "/f", b"secret")
+        share.grant("/f", "bob")
+        share.revoke("/f", "bob")
+        with pytest.raises(AccessDenied):
+            share.download("bob", "/f")
+        assert share.download("alice", "/f") == b"secret"
+
+    def test_write_round_trip(self, share):
+        share.upload("alice", "/f", b"v1")
+        share.write("alice", "/f", b"v2")
+        assert share.download("alice", "/f") == b"v2"
+
+
+class TestTheProblemWithHE:
+    def test_users_get_plaintext_file_keys(self, share):
+        """The fundamental issue: any authorized client can extract the
+        raw file key — nothing the scheme can do about it."""
+        share.upload("alice", "/f", b"secret")
+        key = share.leak_file_key("alice", "/f")
+        assert isinstance(key, bytes) and len(key) == 16
+
+    def test_eager_revocation_rekeys(self, share):
+        share.upload("alice", "/f", b"secret")
+        share.grant("/f", "bob")
+        old_key = share.leak_file_key("bob", "/f")
+        share.revoke("/f", "bob")
+        assert not share.can_decrypt_with_old_key("/f", old_key)
+
+    def test_lazy_revocation_leaves_a_window(self):
+        """Lazy revocation: the revoked user's old key still opens the
+        file until the next write — the paper's security-window critique."""
+        share = HybridEncryptionShare(lazy_revocation=True)
+        share.upload("alice", "/f", b"secret")
+        share.grant("/f", "bob")
+        old_key = share.leak_file_key("bob", "/f")
+        share.revoke("/f", "bob")
+        assert share.can_decrypt_with_old_key("/f", old_key)  # the window
+        share.write("alice", "/f", b"updated")
+        assert not share.can_decrypt_with_old_key("/f", old_key)  # closed
+
+    def test_group_revocation_touches_every_file(self):
+        share = HybridEncryptionShare()
+        share.create_group("team", {"alice", "bob"})
+        for i in range(7):
+            share.upload("alice", f"/f{i}", b"data")
+            share.grant_group(f"/f{i}", "team")
+        assert share.remove_group_member("team", "bob") == 7
+        with pytest.raises(AccessDenied):
+            share.download("bob", "/f3")
+
+    def test_revocation_cost_scales_with_data(self):
+        """Eager revocation time grows with total group data; the clock
+        shows it (SeGShare's is constant — the ablation bench's contrast)."""
+        costs = []
+        for file_count in (2, 20):
+            clock = SimClock()
+            share = HybridEncryptionShare(clock=clock)
+            share.create_group("g", {"a", "b"})
+            for i in range(file_count):
+                share.upload("a", f"/f{i}", bytes(100_000))
+                share.grant_group(f"/f{i}", "g")
+            start = clock.now()
+            share.remove_group_member("g", "b")
+            costs.append(clock.now() - start)
+        assert costs[1] > costs[0] * 5
+
+    def test_adding_member_wraps_for_each_group_file(self):
+        share = HybridEncryptionShare()
+        share.create_group("g", {"a"})
+        for i in range(4):
+            share.upload("a", f"/f{i}", b"x")
+            share.grant_group(f"/f{i}", "g")
+        assert share.add_group_member("g", "newbie") == 4
+        assert share.download("newbie", "/f0") == b"x"

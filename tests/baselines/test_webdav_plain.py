@@ -1,0 +1,67 @@
+"""Plaintext WebDAV baselines: behaviour and calibrated latency shape."""
+
+import pytest
+
+from repro.baselines import APACHE_PROFILE, NGINX_PROFILE, PlainWebDavServer
+from repro.errors import StorageError
+from repro.netsim import azure_wan_env
+
+
+class TestBehaviour:
+    def test_put_get_round_trip(self):
+        server = PlainWebDavServer(azure_wan_env(), NGINX_PROFILE)
+        client = server.connect()
+        client.put("/f", b"payload")
+        assert client.get("/f") == b"payload"
+
+    def test_missing_file(self):
+        server = PlainWebDavServer(azure_wan_env(), APACHE_PROFILE)
+        client = server.connect()
+        with pytest.raises(StorageError):
+            client.get("/ghost")
+
+    def test_stores_plaintext(self):
+        """The baselines store uploads UNENCRYPTED — the security contrast."""
+        server = PlainWebDavServer(azure_wan_env(), NGINX_PROFILE)
+        server.connect().put("/f", b"visible to the provider")
+        assert server.store.get("/f") == b"visible to the provider"
+
+
+class TestCalibration:
+    @staticmethod
+    def _latency(profile, size, direction):
+        env = azure_wan_env()
+        server = PlainWebDavServer(env, profile)
+        client = server.connect()
+        data = bytes(size)
+        start = env.clock.now()
+        client.put("/f", data)
+        put_time = env.clock.now() - start
+        start = env.clock.now()
+        client.get("/f")
+        get_time = env.clock.now() - start
+        return put_time if direction == "up" else get_time
+
+    def test_paper_200mb_numbers(self):
+        """Fig. 3 anchors: Apache 4.74/2.62 s, nginx 1.84/0.93 s (±15 %)."""
+        checks = [
+            (APACHE_PROFILE, "up", 4.74),
+            (APACHE_PROFILE, "down", 2.62),
+            (NGINX_PROFILE, "up", 1.84),
+            (NGINX_PROFILE, "down", 0.93),
+        ]
+        for profile, direction, expected in checks:
+            measured = self._latency(profile, 200_000_000, direction)
+            assert expected * 0.85 < measured < expected * 1.15, (
+                profile.name, direction, measured)
+
+    def test_apache_slower_than_nginx(self):
+        for direction in ("up", "down"):
+            apache = self._latency(APACHE_PROFILE, 50_000_000, direction)
+            nginx = self._latency(NGINX_PROFILE, 50_000_000, direction)
+            assert apache > nginx
+
+    def test_latency_grows_with_size(self):
+        small = self._latency(NGINX_PROFILE, 1_000_000, "up")
+        large = self._latency(NGINX_PROFILE, 100_000_000, "up")
+        assert large > small * 10

@@ -1,0 +1,59 @@
+"""Shared fixtures: cached RSA keys and deployment factories.
+
+Pure-Python RSA key generation is the only genuinely slow primitive, so
+the suite generates a handful of keys once per session and shares them.
+Key *material* is never what a test asserts on — identities come from
+certificates, and every certificate still binds a distinct subject.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.enclave_app import SeGShareOptions
+from repro.core.server import Deployment, deploy
+from repro.crypto import rsa
+from repro.netsim import azure_wan_env
+from repro.pki import CertificateAuthority
+
+
+@pytest.fixture(scope="session")
+def user_key() -> rsa.RsaPrivateKey:
+    """One RSA key shared by all test users."""
+    return rsa.generate_keypair(1024)
+
+
+@pytest.fixture(scope="session")
+def second_key() -> rsa.RsaPrivateKey:
+    """A second key, for tests that need two distinct key pairs."""
+    return rsa.generate_keypair(1024)
+
+
+@pytest.fixture()
+def ca() -> CertificateAuthority:
+    return CertificateAuthority(key_bits=1024)
+
+
+@pytest.fixture()
+def make_deployment(user_key):
+    """Factory: a fresh deployment with optional SeGShare options."""
+
+    def factory(options: SeGShareOptions | None = None, **kwargs) -> Deployment:
+        deployment = deploy(env=azure_wan_env(), options=options, **kwargs)
+        # Pre-seed the shared user key so new_user() never generates one.
+        deployment._user_keys.setdefault("_default", user_key)
+        original = deployment.new_user
+
+        def new_user(user_id: str, key=None, key_bits: int = 1024):
+            return original(user_id, key=key or user_key, key_bits=key_bits)
+
+        deployment.new_user = new_user  # type: ignore[method-assign]
+        return deployment
+
+    return factory
+
+
+@pytest.fixture()
+def deployment(make_deployment) -> Deployment:
+    """A default deployment (no extensions enabled)."""
+    return make_deployment()

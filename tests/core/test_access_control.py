@@ -1,0 +1,180 @@
+"""The access control component: auth_f, auth_g, relation updates."""
+
+import pytest
+
+from repro.core.acl import AclFile
+from repro.core.model import Permission, default_group
+from repro.errors import RequestError
+from repro.fsmodel import DirectoryFile
+
+R = frozenset({Permission.READ})
+W = frozenset({Permission.WRITE})
+RW = frozenset({Permission.READ, Permission.WRITE})
+DENY = frozenset({Permission.DENY})
+
+
+def put_file(world, path, owner, content=b"x"):
+    world.handler.put_file(owner, path, content)
+
+
+class TestUserGroups:
+    def test_default_group_always_present(self, world):
+        assert world.access.user_groups("alice") == {default_group("alice")}
+
+    def test_memberships_included(self, world):
+        world.access.create_group("alice", "eng")
+        world.access.add_member("bob", "eng")
+        assert "eng" in world.access.user_groups("bob")
+
+
+class TestExistsG:
+    def test_default_groups_always_exist(self, world):
+        assert world.access.exists_g(default_group("nobody"))
+
+    def test_regular_group_lifecycle(self, world):
+        assert not world.access.exists_g("eng")
+        world.access.create_group("alice", "eng")
+        assert world.access.exists_g("eng")
+
+
+class TestAuthG:
+    def test_creator_owns_group(self, world):
+        world.access.create_group("alice", "eng")
+        assert world.access.auth_g("alice", "eng")
+        assert not world.access.auth_g("bob", "eng")
+
+    def test_ownership_extension(self, world):
+        world.access.create_group("alice", "eng")
+        world.access.create_group("alice", "leads")
+        world.access.add_member("carol", "leads")
+        assert not world.access.auth_g("carol", "eng")
+        world.access.add_group_owner("eng", "leads")
+        assert world.access.auth_g("carol", "eng")
+
+    def test_default_groups_not_administrable(self, world):
+        assert not world.access.auth_g("alice", default_group("alice"))
+
+    def test_unknown_group(self, world):
+        assert not world.access.auth_g("alice", "ghost")
+
+    def test_membership_does_not_imply_ownership(self, world):
+        world.access.create_group("alice", "eng")
+        world.access.add_member("bob", "eng")
+        assert not world.access.auth_g("bob", "eng")
+
+
+class TestAuthF:
+    def test_owner_has_everything(self, world):
+        put_file(world, "/f", "alice")
+        for perm in (Permission.READ, Permission.WRITE, None):
+            assert world.access.auth_f("alice", perm, "/f")
+
+    def test_no_entry_no_access(self, world):
+        put_file(world, "/f", "alice")
+        assert not world.access.auth_f("bob", Permission.READ, "/f")
+
+    def test_group_grant(self, world):
+        put_file(world, "/f", "alice")
+        world.access.create_group("alice", "eng")
+        world.access.add_member("bob", "eng")
+        acl = world.manager.read_acl("/f")
+        acl.set_permission("eng", R)
+        world.manager.write_acl("/f", acl)
+        assert world.access.auth_f("bob", Permission.READ, "/f")
+        assert not world.access.auth_f("bob", Permission.WRITE, "/f")
+
+    def test_permission_does_not_imply_ownership(self, world):
+        put_file(world, "/f", "alice")
+        acl = world.manager.read_acl("/f")
+        acl.set_permission(default_group("bob"), RW)
+        world.manager.write_acl("/f", acl)
+        assert world.access.auth_f("bob", Permission.WRITE, "/f")
+        assert not world.access.auth_f("bob", None, "/f")
+
+    def test_missing_file(self, world):
+        assert not world.access.auth_f("alice", Permission.READ, "/ghost")
+
+    def test_deny_vetoes_other_grants(self, world):
+        put_file(world, "/f", "alice")
+        world.access.create_group("alice", "eng")
+        world.access.add_member("bob", "eng")
+        acl = world.manager.read_acl("/f")
+        acl.set_permission("eng", RW)
+        acl.set_permission(default_group("bob"), DENY)
+        world.manager.write_acl("/f", acl)
+        assert not world.access.auth_f("bob", Permission.READ, "/f")
+        # Other group members are unaffected.
+        world.access.add_member("carol", "eng")
+        assert world.access.auth_f("carol", Permission.READ, "/f")
+
+
+class TestInheritance:
+    def _setup_dir(self, world):
+        world.handler.put_dir("alice", "/d/")
+        put_file(world, "/d/f", "alice")
+        acl = world.manager.read_acl("/d/")
+        acl.set_permission("eng", R)
+        world.manager.write_acl("/d/", acl)
+        world.access.create_group("alice", "eng")
+        world.access.add_member("bob", "eng")
+
+    def test_no_inherit_flag_no_inheritance(self, world):
+        self._setup_dir(world)
+        assert not world.access.auth_f("bob", Permission.READ, "/d/f")
+
+    def test_inherit_flag_pulls_parent_grant(self, world):
+        self._setup_dir(world)
+        acl = world.manager.read_acl("/d/f")
+        acl.inherit = True
+        world.manager.write_acl("/d/f", acl)
+        assert world.access.auth_f("bob", Permission.READ, "/d/f")
+
+    def test_file_entry_overrides_parent(self, world):
+        self._setup_dir(world)
+        acl = world.manager.read_acl("/d/f")
+        acl.inherit = True
+        acl.set_permission("eng", DENY)  # file-level override
+        world.manager.write_acl("/d/f", acl)
+        assert not world.access.auth_f("bob", Permission.READ, "/d/f")
+
+
+class TestRelationUpdates:
+    def test_create_group_adds_creator_as_member(self, world):
+        # Algo. 1: updateRel(rG, rG ∪ (u1, g)) at creation.
+        world.access.create_group("alice", "eng")
+        assert "eng" in world.access.user_groups("alice")
+
+    def test_remove_member(self, world):
+        world.access.create_group("alice", "eng")
+        world.access.add_member("bob", "eng")
+        world.access.remove_member("bob", "eng")
+        assert "eng" not in world.access.user_groups("bob")
+
+    def test_remove_nonmember_raises(self, world):
+        world.access.create_group("alice", "eng")
+        with pytest.raises(RequestError):
+            world.access.remove_member("bob", "eng")
+
+    def test_reserved_group_ids_rejected(self, world):
+        with pytest.raises(RequestError):
+            world.access.create_group("alice", default_group("bob"))
+
+    def test_delete_group_scans_member_lists(self, world):
+        world.access.create_group("alice", "eng")
+        for user in ("bob", "carol"):
+            world.access.add_member(user, "eng")
+        touched = world.access.delete_group("eng")
+        assert touched == 3  # alice, bob, carol
+        assert not world.access.exists_g("eng")
+        for user in ("alice", "bob", "carol"):
+            assert "eng" not in world.access.user_groups(user)
+
+    def test_known_users_registry(self, world):
+        world.access.create_group("alice", "eng")
+        world.access.add_member("bob", "eng")
+        assert set(world.access.known_users()) == {"alice", "bob"}
+
+    def test_add_owner_requires_existing_owner_group(self, world):
+        world.access.create_group("alice", "eng")
+        with pytest.raises(RequestError):
+            world.access.add_group_owner("eng", "ghost-group")

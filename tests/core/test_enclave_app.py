@@ -1,0 +1,106 @@
+"""The SeGShare enclave itself: setup phase, sealing persistence, TCB."""
+
+import pytest
+
+from repro.core.enclave_app import SeGShareEnclave, SeGShareOptions
+from repro.core.server import SeGShareServer, provision_certificate
+from repro.errors import AttestationError, EnclaveError
+from repro.netsim import azure_wan_env
+from repro.pki import CertificateAuthority
+
+
+class TestSetupPhase:
+    def test_deploy_provisions_server_certificate(self, deployment):
+        assert deployment.server.enclave.tls.has_identity
+        assert deployment.server_certificate.subject == "segshare-enclave"
+        deployment.server_certificate.verify(deployment.ca.public_key)
+
+    def test_measurement_binds_ca_key(self, make_deployment):
+        a = make_deployment()
+        b = make_deployment()  # different CA instance, different key
+        assert a.server.enclave.measurement() != b.server.enclave.measurement()
+
+    def test_csr_requires_matching_certificate(self, deployment, user_key):
+        """A certificate over a *different* key than the pending CSR is
+        rejected by the enclave."""
+        server = deployment.server
+        server.handle.call("create_csr")
+        rogue_cert = deployment.ca.issue_client_certificate("x", user_key.public_key)
+        with pytest.raises(Exception):
+            server.handle.call("install_certificate", rogue_cert.serialize())
+
+    def test_install_without_csr_rejected(self, deployment):
+        env = azure_wan_env()
+        fresh = SeGShareServer(env, deployment.ca.public_key)  # never provisioned
+        with pytest.raises(EnclaveError):
+            fresh.enclave.install_certificate(
+                deployment.server_certificate.serialize()
+            )
+
+    def test_provisioning_checks_measurement(self):
+        env = azure_wan_env()
+        ca = CertificateAuthority(key_bits=1024)
+        from repro.sgx import AttestationService
+
+        service = AttestationService()
+        server = SeGShareServer(env, ca.public_key, attestation_service=service)
+        service.register_platform(
+            server.platform.platform_id,
+            server.platform.quoting_enclave.attestation_public_key,
+        )
+        with pytest.raises(AttestationError):
+            provision_certificate(ca, service, server, expected_measurement=b"wrong")
+
+
+class TestPersistence:
+    def test_restart_recovers_sealed_state(self, deployment):
+        alice_identity = deployment.user_identity("alice")
+        alice = deployment.connect(alice_identity)
+        alice.upload("/persist.txt", b"survives restarts")
+
+        deployment.server.restart_enclave()
+
+        alice2 = deployment.connect(alice_identity)
+        assert alice2.download("/persist.txt") == b"survives restarts"
+
+    def test_restart_keeps_tls_identity(self, deployment):
+        deployment.server.restart_enclave()
+        assert deployment.server.enclave.tls.has_identity
+
+    def test_restart_with_rollback_protection(self, make_deployment):
+        deployment = make_deployment(
+            SeGShareOptions(rollback="whole_fs", counter_kind="rote")
+        )
+        identity = deployment.user_identity("alice")
+        deployment.connect(identity).upload("/f", b"guarded")
+        deployment.server.restart_enclave()
+        assert deployment.connect(identity).download("/f") == b"guarded"
+
+
+class TestTcb:
+    def test_report_covers_declared_modules(self, deployment):
+        report = deployment.server.enclave.tcb_loc_report()
+        assert set(SeGShareEnclave.TCB_MODULES) <= set(report.per_module)
+        # The same ballpark as the paper's 8441-LoC C++ enclave: small.
+        assert 2000 < report.total < 10000
+
+    def test_untrusted_modules_stay_outside(self, deployment):
+        report = deployment.server.enclave.tcb_loc_report()
+        for module in ("repro.core.server", "repro.netsim.network", "repro.sgx.attestation"):
+            assert module not in report.per_module
+
+
+class TestReadiness:
+    def test_replica_not_ready_until_joined(self):
+        env = azure_wan_env()
+        ca = CertificateAuthority(key_bits=1024)
+        server = SeGShareServer(
+            env, ca.public_key, options=SeGShareOptions(replica=True)
+        )
+        assert not server.enclave.ready
+
+    def test_options_validated(self):
+        with pytest.raises(ValueError):
+            SeGShareOptions(rollback="sometimes")
+        with pytest.raises(ValueError):
+            SeGShareOptions(counter_kind="hope")

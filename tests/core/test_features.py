@@ -1,0 +1,53 @@
+"""Table II/III: the matrix is well-formed and SeGShare's column is FULL."""
+
+from repro.core.features import (
+    OBJECTIVES,
+    TABLE3,
+    Support,
+    format_table3,
+    segshare_row,
+)
+
+
+def test_objectives_cover_the_paper_ids():
+    keys = [objective.key for objective in OBJECTIVES]
+    assert keys == [f"F{i}" for i in range(1, 11)] + [f"P{i}" for i in range(1, 6)] + [
+        f"S{i}" for i in range(1, 6)
+    ]
+
+
+def test_every_row_covers_every_objective():
+    keys = {objective.key for objective in OBJECTIVES}
+    for row in TABLE3:
+        assert set(row.support) == keys, row.name
+
+
+def test_segshare_claims_full_support_everywhere():
+    row = segshare_row()
+    assert row.name == "SeGShare"
+    assert all(level is Support.FULL for level in row.support.values())
+
+
+def test_no_related_system_matches_segshare():
+    """The paper's point: no related work fulfils the full objective set."""
+    for row in TABLE3[:-1]:
+        assert any(level is not Support.FULL for level in row.support.values()), row.name
+
+
+def test_known_paper_facts():
+    by_name = {row.name: row for row in TABLE3}
+    # Only NEXUS and Pesos separate authentication and authorization (F8).
+    f8 = [name for name, row in by_name.items() if row.support["F8"] is Support.FULL]
+    assert set(f8) == {"NEXUS [26]", "Pesos [27]", "SeGShare"}
+    # Only REED among related work supports deduplication (F9).
+    f9 = [name for name, row in by_name.items() if row.support["F9"] is Support.FULL]
+    assert set(f9) == {"REED [22]", "SeGShare"}
+    # NEXUS requires client-side SGX: special hardware (F5 unsupported).
+    assert by_name["NEXUS [26]"].support["F5"] is Support.NO
+
+
+def test_format_renders_all_rows():
+    rendered = format_table3()
+    for row in TABLE3:
+        assert row.name in rendered
+    assert "F10" in rendered and "S5" in rendered

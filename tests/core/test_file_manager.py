@@ -1,0 +1,143 @@
+"""Direct unit tests of the trusted file manager."""
+
+import pytest
+
+from repro.core.file_manager import TrustedFileManager
+from repro.errors import FileSystemError
+from repro.fsmodel import DirectoryFile
+from repro.storage.stores import StoreSet
+
+ROOT_KEY = bytes(range(32))
+
+
+@pytest.fixture()
+def manager():
+    return TrustedFileManager(StoreSet.in_memory(), ROOT_KEY)
+
+
+@pytest.fixture()
+def dedup_manager():
+    return TrustedFileManager(StoreSet.in_memory(), ROOT_KEY, enable_dedup=True)
+
+
+class TestContentRecords:
+    def test_inline_round_trip(self, manager):
+        manager.write_content("/f", b"inline payload")
+        assert manager.read_content("/f") == b"inline payload"
+        assert manager.content_size("/f") == 14
+
+    def test_pointer_round_trip(self, dedup_manager):
+        dedup_manager.write_content("/f", b"deduplicated payload")
+        assert dedup_manager.read_content("/f") == b"deduplicated payload"
+        assert dedup_manager.content_size("/f") == 20
+
+    def test_missing_file(self, manager):
+        with pytest.raises(FileSystemError):
+            manager.read_content("/ghost")
+        with pytest.raises(FileSystemError):
+            manager.delete_content("/ghost")
+
+    def test_pointer_read_needs_dedup(self, dedup_manager):
+        """A pointer record persisted with dedup on cannot be followed by a
+        manager built without the dedup store."""
+        dedup_manager.write_content("/f", b"x")
+        plain = TrustedFileManager(dedup_manager._stores, ROOT_KEY, enable_dedup=False)
+        with pytest.raises(FileSystemError):
+            plain.read_content("/f")
+
+    def test_overwrite_releases_old_pointer(self, dedup_manager):
+        dedup_manager.write_content("/f", b"v1")
+        dedup_manager.write_content("/f", b"v2")
+        assert dedup_manager.dedup.object_count() == 1
+        assert dedup_manager.read_content("/f") == b"v2"
+
+
+class TestStreaming:
+    def test_upload_sink(self, dedup_manager):
+        upload = dedup_manager.open_content_upload("/s")
+        upload.write(b"part1-")
+        upload.write(b"part2")
+        upload.finish()
+        assert dedup_manager.read_content("/s") == b"part1-part2"
+
+    def test_upload_abort_leaves_nothing(self, dedup_manager):
+        upload = dedup_manager.open_content_upload("/s")
+        upload.write(b"doomed")
+        upload.abort()
+        assert not dedup_manager.exists("/s")
+        assert dedup_manager.dedup.object_count() == 0
+
+    def test_iter_content_inline(self, manager):
+        manager.write_content("/f", b"x" * 100_000)
+        size, chunks = manager.iter_content("/f")
+        data = b"".join(chunks)
+        assert size == 100_000 and data == b"x" * 100_000
+
+    def test_iter_content_dedup(self, dedup_manager):
+        dedup_manager.write_content("/f", b"y" * 100_000)
+        size, chunks = dedup_manager.iter_content("/f")
+        assert size == 100_000
+        assert b"".join(chunks) == b"y" * 100_000
+
+
+class TestDirectoriesAndAcls:
+    def test_dir_round_trip(self, manager):
+        manager.write_dir("/d/", DirectoryFile(["/d/x", "/d/y/"]))
+        assert manager.read_dir("/d/").children == ["/d/x", "/d/y/"]
+
+    def test_acl_lifecycle(self, manager):
+        from repro.core.acl import AclFile
+
+        acl = AclFile()
+        acl.add_owner("u:alice")
+        manager.write_acl("/f", acl)
+        assert manager.acl_exists("/f")
+        assert manager.read_acl("/f").owners == ["u:alice"]
+        manager.delete_acl("/f")
+        assert not manager.acl_exists("/f")
+
+    def test_group_store_round_trips(self, manager):
+        from repro.core.acl import GroupListFile, MemberListFile
+
+        groups = GroupListFile()
+        groups.create("eng", "u:alice")
+        manager.write_group_list(groups)
+        assert manager.read_group_list().exists("eng")
+
+        members = MemberListFile()
+        members.add("eng")
+        manager.write_member_list("bob", members)
+        assert manager.read_member_list("bob").groups == ["eng"]
+        assert manager.read_member_list("ghost").groups == []
+
+
+class TestAccounting:
+    def test_stored_bytes_by_store(self, dedup_manager):
+        dedup_manager.write_content("/f", bytes(10_000))
+        totals = dedup_manager.stored_bytes()
+        assert totals["dedup"] > 10_000  # payload lives in the dedup store
+        assert totals["content"] > 0  # pointer record + root dir
+        assert totals["group"] == 0
+
+    def test_content_stored_size_follows_pointer(self, dedup_manager, manager):
+        dedup_manager.write_content("/f", bytes(50_000))
+        manager.write_content("/f", bytes(50_000))
+        with_pointer = dedup_manager.content_stored_size("/f")
+        inline = manager.content_stored_size("/f")
+        # Both report the full payload (±overhead), not just the pointer.
+        assert abs(with_pointer - inline) < 5_000
+
+
+class TestPathHiding:
+    def test_same_key_different_shares_disjoint(self):
+        a = TrustedFileManager(StoreSet.in_memory(), bytes(32), hide_paths=True)
+        b = TrustedFileManager(StoreSet.in_memory(), bytes(31) + b"\x01", hide_paths=True)
+        assert a._sp("/f") != b._sp("/f")
+
+    def test_raw_access_uses_transform(self):
+        manager = TrustedFileManager(StoreSet.in_memory(), bytes(32), hide_paths=True)
+        manager.raw_write("/x", b"blob")
+        assert manager.raw_exists("/x")
+        assert manager.raw_read("/x") == b"blob"
+        manager.raw_delete("/x")
+        assert not manager.raw_exists("/x")

@@ -1,0 +1,100 @@
+"""Exhaustive authorization matrix.
+
+Every combination of {direct entry, inherited entry, deny overrides,
+ownership} × {read, write} checked against the expected outcome — the
+spelled-out truth table of ``auth_f`` with the Section V-B extension.
+"""
+
+import pytest
+
+from repro.core.model import Permission, default_group
+
+R, W = Permission.READ, Permission.WRITE
+
+# (file entry, parent entry, inherit flag, perm asked, expected)
+# Entries are wire strings for bob's default group; None = no entry.
+MATRIX = [
+    # No entries anywhere.
+    (None, None, False, R, False),
+    (None, None, True, R, False),
+    # Direct grants, no inheritance involved.
+    ("r", None, False, R, True),
+    ("r", None, False, W, False),
+    ("w", None, False, W, True),
+    ("w", None, False, R, False),
+    ("rw", None, False, R, True),
+    ("rw", None, False, W, True),
+    # Direct deny.
+    ("deny", None, False, R, False),
+    ("deny", None, False, W, False),
+    # Parent grants WITHOUT the inherit flag: must not leak through.
+    (None, "rw", False, R, False),
+    (None, "rw", False, W, False),
+    # Parent grants WITH the inherit flag.
+    (None, "r", True, R, True),
+    (None, "r", True, W, False),
+    (None, "rw", True, W, True),
+    (None, "deny", True, R, False),
+    # File entry has precedence over the inherited one (§V-B).
+    ("r", "rw", True, W, False),
+    ("rw", "r", True, W, True),
+    ("deny", "rw", True, R, False),
+    ("r", "deny", True, R, True),
+]
+
+
+@pytest.mark.parametrize("file_entry,parent_entry,inherit,perm,expected", MATRIX)
+def test_auth_matrix(world, file_entry, parent_entry, inherit, perm, expected):
+    handler = world.handler
+    handler.put_dir("alice", "/d/")
+    handler.put_file("alice", "/d/f", b"x")
+    bob_group = default_group("bob")
+    if file_entry is not None:
+        handler.set_permission("alice", "/d/f", bob_group, file_entry)
+    if parent_entry is not None:
+        handler.set_permission("alice", "/d/", bob_group, parent_entry)
+    if inherit:
+        handler.set_inherit("alice", "/d/f", True)
+    assert world.access.auth_f("bob", perm, "/d/f") is expected
+
+
+class TestCrossGroupComposition:
+    """Interactions between several memberships of one user."""
+
+    def _file_with(self, world, entries):
+        world.handler.put_file("alice", "/f", b"x")
+        for group, perms in entries.items():
+            if not group.startswith("u:"):
+                world.handler.add_user("alice", "bob", group)
+            world.handler.set_permission("alice", "/f", group, perms)
+
+    def test_union_of_grants(self, world):
+        self._file_with(world, {"readers": "r", "writers": "w"})
+        assert world.access.auth_f("bob", Permission.READ, "/f")
+        assert world.access.auth_f("bob", Permission.WRITE, "/f")
+
+    def test_deny_in_one_group_vetoes_all(self, world):
+        self._file_with(world, {"readers": "r", default_group("bob"): "deny"})
+        assert not world.access.auth_f("bob", Permission.READ, "/f")
+
+    def test_deny_on_unrelated_group_affects_only_members(self, world):
+        self._file_with(world, {"readers": "r"})
+        world.handler.add_user("alice", "carol", "blocked")
+        world.handler.set_permission("alice", "/f", "blocked", "deny")
+        # bob is not in "blocked": unaffected.
+        assert world.access.auth_f("bob", Permission.READ, "/f")
+
+    def test_ownership_trumps_deny(self, world):
+        """Owners always retain control — otherwise a co-owner could lock
+        everyone (including themselves) out irrecoverably."""
+        world.handler.put_file("alice", "/f", b"x")
+        world.handler.set_permission("alice", "/f", default_group("alice"), "deny")
+        assert world.access.auth_f("alice", Permission.READ, "/f")
+        assert world.access.auth_f("alice", None, "/f")
+
+    def test_revocation_cuts_every_grant_path(self, world):
+        self._file_with(world, {"readers": "r", "writers": "rw"})
+        world.handler.remove_user("alice", "bob", "readers")
+        assert world.access.auth_f("bob", Permission.READ, "/f")  # via writers
+        world.handler.remove_user("alice", "bob", "writers")
+        assert not world.access.auth_f("bob", Permission.READ, "/f")

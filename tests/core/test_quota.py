@@ -1,0 +1,106 @@
+"""Per-user storage quotas and owner-only member listing."""
+
+import pytest
+
+from repro.core.enclave_app import SeGShareOptions
+from repro.core.model import default_group
+from repro.errors import AccessDenied, RequestError
+
+
+@pytest.fixture()
+def limited(make_deployment):
+    return make_deployment(SeGShareOptions(quota_bytes=1000))
+
+
+class TestQuota:
+    def test_usage_tracked(self, limited):
+        alice = limited.new_user("alice")
+        alice.upload("/a", b"x" * 300)
+        info = alice.quota()
+        assert info.used == 300 and info.limit == 1000
+
+    def test_over_quota_rejected_and_nothing_stored(self, limited):
+        alice = limited.new_user("alice")
+        alice.upload("/a", b"x" * 900)
+        with pytest.raises(RequestError, match="quota"):
+            alice.upload("/b", b"y" * 200)
+        assert not alice.exists("/b")
+        assert alice.quota().used == 900
+
+    def test_overwrite_refunds_old_version(self, limited):
+        alice = limited.new_user("alice")
+        alice.upload("/a", b"x" * 900)
+        alice.upload("/a", b"y" * 950)  # would fail without the refund
+        assert alice.quota().used == 950
+
+    def test_remove_refunds(self, limited):
+        alice = limited.new_user("alice")
+        alice.upload("/a", b"x" * 500)
+        alice.remove("/a")
+        assert alice.quota().used == 0
+
+    def test_recursive_remove_refunds_subtree(self, limited):
+        alice = limited.new_user("alice")
+        alice.mkdir("/d/")
+        alice.upload("/d/a", b"x" * 300)
+        alice.upload("/d/b", b"y" * 300)
+        alice.remove("/d/")
+        assert alice.quota().used == 0
+
+    def test_quotas_are_per_user(self, limited):
+        alice = limited.new_user("alice")
+        bob = limited.new_user("bob")
+        alice.upload("/a", b"x" * 900)
+        bob.upload("/b", b"y" * 900)  # bob has his own 1000 bytes
+        assert alice.quota().used == 900
+        assert bob.quota().used == 900
+
+    def test_overwrite_by_other_user_transfers_accounting(self, limited):
+        alice = limited.new_user("alice")
+        bob = limited.new_user("bob")
+        alice.upload("/shared", b"x" * 400)
+        alice.set_permission("/shared", default_group("bob"), "rw")
+        bob.upload("/shared", b"y" * 700)
+        assert alice.quota().used == 0  # refunded
+        assert bob.quota().used == 700
+
+    def test_move_keeps_accounting(self, limited):
+        alice = limited.new_user("alice")
+        alice.upload("/a", b"x" * 400)
+        alice.move("/a", "/b")
+        assert alice.quota().used == 400
+        alice.remove("/b")
+        assert alice.quota().used == 0
+
+    def test_unlimited_by_default(self, deployment):
+        alice = deployment.new_user("alice")
+        alice.upload("/big", b"x" * 100_000)
+        info = alice.quota()
+        assert info.limit == 0
+        assert info.used == 0  # no ledger maintained without a limit
+
+
+class TestListMembers:
+    def test_owner_lists_members(self, deployment):
+        alice = deployment.new_user("alice")
+        alice.add_user("bob", "team")
+        alice.add_user("carol", "team")
+        assert alice.list_members("team") == ["alice", "bob", "carol"]
+
+    def test_non_owner_denied(self, deployment):
+        alice = deployment.new_user("alice")
+        bob = deployment.new_user("bob")
+        alice.add_user("bob", "team")
+        with pytest.raises(AccessDenied):
+            bob.list_members("team")
+
+    def test_reflects_revocations(self, deployment):
+        alice = deployment.new_user("alice")
+        alice.add_user("bob", "team")
+        alice.remove_user("bob", "team")
+        assert alice.list_members("team") == ["alice"]
+
+    def test_unknown_group_denied(self, deployment):
+        alice = deployment.new_user("alice")
+        with pytest.raises(AccessDenied):
+            alice.list_members("ghosts")

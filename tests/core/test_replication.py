@@ -1,0 +1,122 @@
+"""Replication (§V-F): root-key transfer over attested channels."""
+
+import pytest
+
+from repro.core.enclave_app import SeGShareOptions
+from repro.core.replication import ReplicaSet, transfer_root_key
+from repro.core.server import SeGShareServer, deploy, provision_certificate
+from repro.errors import ReplicationError
+from repro.netsim import azure_wan_env
+from repro.pki import CertificateAuthority
+from repro.sgx import SgxPlatform
+from repro.storage.backends import InMemoryStore
+from repro.storage.stores import StoreSet
+
+
+@pytest.fixture()
+def cluster(user_key):
+    """A root deployment over a shared backend plus a helper to add replicas."""
+    backend = InMemoryStore()
+    deployment = deploy(env=azure_wan_env(), stores=StoreSet.over(backend))
+
+    def add_replica(options=None, ca=None, register=True):
+        env = azure_wan_env()
+        options = options or SeGShareOptions(replica=True)
+        ca = ca or deployment.ca
+        server = SeGShareServer(
+            env,
+            ca.public_key,
+            stores=StoreSet.over(backend),
+            options=options,
+            attestation_service=deployment.attestation,
+            platform=SgxPlatform(clock=env.clock),
+        )
+        if register:
+            deployment.attestation.register_platform(
+                server.platform.platform_id,
+                server.platform.quoting_enclave.attestation_public_key,
+            )
+            provision_certificate(
+                ca, deployment.attestation, server, server.enclave.measurement()
+            )
+        return server
+
+    return deployment, add_replica, backend
+
+
+class TestJoin:
+    def test_replica_obtains_root_key(self, cluster, user_key):
+        deployment, add_replica, _ = cluster
+        replica = add_replica()
+        assert not replica.enclave.ready
+        transfer_root_key(deployment.server, replica)
+        assert replica.enclave.ready
+
+    def test_replica_serves_shared_data(self, cluster, user_key):
+        deployment, add_replica, _ = cluster
+        alice = deployment.new_user("alice", key=user_key)
+        alice.upload("/shared", b"via root")
+
+        replica = add_replica()
+        transfer_root_key(deployment.server, replica)
+
+        from repro.core.client import SeGShareClient
+        from repro.tls import TlsClient
+
+        identity = deployment.user_identity("alice", key=user_key)
+        tls = TlsClient(
+            replica.endpoint().connect(), identity, deployment.ca.public_key
+        )
+        tls.handshake()
+        assert SeGShareClient(tls).download("/shared") == b"via root"
+
+    def test_replica_set_bookkeeping(self, cluster):
+        deployment, add_replica, _ = cluster
+        replica_set = ReplicaSet(deployment.server)
+        replica = add_replica()
+        replica_set.join(replica)
+        assert replica_set.all_servers == [deployment.server, replica]
+
+
+class TestRejections:
+    def test_different_ca_measurement_rejected(self, cluster):
+        """An enclave compiled for another CA has another measurement; the
+        root enclave refuses to share SK_r with it."""
+        deployment, add_replica, _ = cluster
+        rogue_ca = CertificateAuthority(name="rogue", key_bits=1024)
+        rogue = add_replica(
+            options=SeGShareOptions(replica=True), ca=rogue_ca
+        )
+        with pytest.raises(Exception):
+            transfer_root_key(deployment.server, rogue)
+        assert not rogue.enclave.ready
+
+    def test_unregistered_platform_rejected(self, cluster):
+        deployment, add_replica, _ = cluster
+        replica = add_replica(register=False)
+        with pytest.raises(Exception):
+            transfer_root_key(deployment.server, replica)
+
+    def test_self_replication_rejected(self, cluster):
+        deployment, _, _ = cluster
+        with pytest.raises(ReplicationError):
+            transfer_root_key(deployment.server, deployment.server)
+
+    def test_enclave_with_key_cannot_join_again(self, cluster):
+        deployment, add_replica, _ = cluster
+        replica = add_replica()
+        transfer_root_key(deployment.server, replica)
+        with pytest.raises(Exception):
+            replica.handle.call("replication_begin_join")
+
+    def test_replica_without_key_cannot_share(self, cluster):
+        deployment, add_replica, _ = cluster
+        replica = add_replica()
+        with pytest.raises(Exception):
+            replica.handle.call("replication_share_root_key", b"", b"")
+
+    def test_complete_join_without_begin_rejected(self, cluster):
+        deployment, add_replica, _ = cluster
+        replica = add_replica()
+        with pytest.raises(Exception):
+            replica.handle.call("replication_complete_join", b"", b"", b"")

@@ -1,0 +1,356 @@
+"""Algo. 1 fidelity and the remaining requests, at the handler level."""
+
+import pytest
+
+from repro.core.model import default_group
+from repro.core.requests import Op, Request, Response, StatInfo, Status
+from repro.errors import AccessDenied
+from repro.tls.channel import StreamingResponse
+
+
+def ok(response):
+    assert isinstance(response, Response), response
+    assert response.status is Status.OK, response
+    return response
+
+
+def denied(response):
+    assert isinstance(response, Response)
+    assert response.status is Status.DENIED
+    return response
+
+
+def error(response):
+    assert isinstance(response, Response)
+    assert response.status is Status.ERROR
+    return response
+
+
+def get_bytes(world, user, path):
+    result = world.handler.get(user, path)
+    assert isinstance(result, StreamingResponse)
+    return b"".join(result.chunks)
+
+
+class TestPutDir:
+    def test_create_directory(self, world):
+        ok(world.handler.put_dir("alice", "/docs/"))
+        assert world.manager.exists("/docs/")
+        # Parent directory lists the child (Algo. 1 appends the path).
+        assert "/docs/" in world.manager.read_dir("/").children
+        # The creator's DEFAULT GROUP owns it.
+        assert world.manager.read_acl("/docs/").owners == [default_group("alice")]
+
+    def test_nested_requires_parent_write(self, world):
+        world.handler.put_dir("alice", "/docs/")
+        with pytest.raises(AccessDenied):
+            world.handler.put_dir("bob", "/docs/sub/")
+        ok(world.handler.put_dir("alice", "/docs/sub/"))
+
+    def test_under_root_needs_no_permission(self, world):
+        # Algo. 1: path2 == "/" bypasses auth_f.
+        ok(world.handler.put_dir("anyone", "/free/"))
+
+    def test_existing_path_rejected(self, world):
+        world.handler.put_dir("alice", "/docs/")
+        error(world.handler.handle("alice", Request(Op.PUT_DIR, ("/docs/",))))
+
+    def test_missing_parent_rejected(self, world):
+        error(world.handler.handle("alice", Request(Op.PUT_DIR, ("/a/b/",))))
+
+    def test_file_path_rejected(self, world):
+        error(world.handler.handle("alice", Request(Op.PUT_DIR, ("/notadir",))))
+
+    def test_acl_suffix_reserved(self, world):
+        error(world.handler.handle("alice", Request(Op.PUT_DIR, ("/evil.acl/",))))
+
+
+class TestPutFile:
+    def test_create_file(self, world):
+        ok(world.handler.put_file("alice", "/f.txt", b"content"))
+        assert get_bytes(world, "alice", "/f.txt") == b"content"
+        assert world.manager.read_acl("/f.txt").owners == [default_group("alice")]
+        assert "/f.txt" in world.manager.read_dir("/").children
+
+    def test_overwrite_requires_write_on_file_or_parent(self, world):
+        world.handler.put_dir("alice", "/d/")
+        world.handler.put_file("alice", "/d/f", b"v1")
+        denied(world.handler.put_file("bob", "/d/f", b"hacked"))
+        # Write on the file itself suffices.
+        world.handler.set_permission("alice", "/d/f", default_group("bob"), "w")
+        ok(world.handler.put_file("bob", "/d/f", b"v2"))
+        # Write on the parent also suffices (Algo. 1's disjunction).
+        world.handler.set_permission("alice", "/d/f", default_group("bob"), "")
+        world.handler.set_permission("alice", "/d/", default_group("bob"), "w")
+        ok(world.handler.put_file("bob", "/d/f", b"v3"))
+
+    def test_create_in_directory_requires_parent_write(self, world):
+        world.handler.put_dir("alice", "/d/")
+        denied(world.handler.put_file("bob", "/d/new", b"x"))
+
+    def test_owner_preserved_on_overwrite(self, world):
+        world.handler.put_file("alice", "/f", b"v1")
+        world.handler.set_permission("alice", "/f", default_group("bob"), "w")
+        world.handler.put_file("bob", "/f", b"v2")
+        assert world.manager.read_acl("/f").owners == [default_group("alice")]
+
+    def test_missing_parent_rejected(self, world):
+        error(world.handler.put_file("alice", "/nodir/f", b"x"))
+
+    def test_dir_path_rejected(self, world):
+        error(world.handler.put_file("alice", "/d/", b"x"))
+
+    def test_streaming_upload(self, world):
+        sink = world.handler.open_upload("alice", "/big")
+        for i in range(5):
+            sink.write(bytes([i]) * 1000)
+        reply = Response.deserialize(sink.finish())
+        assert reply.status is Status.OK
+        assert get_bytes(world, "alice", "/big") == b"".join(
+            bytes([i]) * 1000 for i in range(5)
+        )
+
+    def test_unauthorized_upload_rejected_before_bytes_flow(self, world):
+        world.handler.put_dir("alice", "/d/")
+        with pytest.raises(AccessDenied):
+            world.handler.open_upload("bob", "/d/f")
+
+
+class TestGet:
+    def test_directory_listing(self, world):
+        world.handler.put_dir("alice", "/d/")
+        world.handler.put_file("alice", "/d/b", b"")
+        world.handler.put_file("alice", "/d/a", b"")
+        result = world.handler.get("alice", "/d/")
+        assert result.listing == ("/d/a", "/d/b")
+
+    def test_root_listing_open_to_authenticated_users(self, world):
+        world.handler.put_file("alice", "/f", b"")
+        result = world.handler.get("stranger", "/")
+        assert "/f" in result.listing
+
+    def test_read_requires_permission(self, world):
+        world.handler.put_file("alice", "/f", b"secret")
+        with pytest.raises(AccessDenied):
+            world.handler.get("bob", "/f")
+
+    def test_read_via_group(self, world):
+        world.handler.put_file("alice", "/f", b"secret")
+        world.handler.add_user("alice", "bob", "eng")
+        world.handler.set_permission("alice", "/f", "eng", "r")
+        assert get_bytes(world, "bob", "/f") == b"secret"
+
+    def test_missing_file_is_denied_not_error(self, world):
+        # auth_f fails for missing files: the response must not reveal
+        # whether the path exists.
+        with pytest.raises(AccessDenied):
+            world.handler.get("alice", "/ghost")
+
+
+class TestRemove:
+    def test_owner_removes_file(self, world):
+        world.handler.put_file("alice", "/f", b"x")
+        ok(world.handler.remove("alice", "/f"))
+        assert not world.manager.exists("/f")
+        assert not world.manager.acl_exists("/f")
+        assert "/f" not in world.manager.read_dir("/").children
+
+    def test_non_owner_cannot_remove(self, world):
+        world.handler.put_file("alice", "/f", b"x")
+        world.handler.set_permission("alice", "/f", default_group("bob"), "rw")
+        with pytest.raises(AccessDenied):
+            world.handler.remove("bob", "/f")
+
+    def test_recursive_remove(self, world):
+        world.handler.put_dir("alice", "/d/")
+        world.handler.put_dir("alice", "/d/e/")
+        world.handler.put_file("alice", "/d/e/f", b"x")
+        response = ok(world.handler.remove("alice", "/d/"))
+        assert "3" in response.message  # /d/, /d/e/, /d/e/f
+        for path in ("/d/", "/d/e/", "/d/e/f"):
+            assert not world.manager.exists(path)
+
+    def test_root_protected(self, world):
+        error(world.handler.handle("alice", Request(Op.REMOVE, ("/",))))
+
+
+class TestMove:
+    def test_rename_file(self, world):
+        world.handler.put_file("alice", "/old", b"data")
+        world.handler.add_user("alice", "bob", "eng")
+        world.handler.set_permission("alice", "/old", "eng", "r")
+        ok(world.handler.move("alice", "/old", "/new"))
+        assert get_bytes(world, "alice", "/new") == b"data"
+        assert not world.manager.exists("/old")
+        # Permissions travel with the file.
+        assert world.manager.read_acl("/new").lookup("eng")
+
+    def test_move_directory_tree(self, world):
+        world.handler.put_dir("alice", "/src/")
+        world.handler.put_dir("alice", "/src/sub/")
+        world.handler.put_file("alice", "/src/sub/f", b"deep")
+        ok(world.handler.move("alice", "/src/", "/dst/"))
+        assert get_bytes(world, "alice", "/dst/sub/f") == b"deep"
+        assert world.manager.read_dir("/dst/").children == ["/dst/sub/"]
+        assert not world.manager.exists("/src/")
+
+    def test_requires_ownership_of_source(self, world):
+        world.handler.put_file("alice", "/f", b"x")
+        world.handler.set_permission("alice", "/f", default_group("bob"), "rw")
+        with pytest.raises(AccessDenied):
+            world.handler.move("bob", "/f", "/stolen")
+
+    def test_requires_write_at_destination(self, world):
+        world.handler.put_file("bob", "/mine", b"x")
+        world.handler.put_dir("alice", "/d/")
+        with pytest.raises(AccessDenied):
+            world.handler.move("bob", "/mine", "/d/mine")
+
+    def test_destination_collision_rejected(self, world):
+        world.handler.put_file("alice", "/a", b"")
+        world.handler.put_file("alice", "/b", b"")
+        error(world.handler.handle("alice", Request(Op.MOVE, ("/a", "/b"))))
+
+    def test_kind_mismatch_rejected(self, world):
+        world.handler.put_file("alice", "/f", b"")
+        error(world.handler.handle("alice", Request(Op.MOVE, ("/f", "/d/"))))
+
+
+class TestPermissions:
+    def test_set_p_requires_ownership(self, world):
+        world.handler.put_file("alice", "/f", b"x")
+        with pytest.raises(AccessDenied):
+            world.handler.set_permission("bob", "/f", "eng", "r")
+
+    def test_unknown_group_rejected(self, world):
+        world.handler.put_file("alice", "/f", b"x")
+        error(
+            world.handler.handle(
+                "alice", Request(Op.SET_PERM, ("/f", "ghosts", "r"))
+            )
+        )
+
+    def test_clearing_entry_for_unknown_group_allowed(self, world):
+        world.handler.put_file("alice", "/f", b"x")
+        ok(world.handler.set_permission("alice", "/f", "whatever", ""))
+
+    def test_inherit_flag(self, world):
+        world.handler.put_file("alice", "/f", b"x")
+        ok(world.handler.set_inherit("alice", "/f", True))
+        assert world.manager.read_acl("/f").inherit
+        ok(world.handler.set_inherit("alice", "/f", False))
+        assert not world.manager.read_acl("/f").inherit
+
+    def test_multiple_file_owners(self, world):
+        world.handler.put_file("alice", "/f", b"x")
+        world.handler.add_user("alice", "bob", "co-owners")
+        ok(world.handler.add_file_owner("alice", "/f", "co-owners"))
+        # bob can now administer the file (F7).
+        ok(world.handler.set_permission("bob", "/f", default_group("carol"), "r"))
+
+    def test_remove_file_owner(self, world):
+        world.handler.put_file("alice", "/f", b"x")
+        world.handler.add_user("alice", "bob", "co-owners")
+        world.handler.add_file_owner("alice", "/f", "co-owners")
+        ok(world.handler.remove_file_owner("alice", "/f", "co-owners"))
+        with pytest.raises(AccessDenied):
+            world.handler.set_permission("bob", "/f", "co-owners", "r")
+
+    def test_last_owner_cannot_be_removed(self, world):
+        world.handler.put_file("alice", "/f", b"x")
+        error(
+            world.handler.handle(
+                "alice",
+                Request(Op.RMV_FILE_OWNER, ("/f", default_group("alice"))),
+            )
+        )
+
+    def test_remove_owner_requires_ownership(self, world):
+        world.handler.put_file("alice", "/f", b"x")
+        with pytest.raises(AccessDenied):
+            world.handler.remove_file_owner("bob", "/f", default_group("alice"))
+
+
+class TestGroups:
+    def test_add_user_creates_group_on_first_use(self, world):
+        ok(world.handler.add_user("alice", "bob", "eng"))
+        assert world.access.exists_g("eng")
+        assert "eng" in world.access.user_groups("alice")  # creator joins
+        assert "eng" in world.access.user_groups("bob")
+
+    def test_only_owner_manages_membership(self, world):
+        world.handler.add_user("alice", "bob", "eng")
+        with pytest.raises(AccessDenied):
+            world.handler.add_user("bob", "carol", "eng")
+        with pytest.raises(AccessDenied):
+            world.handler.remove_user("bob", "alice", "eng")
+
+    def test_remove_user_immediate(self, world):
+        world.handler.put_file("alice", "/f", b"secret")
+        world.handler.add_user("alice", "bob", "eng")
+        world.handler.set_permission("alice", "/f", "eng", "r")
+        assert get_bytes(world, "bob", "/f") == b"secret"
+        ok(world.handler.remove_user("alice", "bob", "eng"))
+        with pytest.raises(AccessDenied):
+            world.handler.get("bob", "/f")
+
+    def test_group_ownership_extension(self, world):
+        world.handler.add_user("alice", "alice", "leads")
+        world.handler.add_user("alice", "bob", "eng")
+        ok(world.handler.add_group_owner("alice", "leads", "eng"))
+        world.handler.add_user("alice", "carol", "leads")
+        ok(world.handler.add_user("carol", "dave", "eng"))  # via leads
+
+    def test_delete_group(self, world):
+        world.handler.put_file("alice", "/f", b"x")
+        world.handler.add_user("alice", "bob", "eng")
+        world.handler.set_permission("alice", "/f", "eng", "r")
+        ok(world.handler.delete_group("alice", "eng"))
+        with pytest.raises(AccessDenied):
+            world.handler.get("bob", "/f")
+
+    def test_default_group_ids_rejected(self, world):
+        error(
+            world.handler.handle(
+                "alice", Request(Op.ADD_USER, ("bob", default_group("bob")))
+            )
+        )
+
+
+class TestIntrospection:
+    def test_my_groups(self, world):
+        world.handler.add_user("alice", "alice", "eng")
+        listing = world.handler.my_groups("alice").listing
+        assert set(listing) == {"eng", default_group("alice")}
+
+    def test_stat_file(self, world):
+        world.handler.put_file("alice", "/f", b"12345")
+        info = StatInfo.deserialize(world.handler.stat("alice", "/f").payload)
+        assert not info.is_dir
+        assert info.size == 5
+        assert info.owners == (default_group("alice"),)
+
+    def test_stat_hides_owners_from_non_owners(self, world):
+        world.handler.put_file("alice", "/f", b"x")
+        world.handler.set_permission("alice", "/f", default_group("bob"), "r")
+        info = StatInfo.deserialize(world.handler.stat("bob", "/f").payload)
+        assert info.owners == ()
+
+    def test_get_acl_owner_only(self, world):
+        world.handler.put_file("alice", "/f", b"x")
+        world.handler.set_permission("alice", "/f", default_group("bob"), "r")
+        ok(world.handler.get_acl("alice", "/f"))
+        with pytest.raises(AccessDenied):
+            world.handler.get_acl("bob", "/f")
+
+
+class TestDispatch:
+    def test_handle_catches_access_denied(self, world):
+        world.handler.put_file("alice", "/f", b"x")
+        denied(world.handler.handle("bob", Request(Op.REMOVE, ("/f",))))
+
+    def test_handle_catches_bad_paths(self, world):
+        error(world.handler.handle("alice", Request(Op.GET, ("no-slash",))))
+
+    def test_put_file_opcode_must_stream(self, world):
+        error(world.handler.handle("alice", Request(Op.PUT_FILE, ("/f",))))

@@ -1,0 +1,84 @@
+"""Request/response wire formats."""
+
+import pytest
+
+from repro.core.model import Permission
+from repro.core.requests import (
+    AclInfo,
+    Op,
+    Request,
+    Response,
+    StatInfo,
+    Status,
+    perms_from_wire,
+    perms_to_wire,
+)
+from repro.errors import RequestError
+
+
+class TestRequest:
+    def test_round_trip(self):
+        request = Request(op=Op.SET_PERM, args=("/f", "eng", "rw"))
+        assert Request.deserialize(request.serialize()) == request
+
+    def test_arity_enforced(self):
+        with pytest.raises(RequestError):
+            Request(op=Op.GET, args=()).validate()
+        with pytest.raises(RequestError):
+            Request.deserialize(Request(op=Op.GET, args=("/a", "/b")).serialize())
+
+    def test_unknown_opcode_rejected(self):
+        blob = bytearray(Request(op=Op.GET, args=("/f",)).serialize())
+        blob[0] = 200
+        with pytest.raises(RequestError):
+            Request.deserialize(bytes(blob))
+
+    def test_every_opcode_round_trips(self):
+        for op, arity in Request._ARITY.items():
+            request = Request(op=op, args=tuple(f"a{i}" for i in range(arity)))
+            assert Request.deserialize(request.serialize()) == request
+
+
+class TestResponse:
+    def test_ok_round_trip(self):
+        response = Response.ok("done", payload=b"\x01\x02", listing=("/a", "/b"))
+        restored = Response.deserialize(response.serialize())
+        assert restored.status is Status.OK
+        assert restored.payload == b"\x01\x02"
+        assert restored.listing == ("/a", "/b")
+
+    def test_denied_carries_no_detail(self):
+        response = Response.denied()
+        assert response.message == "denied"
+        assert response.payload == b""
+
+    def test_error_round_trip(self):
+        restored = Response.deserialize(Response.error("boom").serialize())
+        assert restored.status is Status.ERROR
+        assert restored.message == "boom"
+
+
+class TestPayloads:
+    def test_stat_info_round_trip(self):
+        info = StatInfo(is_dir=True, size=42, owners=("u:a", "g"), inherit=True)
+        assert StatInfo.deserialize(info.serialize()) == info
+
+    def test_acl_info_round_trip(self):
+        info = AclInfo(
+            owners=("u:a",), entries=(("eng", "rw"), ("all", "deny")), inherit=False
+        )
+        assert AclInfo.deserialize(info.serialize()) == info
+
+
+class TestPermWire:
+    @pytest.mark.parametrize("wire", ["", "r", "w", "rw", "deny"])
+    def test_round_trip(self, wire):
+        assert perms_to_wire(perms_from_wire(wire)) == wire
+
+    def test_bad_string_rejected(self):
+        with pytest.raises(RequestError):
+            perms_from_wire("rwx")
+
+    def test_deny_dominates_encoding(self):
+        perms = frozenset({Permission.DENY, Permission.READ})
+        assert perms_to_wire(perms) == "deny"

@@ -1,0 +1,188 @@
+"""Rollback protection: the multiset-hash tree and the flat group guard."""
+
+import pytest
+
+from repro.core.rollback import FlatStoreGuard, RollbackGuard
+from repro.errors import RollbackDetected
+from repro.storage.stores import StoreSet
+
+from tests.core.conftest import ROOT_KEY
+
+
+def snapshot_matching(store, prefix):
+    return {key: store.get(key) for key in store.keys() if key.startswith(prefix)}
+
+
+def restore(store, snapshot):
+    for key, value in snapshot.items():
+        store.put(key, value)
+
+
+@pytest.fixture()
+def guarded(make_world):
+    return make_world(rollback=True)
+
+
+class TestHappyPath:
+    def test_reads_verify_after_writes(self, guarded):
+        guarded.handler.put_dir("alice", "/d/")
+        guarded.handler.put_file("alice", "/d/f", b"v1")
+        assert guarded.manager.read_content("/d/f") == b"v1"
+        guarded.handler.put_file("alice", "/d/f", b"v2")
+        assert guarded.manager.read_content("/d/f") == b"v2"
+
+    def test_deep_tree(self, guarded):
+        path = "/"
+        for depth in range(5):
+            path = path + f"d{depth}/"
+            guarded.handler.put_dir("alice", path)
+        guarded.handler.put_file("alice", path + "leaf", b"deep")
+        assert guarded.manager.read_content(path + "leaf") == b"deep"
+
+    def test_delete_keeps_tree_consistent(self, guarded):
+        guarded.handler.put_file("alice", "/a", b"1")
+        guarded.handler.put_file("alice", "/b", b"2")
+        guarded.handler.remove("alice", "/a")
+        assert guarded.manager.read_content("/b") == b"2"
+
+    def test_move_keeps_tree_consistent(self, guarded):
+        guarded.handler.put_dir("alice", "/d/")
+        guarded.handler.put_file("alice", "/d/f", b"data")
+        guarded.handler.move("alice", "/d/f", "/f")
+        assert guarded.manager.read_content("/f") == b"data"
+
+    def test_many_files_one_bucket_collisions_fine(self, make_world):
+        world = make_world(rollback=True, buckets=2)  # force collisions
+        for i in range(20):
+            world.handler.put_file("alice", f"/f{i}", bytes([i]))
+        for i in range(20):
+            assert world.manager.read_content(f"/f{i}") == bytes([i])
+
+
+class TestContentRollbackAttacks:
+    def test_single_file_rollback_detected(self, guarded):
+        store = guarded.stores.content
+        guarded.handler.put_file("alice", "/f", b"v1")
+        old = snapshot_matching(store, "/f")
+        guarded.handler.put_file("alice", "/f", b"v2")
+        restore(store, old)
+        with pytest.raises(RollbackDetected):
+            guarded.manager.read_content("/f")
+
+    def test_acl_rollback_detected(self, guarded):
+        """The paper's motivating case: replaying an old ACL to undo a
+        permission revocation."""
+        store = guarded.stores.content
+        guarded.handler.put_file("alice", "/f", b"secret")
+        guarded.handler.add_user("alice", "bob", "eng")
+        guarded.handler.set_permission("alice", "/f", "eng", "r")
+        old_acl = snapshot_matching(store, "/f.acl")
+        guarded.handler.set_permission("alice", "/f", "eng", "")
+        restore(store, old_acl)
+        with pytest.raises(RollbackDetected):
+            guarded.access.auth_f("bob", None, "/f")
+
+    def test_directory_rollback_detected(self, guarded):
+        store = guarded.stores.content
+        guarded.handler.put_dir("alice", "/d/")
+        old_root = snapshot_matching(store, "/\x00")  # root dir file chunks
+        guarded.handler.put_dir("alice", "/e/")
+        restore(store, old_root)
+        with pytest.raises(RollbackDetected):
+            guarded.manager.read_dir("/")
+
+    def test_deletion_replay_detected(self, guarded):
+        """Re-inserting a deleted file's objects is a rollback too."""
+        store = guarded.stores.content
+        guarded.handler.put_file("alice", "/f", b"deleted")
+        ghost = snapshot_matching(store, "/f")
+        guarded.handler.remove("alice", "/f")
+        restore(store, ghost)
+        with pytest.raises(RollbackDetected):
+            guarded.manager.read_content("/f")
+
+    def test_consistent_subtree_rollback_detected_at_root(self, guarded):
+        """Rolling back a file AND its ancestors' guard nodes still fails,
+        because the root anchor does not match."""
+        store = guarded.stores.content
+        guarded.handler.put_dir("alice", "/d/")
+        guarded.handler.put_file("alice", "/d/f", b"v1")
+        everything_v1 = {key: store.get(key) for key in store.keys()}
+        guarded.handler.put_file("alice", "/d/f", b"v2")
+        # Restore all objects EXCEPT the anchor.
+        for key, value in everything_v1.items():
+            if "anchor" not in key:
+                store.put(key, value)
+        with pytest.raises(RollbackDetected):
+            guarded.manager.read_content("/d/f")
+
+
+class TestGroupStoreGuard:
+    def test_member_list_rollback_detected(self, guarded):
+        """The paper's headline attack: an old member list would let a
+        revoked user regain access."""
+        store = guarded.stores.group
+        guarded.handler.put_file("alice", "/f", b"secret")
+        guarded.handler.add_user("alice", "bob", "eng")
+        old_member_list = snapshot_matching(store, "member:bob")
+        guarded.handler.remove_user("alice", "bob", "eng")
+        restore(store, old_member_list)
+        with pytest.raises(RollbackDetected):
+            guarded.access.user_groups("bob")
+
+    def test_group_list_rollback_detected(self, guarded):
+        store = guarded.stores.group
+        guarded.handler.add_user("alice", "bob", "eng")
+        old = snapshot_matching(store, "grouplist")
+        guarded.handler.add_user("alice", "bob", "sales")
+        restore(store, old)
+        with pytest.raises(RollbackDetected):
+            guarded.access.exists_g("sales")
+
+
+class TestAnchoring:
+    def test_root_hash_changes_with_every_write(self, guarded):
+        hashes = [guarded.guard.root_hash()]
+        guarded.handler.put_file("alice", "/a", b"1")
+        hashes.append(guarded.guard.root_hash())
+        guarded.handler.put_file("alice", "/a", b"2")
+        hashes.append(guarded.guard.root_hash())
+        assert len(set(hashes)) == 3
+
+    def test_recompute_matches_incremental(self, guarded):
+        guarded.handler.put_dir("alice", "/d/")
+        guarded.handler.put_file("alice", "/d/f", b"x")
+        guarded.handler.put_file("alice", "/g", b"y")
+        guarded.handler.remove("alice", "/g")
+        assert guarded.guard.recompute_root_hash() == guarded.guard.root_hash()
+
+    def test_rebuild_restores_verifiability(self, make_world):
+        """Enabling the guard over an existing unguarded share via rebuild."""
+        stores = StoreSet.in_memory()
+        plain = make_world(stores=stores)
+        plain.handler.put_dir("alice", "/d/")
+        plain.handler.put_file("alice", "/d/f", b"migrated")
+        guard = RollbackGuard(plain.manager, ROOT_KEY, buckets=16)
+        guard.rebuild()
+        plain.manager.guard = guard
+        assert plain.manager.read_content("/d/f") == b"migrated"
+
+    def test_verify_restored_state(self, guarded):
+        guarded.handler.put_file("alice", "/f", b"x")
+        guarded.guard.verify_restored_state()  # consistent: no exception
+
+    def test_verify_restored_state_rejects_tamper(self, guarded):
+        guarded.handler.put_file("alice", "/f", b"x")
+        old = snapshot_matching(guarded.stores.content, "/f")
+        guarded.handler.put_file("alice", "/f", b"y")
+        restore(guarded.stores.content, old)
+        with pytest.raises(RollbackDetected):
+            guarded.guard.verify_restored_state()
+
+
+class TestFlatGuardUnit:
+    def test_accept_current_state_reanchors(self, make_world):
+        world = make_world(rollback=True)
+        world.handler.add_user("alice", "bob", "eng")
+        world.group_guard.accept_current_state()
+        assert "eng" in world.access.user_groups("bob")

@@ -1,0 +1,144 @@
+"""A realistic mixed workload against a fully-loaded deployment.
+
+One deployment with every extension on; a small organization works on it
+for a while; afterwards, global invariants must hold: contents match a
+reference model, quotas sum correctly, the audit chain verifies, dedup
+refcounts are exact, and the rollback guards accept a full recompute.
+"""
+
+import pytest
+
+from repro.bench.workloads import unique_bytes
+from repro.core.enclave_app import SeGShareOptions
+from repro.errors import AccessDenied
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(scope="module")
+def org(user_key):
+    from repro.core.server import deploy
+    from repro.netsim import azure_wan_env
+
+    deployment = deploy(
+        env=azure_wan_env(),
+        options=SeGShareOptions(
+            hide_paths=True,
+            enable_dedup=True,
+            rollback="whole_fs",
+            counter_kind="rote",
+            audit=True,
+            quota_bytes=1_000_000,
+        ),
+    )
+    users = {
+        name: deployment.connect(deployment.user_identity(name, key=user_key))
+        for name in ("ceo", "eng1", "eng2", "sales1", "contractor")
+    }
+    return deployment, users
+
+
+def test_soak_workload(org):
+    deployment, users = org
+    ceo, eng1, eng2, sales1, contractor = (
+        users["ceo"], users["eng1"], users["eng2"], users["sales1"], users["contractor"]
+    )
+    model: dict[str, bytes] = {}
+
+    # -- build the org structure ------------------------------------------------
+    ceo.mkdir("/eng/")
+    ceo.mkdir("/sales/")
+    ceo.mkdir("/eng/specs/")
+    ceo.add_user("eng1", "engineering")
+    ceo.add_user("eng2", "engineering")
+    ceo.add_user("sales1", "sales")
+    ceo.add_user("contractor", "engineering")
+    ceo.set_permission("/eng/", "engineering", "rw")
+    ceo.set_permission("/eng/specs/", "engineering", "rw")
+    ceo.set_permission("/sales/", "sales", "rw")
+
+    # -- a few weeks of activity ---------------------------------------------------
+    for week in range(3):
+        for i, author in enumerate((eng1, eng2)):
+            path = f"/eng/specs/design-{week}-{i}.md"
+            content = unique_bytes("soak", week * 10 + i, 2_000)
+            author.upload(path, content)
+            author.set_inherit(path, True)
+            # Company policy: the CEO co-owns everything under /eng/ (F7),
+            # which is what later allows the archive reorganization.
+            author.add_owner(path, "u:ceo")
+            model[path] = content
+        sales_path = f"/sales/forecast-{week}.csv"
+        sales_content = unique_bytes("soak-sales", week, 1_500)
+        sales1.upload(sales_path, sales_content)
+        model[sales_path] = sales_content
+        # Everyone re-uploads the same onboarding doc (dedup fodder).
+        onboarding = b"onboarding guide v1"
+        for j, user in enumerate((eng1, eng2, sales1)):
+            path = f"/onboard-{week}-{j}.txt"
+            user.upload(path, onboarding)
+            model[path] = onboarding
+
+    # Cross-team access fails...
+    with pytest.raises(AccessDenied):
+        sales1.download("/eng/specs/design-0-0.md")
+    # ...until granted, then revoked again.
+    ceo.set_permission("/eng/specs/design-0-0.md", "sales", "r")
+    assert sales1.download("/eng/specs/design-0-0.md") == model["/eng/specs/design-0-0.md"]
+    ceo.set_permission("/eng/specs/design-0-0.md", "sales", "")
+
+    # The contractor is offboarded mid-project: immediate, global.
+    assert contractor.download("/eng/specs/design-1-0.md") == model["/eng/specs/design-1-0.md"]
+    ceo.remove_user("contractor", "engineering")
+    with pytest.raises(AccessDenied):
+        contractor.download("/eng/specs/design-1-1.md")
+
+    # Reorganization: engineering archive moves wholesale.
+    ceo.mkdir("/archive/")
+    eng_archive = {}
+    for path in list(model):
+        if path.startswith("/eng/specs/design-0"):
+            new_path = "/archive/" + path.rsplit("/", 1)[1]
+            ceo.move(path, new_path)
+            eng_archive[new_path] = model.pop(path)
+    model.update(eng_archive)
+
+    # Cleanup: week-0 onboarding copies deleted.
+    for j, user in enumerate((eng1, eng2, sales1)):
+        user.remove(f"/onboard-0-{j}.txt")
+        del model[f"/onboard-0-{j}.txt"]
+
+    # -- global invariants -------------------------------------------------------------
+    enclave = deployment.server.enclave
+
+    # 1. Every file reads back exactly per the model (owners read their own;
+    #    the ceo owns moved files).
+    readers = {"/archive/": ceo, "/eng/": eng1, "/sales/": sales1, "/onboard": ceo}
+    for path, expected in model.items():
+        reader = next(
+            (user for prefix, user in readers.items() if path.startswith(prefix)), ceo
+        )
+        if path.startswith("/onboard"):
+            reader = {"0": eng1, "1": eng2, "2": sales1}[path[-5]]
+        assert reader.download(path) == expected, path
+
+    # 2. Dedup store holds exactly the distinct contents.
+    distinct = {bytes(v) for v in model.values()}
+    assert enclave.manager.dedup.object_count() == len(distinct)
+
+    # 3. Quota ledgers sum to the model's accounted bytes.
+    total_used = sum(
+        enclave.manager.read_quota(user) for user in enclave.access.known_users()
+    )
+    assert total_used == sum(len(v) for v in model.values())
+
+    # 4. The rollback trees accept a full recomputation.
+    assert enclave.guard.recompute_root_hash() == enclave.guard.root_hash()
+
+    # 5. The audit chain verifies end to end and recorded the offboarding.
+    records = enclave.audit_log.read_all()
+    assert any(
+        r.op == "RMV_USER" and r.args == ("contractor", "engineering") for r in records
+    )
+    denied = [r for r in records if r.outcome == "denied"]
+    assert len(denied) >= 2  # sales probe + offboarded contractor

@@ -1,0 +1,60 @@
+"""Finite-field Diffie–Hellman: agreement, validation, group sanity."""
+
+import pytest
+
+from repro.crypto import dh
+from repro.crypto.primes import is_probable_prime
+from repro.errors import CryptoError
+
+
+class TestGroup:
+    def test_rfc3526_prime_is_prime(self):
+        assert is_probable_prime(dh.GROUP14.p)
+
+    def test_group14_is_a_safe_prime_group(self):
+        assert is_probable_prime((dh.GROUP14.p - 1) // 2)
+
+    def test_size_bytes(self):
+        assert dh.GROUP14.size_bytes == 256
+
+
+class TestAgreement:
+    def test_shared_secret_agrees(self):
+        a = dh.generate_keypair()
+        b = dh.generate_keypair()
+        assert dh.shared_secret(a, b.public) == dh.shared_secret(b, a.public)
+
+    def test_distinct_sessions_distinct_secrets(self):
+        a1, a2 = dh.generate_keypair(), dh.generate_keypair()
+        b = dh.generate_keypair()
+        assert dh.shared_secret(a1, b.public) != dh.shared_secret(a2, b.public)
+
+    def test_public_bytes_round_trip(self):
+        kp = dh.generate_keypair()
+        assert dh.public_from_bytes(kp.public_bytes()) == kp.public
+
+    def test_secret_has_fixed_width(self):
+        a, b = dh.generate_keypair(), dh.generate_keypair()
+        assert len(dh.shared_secret(a, b.public)) == dh.GROUP14.size_bytes
+
+
+class TestValidation:
+    @pytest.mark.parametrize("bad", [0, 1])
+    def test_degenerate_low_values_rejected(self, bad):
+        with pytest.raises(CryptoError):
+            dh.public_from_bytes(bad.to_bytes(dh.GROUP14.size_bytes, "big"))
+
+    def test_p_minus_one_rejected(self):
+        value = (dh.GROUP14.p - 1).to_bytes(dh.GROUP14.size_bytes, "big")
+        with pytest.raises(CryptoError):
+            dh.public_from_bytes(value)
+
+    def test_out_of_range_rejected(self):
+        value = dh.GROUP14.p.to_bytes(dh.GROUP14.size_bytes, "big")
+        with pytest.raises(CryptoError):
+            dh.public_from_bytes(value)
+
+    def test_shared_secret_validates_peer(self):
+        kp = dh.generate_keypair()
+        with pytest.raises(CryptoError):
+            dh.shared_secret(kp, 1)

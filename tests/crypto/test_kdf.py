@@ -1,0 +1,67 @@
+"""HKDF-SHA256 (RFC 5869 test vectors) and labeled derivation."""
+
+import pytest
+
+from repro.crypto.kdf import derive_key, hkdf_expand, hkdf_extract
+
+
+class TestRfc5869Vectors:
+    def test_case_1(self):
+        ikm = bytes.fromhex("0b" * 22)
+        salt = bytes.fromhex("000102030405060708090a0b0c")
+        info = bytes.fromhex("f0f1f2f3f4f5f6f7f8f9")
+        prk = hkdf_extract(salt, ikm)
+        assert prk.hex() == (
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"
+        )
+        okm = hkdf_expand(prk, info, 42)
+        assert okm.hex() == (
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865"
+        )
+
+    def test_case_3_empty_salt_and_info(self):
+        prk = hkdf_extract(b"", bytes.fromhex("0b" * 22))
+        okm = hkdf_expand(prk, b"", 42)
+        assert okm.hex() == (
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d"
+            "9d201395faa4b61a96c8"
+        )
+
+
+class TestExpand:
+    def test_output_length_exact(self):
+        prk = hkdf_extract(b"salt", b"ikm")
+        for length in (1, 31, 32, 33, 64, 100):
+            assert len(hkdf_expand(prk, b"info", length)) == length
+
+    def test_too_long_rejected(self):
+        with pytest.raises(ValueError):
+            hkdf_expand(bytes(32), b"", 255 * 32 + 1)
+
+    def test_info_separates_outputs(self):
+        prk = hkdf_extract(b"salt", b"ikm")
+        assert hkdf_expand(prk, b"a", 32) != hkdf_expand(prk, b"b", 32)
+
+
+class TestDeriveKey:
+    def test_deterministic(self):
+        root = bytes(32)
+        assert derive_key(root, "label", b"ctx") == derive_key(root, "label", b"ctx")
+
+    def test_label_and_context_separate(self):
+        root = bytes(32)
+        keys = {
+            derive_key(root, "a", b""),
+            derive_key(root, "b", b""),
+            derive_key(root, "a", b"x"),
+            derive_key(root, "a\x00x", b""),  # label/context boundary matters
+        }
+        assert len(keys) == 4
+
+    def test_root_key_separates(self):
+        assert derive_key(bytes(32), "l") != derive_key(b"\x01" + bytes(31), "l")
+
+    def test_length_parameter(self):
+        assert len(derive_key(bytes(32), "l", length=16)) == 16
+        assert len(derive_key(bytes(32), "l", length=64)) == 64

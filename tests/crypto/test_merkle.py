@@ -1,0 +1,89 @@
+"""Merkle tree: roots, updates, inclusion proofs, domain separation."""
+
+import hashlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.merkle import MerkleTree, hash_leaf, hash_node
+from repro.errors import IntegrityError
+
+
+class TestBasics:
+    def test_empty_root_is_defined(self):
+        assert MerkleTree().root() == hashlib.sha256(b"").digest()
+
+    def test_single_leaf_root(self):
+        tree = MerkleTree([b"only"])
+        assert tree.root() == hash_leaf(b"only")
+
+    def test_two_leaves(self):
+        tree = MerkleTree([b"a", b"b"])
+        assert tree.root() == hash_node(hash_leaf(b"a"), hash_leaf(b"b"))
+
+    def test_odd_leaf_promoted(self):
+        tree = MerkleTree([b"a", b"b", b"c"])
+        expected = hash_node(
+            hash_node(hash_leaf(b"a"), hash_leaf(b"b")), hash_leaf(b"c")
+        )
+        assert tree.root() == expected
+
+    def test_leaf_and_node_domains_are_separated(self):
+        # A leaf whose content equals an interior encoding must not collide.
+        left, right = hash_leaf(b"a"), hash_leaf(b"b")
+        assert hash_node(left, right) != hash_leaf(left + right)
+
+    def test_append_changes_root(self):
+        tree = MerkleTree([b"a"])
+        before = tree.root()
+        tree.append(b"b")
+        assert tree.root() != before
+        assert len(tree) == 2
+
+
+class TestUpdate:
+    def test_update_matches_rebuild(self):
+        leaves = [f"leaf{i}".encode() for i in range(7)]
+        tree = MerkleTree(leaves)
+        tree.update(3, b"replacement")
+        rebuilt = MerkleTree(leaves[:3] + [b"replacement"] + leaves[4:])
+        assert tree.root() == rebuilt.root()
+
+    def test_update_out_of_range(self):
+        with pytest.raises(IndexError):
+            MerkleTree([b"a"]).update(1, b"x")
+
+
+class TestProofs:
+    @pytest.mark.parametrize("size", [1, 2, 3, 5, 8, 13])
+    def test_all_proofs_verify(self, size):
+        leaves = [f"leaf{i}".encode() for i in range(size)]
+        tree = MerkleTree(leaves)
+        for index, leaf in enumerate(leaves):
+            MerkleTree.verify_proof(leaf, index, tree.proof(index), tree.root())
+
+    def test_wrong_leaf_rejected(self):
+        tree = MerkleTree([b"a", b"b", b"c"])
+        with pytest.raises(IntegrityError):
+            MerkleTree.verify_proof(b"x", 0, tree.proof(0), tree.root())
+
+    def test_wrong_root_rejected(self):
+        tree = MerkleTree([b"a", b"b"])
+        with pytest.raises(IntegrityError):
+            MerkleTree.verify_proof(b"a", 0, tree.proof(0), bytes(32))
+
+    def test_proof_for_missing_index(self):
+        with pytest.raises(IndexError):
+            MerkleTree([b"a"]).proof(5)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.binary(max_size=20), min_size=1, max_size=20), st.data())
+def test_incremental_update_equals_rebuild(leaves, data):
+    tree = MerkleTree(leaves)
+    index = data.draw(st.integers(min_value=0, max_value=len(leaves) - 1))
+    new_leaf = data.draw(st.binary(max_size=20))
+    tree.update(index, new_leaf)
+    expected = MerkleTree(leaves[:index] + [new_leaf] + leaves[index + 1 :])
+    assert tree.root() == expected.root()

@@ -1,0 +1,124 @@
+"""MSet-XOR-Hash: incremental multiset-hash algebra and properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.mset_hash import MSetXorHash
+
+KEY = b"test-key"
+
+
+class TestAlgebra:
+    def test_empty_hashes_equal(self):
+        assert MSetXorHash(KEY) == MSetXorHash(KEY)
+
+    def test_order_independence(self):
+        a = MSetXorHash(KEY)
+        b = MSetXorHash(KEY)
+        for element in (b"x", b"y", b"z"):
+            a.add(element)
+        for element in (b"z", b"x", b"y"):
+            b.add(element)
+        assert a == b
+        assert a.digest() == b.digest()
+
+    def test_remove_inverts_add(self):
+        h = MSetXorHash(KEY)
+        h.add(b"x")
+        h.add(b"y")
+        h.remove(b"x")
+        expected = MSetXorHash(KEY)
+        expected.add(b"y")
+        assert h == expected
+
+    def test_update_replaces(self):
+        h = MSetXorHash(KEY)
+        h.add(b"old")
+        h.update(b"old", b"new")
+        expected = MSetXorHash(KEY)
+        expected.add(b"new")
+        assert h == expected
+
+    def test_update_with_nones(self):
+        h = MSetXorHash(KEY)
+        h.update(None, b"x")  # pure add
+        h.update(b"x", None)  # pure remove
+        assert h == MSetXorHash(KEY)
+
+    def test_count_distinguishes_duplicates(self):
+        # XOR alone collapses pairs; the cardinality must not.
+        twice = MSetXorHash(KEY)
+        twice.add(b"x")
+        twice.add(b"x")
+        assert twice != MSetXorHash(KEY)
+        assert twice.count == 2
+
+    def test_combine(self):
+        a = MSetXorHash(KEY)
+        a.add(b"x")
+        b = MSetXorHash(KEY)
+        b.add(b"y")
+        a.combine(b)
+        expected = MSetXorHash(KEY)
+        expected.add(b"x")
+        expected.add(b"y")
+        assert a == expected
+
+    def test_combine_rejects_different_keys(self):
+        with pytest.raises(ValueError):
+            MSetXorHash(b"k1").combine(MSetXorHash(b"k2"))
+
+    def test_key_separates(self):
+        a = MSetXorHash(b"k1")
+        b = MSetXorHash(b"k2")
+        a.add(b"x")
+        b.add(b"x")
+        assert a.digest() != b.digest()
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        h = MSetXorHash(KEY)
+        h.add(b"alpha")
+        h.add(b"beta")
+        restored = MSetXorHash.deserialize(KEY, h.serialize())
+        assert restored == h
+
+    def test_copy_is_independent(self):
+        h = MSetXorHash(KEY)
+        h.add(b"x")
+        c = h.copy()
+        c.add(b"y")
+        assert c != h
+
+    def test_digest_length(self):
+        assert len(MSetXorHash(KEY).digest()) == 40  # 32-byte acc + 8-byte count
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.binary(min_size=1, max_size=20), max_size=30))
+def test_permutation_invariance(elements):
+    forward = MSetXorHash(KEY)
+    for element in elements:
+        forward.add(element)
+    backward = MSetXorHash(KEY)
+    for element in reversed(elements):
+        backward.add(element)
+    assert forward == backward
+    assert forward.count == len(elements)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(st.binary(min_size=1, max_size=20), min_size=1, max_size=20),
+    st.data(),
+)
+def test_add_then_remove_returns_to_empty(elements, data):
+    h = MSetXorHash(KEY)
+    for element in elements:
+        h.add(element)
+    order = data.draw(st.permutations(elements))
+    for element in order:
+        h.remove(element)
+    assert h == MSetXorHash(KEY)

@@ -1,0 +1,114 @@
+"""The PAE contract, for both backends: round trips, tamper, properties."""
+
+import secrets
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.pae import (
+    KEY_SIZE,
+    AesGcmPae,
+    HmacStreamPae,
+    default_pae,
+    pae_dec,
+    pae_enc,
+)
+from repro.errors import IntegrityError, KeyError_
+
+KEY = bytes(range(KEY_SIZE))
+BACKENDS = [HmacStreamPae(), AesGcmPae()]
+
+
+@pytest.fixture(params=BACKENDS, ids=["hmac-stream", "aes-gcm"])
+def pae(request):
+    return request.param
+
+
+class TestContract:
+    def test_round_trip(self, pae):
+        blob = pae.encrypt(KEY, b"the plaintext", b"the aad")
+        assert pae.decrypt(KEY, blob, b"the aad") == b"the plaintext"
+
+    def test_empty_plaintext(self, pae):
+        assert pae.decrypt(KEY, pae.encrypt(KEY, b"")) == b""
+
+    def test_probabilistic(self, pae):
+        # Fresh random IV per encryption: same input, different ciphertext.
+        assert pae.encrypt(KEY, b"v") != pae.encrypt(KEY, b"v")
+
+    def test_deterministic_with_fixed_iv(self, pae):
+        iv = bytes(pae.iv_size)
+        assert pae.encrypt_with_iv(KEY, iv, b"v") == pae.encrypt_with_iv(KEY, iv, b"v")
+
+    def test_overhead_is_declared(self, pae):
+        blob = pae.encrypt(KEY, b"x" * 100)
+        assert len(blob) == 100 + pae.overhead
+
+    def test_wrong_key_rejected(self, pae):
+        blob = pae.encrypt(KEY, b"secret")
+        with pytest.raises(IntegrityError):
+            pae.decrypt(bytes(KEY_SIZE), blob)
+
+    def test_wrong_aad_rejected(self, pae):
+        blob = pae.encrypt(KEY, b"secret", b"aad1")
+        with pytest.raises(IntegrityError):
+            pae.decrypt(KEY, blob, b"aad2")
+
+    def test_bitflip_anywhere_rejected(self, pae):
+        blob = pae.encrypt(KEY, b"twelve bytes")
+        for position in (0, pae.iv_size, len(blob) // 2, len(blob) - 1):
+            tampered = bytearray(blob)
+            tampered[position] ^= 0x80
+            with pytest.raises(IntegrityError):
+                pae.decrypt(KEY, bytes(tampered))
+
+    def test_truncated_rejected(self, pae):
+        with pytest.raises(IntegrityError):
+            pae.decrypt(KEY, b"\x00" * (pae.overhead - 1))
+
+    def test_bad_key_size(self, pae):
+        with pytest.raises(KeyError_):
+            pae.encrypt(b"short", b"data")
+
+    def test_bad_iv_size(self, pae):
+        with pytest.raises(KeyError_):
+            pae.encrypt_with_iv(KEY, b"short", b"data")
+
+    def test_ciphertext_hides_plaintext(self, pae):
+        blob = pae.encrypt(KEY, b"A" * 64)
+        assert b"A" * 8 not in blob
+
+
+class TestCrossBackend:
+    def test_blobs_are_not_interchangeable(self):
+        fast, gcm = BACKENDS
+        blob = fast.encrypt(KEY, b"data")
+        with pytest.raises(IntegrityError):
+            gcm.decrypt(KEY, blob)
+
+    def test_module_level_helpers_use_default_backend(self):
+        iv = secrets.token_bytes(default_pae().iv_size)
+        blob = pae_enc(KEY, iv, b"value", b"aad")
+        assert pae_dec(KEY, blob, b"aad") == b"value"
+        assert default_pae().decrypt(KEY, blob, b"aad") == b"value"
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.binary(max_size=2000), st.binary(max_size=64))
+def test_hmac_stream_round_trip_property(plaintext, aad):
+    pae = HmacStreamPae()
+    assert pae.decrypt(KEY, pae.encrypt(KEY, plaintext, aad), aad) == plaintext
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.binary(max_size=200), st.binary(max_size=32))
+def test_aes_gcm_round_trip_property(plaintext, aad):
+    pae = AesGcmPae()
+    assert pae.decrypt(KEY, pae.encrypt(KEY, plaintext, aad), aad) == plaintext
+
+
+def test_large_payload_round_trip():
+    pae = HmacStreamPae()
+    data = secrets.token_bytes(3 * 1024 * 1024)
+    assert pae.decrypt(KEY, pae.encrypt(KEY, data)) == data

@@ -1,0 +1,66 @@
+"""Directory files: sorted child lists and serialization."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import FileSystemError
+from repro.fsmodel import DirectoryFile
+
+
+class TestChildren:
+    def test_children_kept_sorted(self):
+        directory = DirectoryFile(["/c", "/a", "/b"])
+        assert directory.children == ["/a", "/b", "/c"]
+
+    def test_add_keeps_order(self):
+        directory = DirectoryFile(["/a", "/c"])
+        directory.add("/b")
+        assert directory.children == ["/a", "/b", "/c"]
+
+    def test_add_idempotent(self):
+        directory = DirectoryFile()
+        directory.add("/x")
+        directory.add("/x")
+        assert len(directory) == 1
+
+    def test_contains(self):
+        directory = DirectoryFile(["/a"])
+        assert "/a" in directory
+        assert "/b" not in directory
+
+    def test_remove(self):
+        directory = DirectoryFile(["/a", "/b"])
+        directory.remove("/a")
+        assert directory.children == ["/b"]
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(FileSystemError):
+            DirectoryFile().remove("/ghost")
+
+    def test_children_returns_copy(self):
+        directory = DirectoryFile(["/a"])
+        directory.children.append("/evil")
+        assert directory.children == ["/a"]
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        directory = DirectoryFile(["/z", "/a/b", "/m file"])
+        restored = DirectoryFile.deserialize(directory.serialize())
+        assert restored.children == directory.children
+
+    def test_empty_round_trip(self):
+        assert DirectoryFile.deserialize(DirectoryFile().serialize()).children == []
+
+    def test_canonical_encoding(self):
+        a = DirectoryFile(["/x", "/y"])
+        b = DirectoryFile(["/y", "/x"])
+        assert a.serialize() == b.serialize()
+
+
+@given(st.lists(st.text(min_size=1, max_size=20), unique=True, max_size=30))
+def test_round_trip_property(children):
+    directory = DirectoryFile(children)
+    restored = DirectoryFile.deserialize(directory.serialize())
+    assert restored.children == sorted(children)

@@ -1,0 +1,46 @@
+"""Virtual clock: charges, accounts, stopwatch."""
+
+import pytest
+
+from repro.netsim.clock import SimClock, Stopwatch
+
+
+def test_starts_at_zero():
+    assert SimClock().now() == 0.0
+
+
+def test_charge_advances_and_accounts():
+    clock = SimClock()
+    clock.charge(0.25, "network")
+    clock.charge(0.5, "crypto")
+    clock.charge(0.25, "network")
+    assert clock.now() == pytest.approx(1.0)
+    assert clock.accounts() == {"network": pytest.approx(0.5), "crypto": pytest.approx(0.5)}
+
+
+def test_negative_charge_rejected():
+    with pytest.raises(ValueError):
+        SimClock().charge(-1)
+
+
+def test_advance_to_only_moves_forward():
+    clock = SimClock()
+    clock.advance_to(2.0)
+    clock.advance_to(1.0)  # no-op
+    assert clock.now() == pytest.approx(2.0)
+
+
+def test_reset_accounts_keeps_time():
+    clock = SimClock()
+    clock.charge(1.0, "x")
+    clock.reset_accounts()
+    assert clock.accounts() == {}
+    assert clock.now() == pytest.approx(1.0)
+
+
+def test_stopwatch_measures_span():
+    clock = SimClock()
+    clock.charge(5.0)
+    with Stopwatch(clock) as watch:
+        clock.charge(0.75)
+    assert watch.elapsed == pytest.approx(0.75)

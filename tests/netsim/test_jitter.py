@@ -1,0 +1,65 @@
+"""Seeded latency jitter and the CI helper."""
+
+import pytest
+
+from repro.bench.harness import mean_ci95
+from repro.netsim import LinkSpec, NetworkEnv, azure_wan_env
+
+
+def _samples(env, n=50):
+    samples = []
+    for _ in range(n):
+        start = env.clock.now()
+        env.link.transfer_up(0)
+        samples.append(env.clock.now() - start)
+    return samples
+
+
+class TestJitter:
+    def test_default_is_deterministic(self):
+        a = _samples(azure_wan_env())
+        assert len(set(round(x, 12) for x in a)) == 1
+
+    def test_jitter_varies_latency(self):
+        samples = _samples(azure_wan_env(jitter=0.1, seed=1))
+        assert len(set(samples)) > 10
+
+    def test_same_seed_reproduces(self):
+        a = _samples(azure_wan_env(jitter=0.1, seed=5))
+        b = _samples(azure_wan_env(jitter=0.1, seed=5))
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = _samples(azure_wan_env(jitter=0.1, seed=1))
+        b = _samples(azure_wan_env(jitter=0.1, seed=2))
+        assert a != b
+
+    def test_mean_stays_near_base(self):
+        samples = _samples(azure_wan_env(jitter=0.05, seed=3), n=400)
+        mean, ci = mean_ci95(samples)
+        base = azure_wan_env().link.spec.one_way_latency()
+        assert abs(mean - base) < 3 * ci + 1e-4
+
+    def test_latency_never_negative(self):
+        env = NetworkEnv.with_spec(
+            LinkSpec(rtt=0.001, bandwidth_up=1e9, bandwidth_down=1e9, jitter=5.0),
+            seed=9,
+        )
+        assert all(x >= 0 for x in _samples(env, n=200))
+
+
+class TestMeanCi:
+    def test_constant_samples(self):
+        mean, ci = mean_ci95([2.0, 2.0, 2.0])
+        assert mean == 2.0 and ci == 0.0
+
+    def test_single_sample(self):
+        assert mean_ci95([1.5]) == (1.5, 0.0)
+
+    def test_ci_shrinks_with_n(self):
+        import random
+
+        rng = random.Random(0)
+        small = [rng.gauss(1, 0.1) for _ in range(10)]
+        large = [rng.gauss(1, 0.1) for _ in range(1000)]
+        assert mean_ci95(large)[1] < mean_ci95(small)[1]

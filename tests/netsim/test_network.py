@@ -1,0 +1,50 @@
+"""Link model: latency/bandwidth accounting and environment presets."""
+
+import pytest
+
+from repro.netsim import LinkSpec, NetworkEnv, azure_wan_env, lan_env
+
+
+def test_one_way_message_cost():
+    env = NetworkEnv.with_spec(LinkSpec(rtt=0.030, bandwidth_up=1e6, bandwidth_down=2e6))
+    env.link.transfer_up(1_000_000)
+    expected = 0.015 + 1.0 + env.link.spec.per_message_overhead
+    assert env.clock.now() == pytest.approx(expected)
+
+
+def test_down_uses_down_bandwidth():
+    env = NetworkEnv.with_spec(LinkSpec(rtt=0.0, bandwidth_up=1e6, bandwidth_down=2e6))
+    env.link.transfer_down(1_000_000)
+    assert env.clock.now() == pytest.approx(0.5 + env.link.spec.per_message_overhead)
+
+
+def test_stream_chunks_skip_propagation():
+    spec = LinkSpec(rtt=0.030, bandwidth_up=1e6, bandwidth_down=1e6)
+    env = NetworkEnv.with_spec(spec)
+    env.link.stream_up(1_000_000)
+    assert env.clock.now() == pytest.approx(1.0)  # no rtt/2, no per-message cost
+
+
+def test_byte_and_message_counters():
+    env = lan_env()
+    env.link.transfer_up(100)
+    env.link.transfer_down(200)
+    env.link.stream_up(300)
+    assert env.link.bytes_up == 400
+    assert env.link.bytes_down == 200
+    assert env.link.messages == 2
+
+
+def test_azure_wan_matches_paper_nginx_transport():
+    """Sanity: a 200 MB body upload over the calibrated WAN takes ~1.8 s
+    (the nginx transport floor the paper measures)."""
+    env = azure_wan_env()
+    env.link.transfer_up(200_000_000)
+    assert 1.6 < env.clock.now() < 2.0
+
+
+def test_lan_is_much_faster_than_wan():
+    wan, lan = azure_wan_env(), lan_env()
+    wan.link.transfer_up(10_000_000)
+    lan.link.transfer_up(10_000_000)
+    assert lan.clock.now() < wan.clock.now() / 5

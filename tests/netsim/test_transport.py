@@ -1,0 +1,93 @@
+"""Connections, listeners, push delivery, and failure modes."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.netsim import Endpoint, Listener, lan_env
+from repro.netsim.transport import connection_pair
+
+
+@pytest.fixture()
+def env():
+    return lan_env()
+
+
+class TestConnectionPair:
+    def test_bidirectional_delivery(self, env):
+        client, server = connection_pair(env.link)
+        client.send(b"ping")
+        assert server.recv() == b"ping"
+        server.send(b"pong")
+        assert client.recv() == b"pong"
+
+    def test_fifo_order(self, env):
+        client, server = connection_pair(env.link)
+        for i in range(5):
+            client.send(bytes([i]))
+        assert [server.recv() for _ in range(5)] == [bytes([i]) for i in range(5)]
+
+    def test_recv_without_message_raises(self, env):
+        client, _ = connection_pair(env.link)
+        with pytest.raises(NetworkError):
+            client.recv()
+
+    def test_closed_connection_rejects_send(self, env):
+        client, _ = connection_pair(env.link)
+        client.close()
+        with pytest.raises(NetworkError):
+            client.send(b"late")
+
+    def test_send_to_closed_peer_raises(self, env):
+        client, server = connection_pair(env.link)
+        server.close()
+        with pytest.raises(NetworkError):
+            client.send(b"into the void")
+
+
+class TestPushDelivery:
+    def test_receiver_gets_messages_inline(self, env):
+        client, server = connection_pair(env.link)
+        seen = []
+        server.set_receiver(seen.append)
+        client.send(b"a")
+        client.send_stream(b"b")
+        assert seen == [b"a", b"b"]
+
+    def test_pending_inbox_drained_on_register(self, env):
+        client, server = connection_pair(env.link)
+        client.send(b"early")
+        seen = []
+        server.set_receiver(seen.append)
+        assert seen == [b"early"]
+
+    def test_recv_unavailable_in_push_mode(self, env):
+        _, server = connection_pair(env.link)
+        server.set_receiver(lambda message: None)
+        with pytest.raises(NetworkError):
+            server.recv()
+
+
+class TestListener:
+    def test_connect_invokes_accept_callback(self, env):
+        accepted = []
+        listener = Listener(env.link, accepted.append)
+        client = Endpoint(listener).connect()
+        assert len(accepted) == 1
+        client.send(b"hello")
+        assert accepted[0].recv() == b"hello"
+
+    def test_connect_charges_a_round_trip(self, env):
+        listener = Listener(env.link, lambda conn: None)
+        before = env.clock.now()
+        Endpoint(listener).connect()
+        assert env.clock.now() - before == pytest.approx(env.link.spec.rtt)
+
+    def test_multiple_connections_are_independent(self, env):
+        servers = []
+        listener = Listener(env.link, servers.append)
+        c1 = Endpoint(listener).connect()
+        c2 = Endpoint(listener).connect()
+        c1.send(b"one")
+        c2.send(b"two")
+        assert servers[0].recv() == b"one"
+        assert servers[1].recv() == b"two"

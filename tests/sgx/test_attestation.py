@@ -1,0 +1,105 @@
+"""Quotes, the attestation service, and attested key exchanges."""
+
+import pytest
+
+from repro.errors import AttestationError
+from repro.sgx import AttestationService, QuotingEnclave, SgxPlatform
+from repro.sgx.attestation import (
+    Quote,
+    bind_public_value,
+    enclave_key_exchange_finish,
+    enclave_key_exchange_offer,
+    verifier_key_exchange,
+)
+from repro.sgx.enclave import Enclave, ecall
+
+
+class AppEnclave(Enclave):
+    @ecall
+    def noop(self) -> None:
+        pass
+
+
+class OtherEnclave(Enclave):
+    @ecall
+    def other(self) -> None:
+        pass
+
+
+@pytest.fixture()
+def world():
+    platform = SgxPlatform()
+    enclave = AppEnclave()
+    platform.load(enclave)
+    qe = QuotingEnclave(platform)
+    service = AttestationService()
+    service.register_platform(platform.platform_id, qe.attestation_public_key)
+    return platform, enclave, qe, service
+
+
+class TestQuotes:
+    def test_valid_quote_verifies(self, world):
+        platform, enclave, qe, service = world
+        quote = qe.quote(enclave, b"report data")
+        service.verify(quote)
+        service.verify(quote, expected_measurement=enclave.measurement())
+
+    def test_quote_round_trips_serialization(self, world):
+        _, enclave, qe, service = world
+        quote = qe.quote(enclave, b"rd")
+        assert Quote.deserialize(quote.serialize()) == quote
+
+    def test_unknown_platform_rejected(self, world):
+        _, enclave, qe, _ = world
+        quote = qe.quote(enclave, b"rd")
+        fresh_service = AttestationService()
+        with pytest.raises(AttestationError):
+            fresh_service.verify(quote)
+
+    def test_wrong_measurement_rejected(self, world):
+        _, enclave, qe, service = world
+        quote = qe.quote(enclave, b"rd")
+        with pytest.raises(AttestationError):
+            service.verify(quote, expected_measurement=OtherEnclave().measurement())
+
+    def test_tampered_report_data_rejected(self, world):
+        _, enclave, qe, service = world
+        quote = qe.quote(enclave, b"rd")
+        forged = Quote(
+            platform_id=quote.platform_id,
+            measurement=quote.measurement,
+            signer_id=quote.signer_id,
+            report_data=b"forged",
+            signature=quote.signature,
+        )
+        with pytest.raises(AttestationError):
+            service.verify(forged)
+
+    def test_foreign_enclave_cannot_be_quoted(self, world):
+        _, _, qe, _ = world
+        foreign = AppEnclave()
+        SgxPlatform().load(foreign)
+        with pytest.raises(AttestationError):
+            qe.quote(foreign, b"rd")
+
+
+class TestAttestedKeyExchange:
+    def test_both_sides_derive_same_key(self, world):
+        _, enclave, qe, service = world
+        keypair, quote = enclave_key_exchange_offer(enclave, qe)
+        verifier_public, verifier_key = verifier_key_exchange(
+            service, quote, keypair.public_bytes(), enclave.measurement()
+        )
+        enclave_key = enclave_key_exchange_finish(keypair, verifier_public)
+        assert verifier_key == enclave_key
+        assert len(verifier_key) == 16
+
+    def test_substituted_public_value_rejected(self, world):
+        _, enclave, qe, service = world
+        keypair, quote = enclave_key_exchange_offer(enclave, qe)
+        other_keypair, _ = enclave_key_exchange_offer(enclave, qe)
+        with pytest.raises(AttestationError):
+            verifier_key_exchange(service, quote, other_keypair.public_bytes())
+
+    def test_bind_public_value_is_injective_in_practice(self):
+        assert bind_public_value(b"a") != bind_public_value(b"b")

@@ -1,0 +1,47 @@
+"""The SGX cost model: arithmetic and relative magnitudes."""
+
+import pytest
+
+from repro.sgx.costmodel import DEFAULT_COSTS, SgxCostModel
+
+
+class TestDerivedCosts:
+    def test_aead_time_linear(self):
+        costs = SgxCostModel(aead_bytes_per_second=1e9)
+        assert costs.aead_time(1_000_000) == pytest.approx(0.001)
+        assert costs.aead_time(0) == 0.0
+
+    def test_hash_time_linear(self):
+        costs = SgxCostModel(hash_bytes_per_second=2e9)
+        assert costs.hash_time(2_000_000) == pytest.approx(0.001)
+
+
+class TestCalibratedRelations:
+    """The orderings the paper's arguments rely on."""
+
+    def test_switchless_beats_transitions(self):
+        assert DEFAULT_COSTS.switchless_call < DEFAULT_COSTS.ecall_transition / 4
+        assert DEFAULT_COSTS.switchless_call < DEFAULT_COSTS.ocall_transition / 4
+
+    def test_sgx_counter_is_painfully_slow(self):
+        # ~100 ms per increment — the reason the paper points to ROTE.
+        assert DEFAULT_COSTS.counter_increment > 0.05
+        assert DEFAULT_COSTS.rote_increment < DEFAULT_COSTS.counter_increment / 50
+
+    def test_counter_wear_limit_is_finite(self):
+        assert 0 < DEFAULT_COSTS.counter_wear_limit < 10**8
+
+    def test_paging_dwarfs_transitions(self):
+        assert DEFAULT_COSTS.epc_page_swap > DEFAULT_COSTS.ecall_transition
+
+    def test_pfs_read_slower_than_raw_aead(self):
+        # The Fig. 3 calibration: protected reads pay verification too.
+        read_time = DEFAULT_COSTS.aead_time(1) + 1 / DEFAULT_COSTS.pfs_read_bytes_per_second
+        assert read_time > DEFAULT_COSTS.aead_time(1)
+
+    def test_asymmetric_ops_dominate_symmetric(self):
+        assert DEFAULT_COSTS.rsa_sign > DEFAULT_COSTS.aead_time(4096)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULT_COSTS.ecall_transition = 0  # type: ignore[misc]

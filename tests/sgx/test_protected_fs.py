@@ -1,0 +1,186 @@
+"""Protected File System Library clone: chunking, integrity, handles."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ProtectedFsError
+from repro.sgx.protected_fs import CHUNK_SIZE, ProtectedFs, _chunk_key
+from repro.storage.backends import InMemoryStore
+
+KEY = bytes(16)
+
+
+@pytest.fixture()
+def store():
+    return InMemoryStore()
+
+
+@pytest.fixture()
+def pfs(store):
+    return ProtectedFs(store, master_key=KEY)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "size", [0, 1, CHUNK_SIZE - 1, CHUNK_SIZE, CHUNK_SIZE + 1, 3 * CHUNK_SIZE + 17]
+    )
+    def test_sizes_round_trip(self, pfs, size):
+        data = bytes(i % 256 for i in range(size))
+        pfs.write_file("/f", data)
+        assert pfs.read_file("/f") == data
+
+    def test_overwrite_shrinks(self, pfs, store):
+        pfs.write_file("/f", b"x" * (3 * CHUNK_SIZE))
+        pfs.write_file("/f", b"y" * 10)
+        assert pfs.read_file("/f") == b"y" * 10
+        # Stale chunks from the longer version are gone.
+        assert not store.exists(_chunk_key("/f", 1))
+
+    def test_exists_and_remove(self, pfs):
+        pfs.write_file("/f", b"data")
+        assert pfs.exists("/f")
+        pfs.remove("/f")
+        assert not pfs.exists("/f")
+        with pytest.raises(ProtectedFsError):
+            pfs.read_file("/f")
+
+    def test_list_paths(self, pfs):
+        pfs.write_file("/b", b"")
+        pfs.write_file("/a", b"")
+        assert pfs.list_paths() == ["/a", "/b"]
+
+    def test_stored_size_includes_overhead(self, pfs):
+        pfs.write_file("/f", b"x" * 10000)
+        stored = pfs.stored_size("/f")
+        assert stored > 10000
+        assert stored < 10000 * 1.10  # ~1-3% overhead + one meta node
+
+
+class TestIntegrity:
+    def test_ciphertext_is_opaque(self, pfs, store):
+        pfs.write_file("/f", b"A" * CHUNK_SIZE)
+        chunk = store.get(_chunk_key("/f", 0))
+        assert b"A" * 16 not in chunk
+
+    def test_tampered_chunk_rejected(self, pfs, store):
+        pfs.write_file("/f", b"x" * (2 * CHUNK_SIZE))
+        key = _chunk_key("/f", 1)
+        blob = bytearray(store.get(key))
+        blob[5] ^= 1
+        store.put(key, bytes(blob))
+        with pytest.raises(ProtectedFsError):
+            pfs.read_file("/f")
+
+    def test_chunk_position_swap_rejected(self, pfs, store):
+        pfs.write_file("/f", bytes(CHUNK_SIZE) + bytes([1]) * CHUNK_SIZE)
+        a, b = _chunk_key("/f", 0), _chunk_key("/f", 1)
+        chunk_a, chunk_b = store.get(a), store.get(b)
+        store.put(a, chunk_b)
+        store.put(b, chunk_a)
+        with pytest.raises(ProtectedFsError):
+            pfs.read_file("/f")
+
+    def test_cross_file_chunk_splice_rejected(self, pfs, store):
+        pfs.write_file("/f", b"f" * CHUNK_SIZE)
+        pfs.write_file("/g", b"g" * CHUNK_SIZE)
+        store.put(_chunk_key("/f", 0), store.get(_chunk_key("/g", 0)))
+        with pytest.raises(ProtectedFsError):
+            pfs.read_file("/f")
+
+    def test_missing_chunk_rejected(self, pfs, store):
+        pfs.write_file("/f", b"x" * (2 * CHUNK_SIZE))
+        store.delete(_chunk_key("/f", 1))
+        with pytest.raises(ProtectedFsError):
+            pfs.read_file("/f")
+
+    def test_meta_tamper_rejected(self, pfs, store):
+        pfs.write_file("/f", b"data")
+        meta_key = "/f\x00meta"
+        blob = bytearray(store.get(meta_key))
+        blob[-1] ^= 1
+        store.put(meta_key, bytes(blob))
+        with pytest.raises(ProtectedFsError):
+            pfs.read_file("/f")
+
+    def test_rolled_back_chunk_rejected(self, pfs, store):
+        """Replaying an old chunk of the SAME file at the SAME position is
+        caught by the Merkle root in the metadata node."""
+        pfs.write_file("/f", b"v1" * CHUNK_SIZE)
+        old_chunk = store.get(_chunk_key("/f", 0))
+        pfs.write_file("/f", b"v2" * CHUNK_SIZE)
+        store.put(_chunk_key("/f", 0), old_chunk)
+        with pytest.raises(ProtectedFsError):
+            pfs.read_file("/f")
+
+    def test_different_master_keys_isolate(self, store):
+        a = ProtectedFs(store, master_key=bytes(16))
+        b = ProtectedFs(store, master_key=bytes(15) + b"\x01")
+        a.write_file("/f", b"secret")
+        with pytest.raises(ProtectedFsError):
+            b.read_file("/f")
+
+
+class TestHandles:
+    def test_single_writer_enforced(self, pfs):
+        handle = pfs.open_write("/f")
+        with pytest.raises(ProtectedFsError):
+            pfs.open_write("/f")
+        handle.close()
+        pfs.open_write("/f").close()
+
+    def test_many_readers_allowed(self, pfs):
+        pfs.write_file("/f", b"data")
+        r1 = pfs.open_read("/f")
+        r2 = pfs.open_read("/f")
+        assert r1.read_all() == b"data"
+        assert r2.read_all() == b"data"
+        r1.close()
+        r2.close()
+
+    def test_writer_blocks_readers_and_vice_versa(self, pfs):
+        pfs.write_file("/f", b"data")
+        reader = pfs.open_read("/f")
+        with pytest.raises(ProtectedFsError):
+            pfs.open_write("/f")
+        reader.close()
+        writer = pfs.open_write("/f")
+        with pytest.raises(ProtectedFsError):
+            pfs.open_read("/f")
+        writer.close()
+
+    def test_streaming_write_and_read(self, pfs):
+        with pfs.open_write("/f") as handle:
+            for i in range(10):
+                handle.write(bytes([i]) * 1000)
+        with pfs.open_read("/f") as handle:
+            assert handle.size == 10000
+            chunks = []
+            while (chunk := handle.read_chunk()) is not None:
+                chunks.append(chunk)
+        assert b"".join(chunks) == b"".join(bytes([i]) * 1000 for i in range(10))
+        assert all(len(c) <= CHUNK_SIZE for c in chunks)
+
+    def test_aborted_write_releases_lock(self, pfs):
+        try:
+            with pfs.open_write("/f") as handle:
+                handle.write(b"partial")
+                raise RuntimeError("simulated failure")
+        except RuntimeError:
+            pass
+        pfs.open_write("/f").close()  # lock was released
+
+    def test_remove_with_open_handle_rejected(self, pfs):
+        pfs.write_file("/f", b"data")
+        reader = pfs.open_read("/f")
+        with pytest.raises(ProtectedFsError):
+            pfs.remove("/f")
+        reader.close()
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.binary(max_size=3 * CHUNK_SIZE))
+def test_round_trip_property(data):
+    pfs = ProtectedFs(InMemoryStore(), master_key=KEY)
+    pfs.write_file("/p", data)
+    assert pfs.read_file("/p") == data

@@ -1,0 +1,45 @@
+"""Switchless call queues: fast path, worker exhaustion fallback."""
+
+import pytest
+
+from repro.netsim import SimClock
+from repro.sgx import SwitchlessQueue
+from repro.sgx.costmodel import SgxCostModel
+
+
+def test_submit_runs_and_returns():
+    queue = SwitchlessQueue(None, SgxCostModel(), workers=2)
+    assert queue.submit(lambda a, b: a + b, 2, 3) == 5
+    assert queue.stats.submitted == 1
+    assert queue.stats.fast == 1
+
+
+def test_fast_path_charges_switchless_cost():
+    clock = SimClock()
+    costs = SgxCostModel()
+    queue = SwitchlessQueue(clock, costs, workers=2)
+    queue.submit(lambda: None)
+    assert clock.now() == pytest.approx(costs.switchless_call)
+
+
+def test_exhausted_workers_fall_back_to_transition():
+    clock = SimClock()
+    costs = SgxCostModel()
+    queue = SwitchlessQueue(clock, costs, workers=2)
+    with queue.concurrency(2):  # both workers busy
+        queue.submit(lambda: None)
+    assert queue.stats.fallback == 1
+    assert clock.now() == pytest.approx(costs.ocall_transition)
+
+
+def test_exception_propagates_and_releases_slot():
+    queue = SwitchlessQueue(None, SgxCostModel(), workers=1)
+
+    def boom():
+        raise RuntimeError("task failed")
+
+    with pytest.raises(RuntimeError):
+        queue.submit(boom)
+    # The slot was released: the next call takes the fast path again.
+    queue.submit(lambda: None)
+    assert queue.stats.fast == 2

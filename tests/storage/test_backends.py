@@ -1,0 +1,85 @@
+"""Untrusted store backends: dict-backed and disk-backed."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage import DiskStore, InMemoryStore
+
+
+@pytest.fixture(params=["memory", "disk"])
+def store(request, tmp_path):
+    if request.param == "memory":
+        return InMemoryStore()
+    return DiskStore(str(tmp_path / "store"))
+
+
+class TestCommonContract:
+    def test_put_get(self, store):
+        store.put("key", b"value")
+        assert store.get("key") == b"value"
+
+    def test_overwrite(self, store):
+        store.put("key", b"v1")
+        store.put("key", b"v2")
+        assert store.get("key") == b"v2"
+
+    def test_missing_get_raises(self, store):
+        with pytest.raises(StorageError):
+            store.get("ghost")
+
+    def test_delete(self, store):
+        store.put("key", b"value")
+        store.delete("key")
+        assert not store.exists("key")
+        with pytest.raises(StorageError):
+            store.delete("key")
+
+    def test_keys_and_sizes(self, store):
+        store.put("a", b"x")
+        store.put("b/c", b"yy")
+        assert sorted(store.keys()) == ["a", "b/c"]
+        assert store.size("b/c") == 2
+        assert store.total_bytes() == 3
+
+    def test_size_of_missing_raises(self, store):
+        with pytest.raises(StorageError):
+            store.size("ghost")
+
+    def test_rename(self, store):
+        store.put("old", b"data")
+        store.rename("old", "new")
+        assert store.get("new") == b"data"
+        assert not store.exists("old")
+
+    def test_awkward_keys(self, store):
+        # SeGShare keys contain slashes, NULs, and unicode.
+        for key in ("/D/f.txt", "member:\x00users", "grüße", "a\x00chunk\x000"):
+            store.put(key, key.encode())
+        for key in ("/D/f.txt", "member:\x00users", "grüße", "a\x00chunk\x000"):
+            assert store.get(key) == key.encode()
+
+    def test_values_are_isolated(self, store):
+        data = bytearray(b"mutable")
+        store.put("key", bytes(data))
+        data[0] = 0
+        assert store.get("key") == b"mutable"
+
+
+class TestInMemorySnapshots:
+    def test_snapshot_restore(self):
+        store = InMemoryStore()
+        store.put("a", b"1")
+        snapshot = store.snapshot()
+        store.put("a", b"2")
+        store.put("b", b"3")
+        store.restore(snapshot)
+        assert store.get("a") == b"1"
+        assert not store.exists("b")
+
+
+class TestDiskPersistence:
+    def test_reopen_sees_data(self, tmp_path):
+        path = str(tmp_path / "persist")
+        DiskStore(path).put("k", b"v")
+        assert DiskStore(path).get("k") == b"v"
+        assert list(DiskStore(path).keys()) == ["k"]

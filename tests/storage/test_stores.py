@@ -1,0 +1,54 @@
+"""Store sets and prefixed views."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage import InMemoryStore, StoreSet
+from repro.storage.stores import PrefixedStore
+
+
+class TestPrefixedStore:
+    def test_namespacing(self):
+        backend = InMemoryStore()
+        a = PrefixedStore(backend, "a/")
+        b = PrefixedStore(backend, "b/")
+        a.put("k", b"from-a")
+        b.put("k", b"from-b")
+        assert a.get("k") == b"from-a"
+        assert b.get("k") == b"from-b"
+        assert sorted(backend.keys()) == ["a/k", "b/k"]
+
+    def test_keys_are_stripped(self):
+        backend = InMemoryStore()
+        view = PrefixedStore(backend, "p/")
+        view.put("x", b"1")
+        backend.put("other", b"2")
+        assert list(view.keys()) == ["x"]
+
+    def test_delete_and_exists(self):
+        view = PrefixedStore(InMemoryStore(), "p/")
+        view.put("x", b"1")
+        assert view.exists("x")
+        view.delete("x")
+        with pytest.raises(StorageError):
+            view.get("x")
+
+
+class TestStoreSet:
+    def test_in_memory_are_independent(self):
+        stores = StoreSet.in_memory()
+        stores.content.put("k", b"c")
+        assert not stores.group.exists("k")
+        assert not stores.dedup.exists("k")
+
+    def test_over_shares_one_backend(self):
+        backend = InMemoryStore()
+        stores = StoreSet.over(backend)
+        stores.content.put("k", b"c")
+        stores.group.put("k", b"g")
+        stores.dedup.put("k", b"d")
+        assert sorted(backend.keys()) == ["content/k", "dedup/k", "group/k"]
+        # A second store set over the same backend sees the same data —
+        # the replication deployment model.
+        other = StoreSet.over(backend)
+        assert other.group.get("k") == b"g"

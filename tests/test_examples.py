@@ -1,0 +1,27 @@
+"""Every example script must stay runnable end to end."""
+
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = [
+    "examples/quickstart.py",
+    "examples/corporate_groups.py",
+    "examples/rollback_attack.py",
+    "examples/replication_cluster.py",
+    "examples/webdav_gateway.py",
+    "examples/audit_trail.py",
+]
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs_clean(script, capsys, monkeypatch):
+    # Examples call sys.exit-free main()s; run them as __main__.
+    monkeypatch.setattr(sys, "argv", [script])
+    runpy.run_path(script, run_name="__main__")
+    out = capsys.readouterr().out
+    assert "UNEXPECTED" not in out
+    assert out.strip()  # every example narrates what it demonstrates

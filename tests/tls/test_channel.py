@@ -1,0 +1,164 @@
+"""The split TLS interfaces end to end over the simulated network."""
+
+import pytest
+
+from repro.errors import TlsError
+from repro.netsim import Endpoint, Listener, lan_env
+from repro.pki import CertificateAuthority, CertificateUsage
+from repro.pki.certificate import CertificateSigningRequest
+from repro.tls import TlsClient, TrustedTlsInterface, UntrustedTlsInterface
+from repro.tls.channel import StreamingResponse
+from repro.tls.handshake import ClientIdentity, ServerIdentity
+from repro.tls.session import STREAM_CHUNK
+
+
+class EchoApp:
+    """Test application: echoes, streams, and records uploads."""
+
+    def __init__(self):
+        self.uploads = {}
+
+    def handle_message(self, cert, payload):
+        if payload.startswith(b"stream:"):
+            n = int(payload.split(b":")[1])
+            chunks = [bytes([i % 256]) * 1000 for i in range(n)]
+            return StreamingResponse(
+                header=b"streamed", chunks=chunks, body_len=1000 * n
+            )
+        return b"echo:" + cert.user_id.encode() + b":" + payload
+
+    def open_upload(self, cert, header):
+        app = self
+
+        class Sink:
+            def __init__(self):
+                self.parts = []
+
+            def write(self, chunk):
+                self.parts.append(chunk)
+
+            def finish(self):
+                app.uploads[header] = b"".join(self.parts)
+                return b"stored %d" % len(app.uploads[header])
+
+            def abort(self):
+                pass
+
+        return Sink()
+
+
+@pytest.fixture()
+def world(user_key, second_key):
+    env = lan_env()
+    ca = CertificateAuthority(key_bits=1024)
+    server_cert = ca.sign_csr(
+        CertificateSigningRequest("srv", CertificateUsage.SERVER, second_key.public_key)
+    )
+    app = EchoApp()
+    trusted = TrustedTlsInterface(app, ca.public_key, clock=env.clock)
+    trusted.install_identity(ServerIdentity(server_cert, second_key))
+    untrusted = UntrustedTlsInterface(
+        trusted.new_session, trusted.on_record, trusted.close_session
+    )
+    listener = Listener(env.link, untrusted.attach)
+
+    client_cert = ca.issue_client_certificate("alice", user_key.public_key)
+    client = TlsClient(
+        Endpoint(listener).connect(),
+        ClientIdentity(client_cert, user_key),
+        ca.public_key,
+        clock=env.clock,
+    )
+    client.handshake()
+    return {
+        "env": env, "ca": ca, "app": app, "trusted": trusted,
+        "untrusted": untrusted, "listener": listener, "client": client,
+    }
+
+
+class TestRequests:
+    def test_simple_request(self, world):
+        assert world["client"].request(b"ping") == b"echo:alice:ping"
+
+    def test_large_request_is_chunked(self, world):
+        payload = bytes(2 * STREAM_CHUNK + 100)
+        response = world["client"].request(payload)
+        assert response == b"echo:alice:" + payload
+
+    def test_streamed_response_reassembled(self, world):
+        header, body = world["client"].request_full(b"stream:3")
+        assert header == b"streamed"
+        assert len(body) == 3000
+
+    def test_sequential_requests_share_session(self, world):
+        for i in range(5):
+            assert world["client"].request(b"%d" % i) == b"echo:alice:%d" % i
+
+    def test_upload_streams_into_sink(self, world):
+        data = bytes(3 * STREAM_CHUNK + 7)
+        reply = world["client"].upload(b"file1", data)
+        assert reply == b"stored %d" % len(data)
+        assert world["app"].uploads[b"file1"] == data
+
+    def test_empty_upload(self, world):
+        assert world["client"].upload(b"empty", b"") == b"stored 0"
+
+
+class TestFailureModes:
+    def test_request_before_handshake(self, world):
+        fresh = TlsClient(
+            Endpoint(world["listener"]).connect(),
+            ClientIdentity(world["client"]._identity.certificate, world["client"]._identity.private_key),
+            world["ca"].public_key,
+        )
+        with pytest.raises(TlsError):
+            fresh.request(b"early")
+
+    def test_server_without_identity_rejects_sessions(self, user_key):
+        ca = CertificateAuthority(key_bits=1024)
+        trusted = TrustedTlsInterface(EchoApp(), ca.public_key)
+        with pytest.raises(TlsError):
+            trusted.new_session()
+
+    def test_application_error_becomes_alert(self, world):
+        class BoomApp:
+            def handle_message(self, cert, payload):
+                raise RuntimeError("internal explosion")
+
+            def open_upload(self, cert, header):
+                raise RuntimeError("no uploads")
+
+        world["trusted"]._application = BoomApp()
+        with pytest.raises(TlsError, match="alert"):
+            world["client"].request(b"trigger")
+
+    def test_unknown_session_yields_alert(self, world):
+        replies = world["trusted"].on_record(9999, b"garbage")
+        assert len(replies) == 1  # a single alert record
+
+    def test_records_forwarded_counter(self, world):
+        before = world["untrusted"].records_forwarded
+        world["client"].request(b"x")
+        assert world["untrusted"].records_forwarded > before
+
+
+class TestIdentityRotation:
+    def test_server_certificate_can_be_replaced(self, world, second_key):
+        """The CA may re-issue the server certificate at any time; new
+        connections see the new certificate."""
+        new_cert = world["ca"].sign_csr(
+            CertificateSigningRequest(
+                "srv-renewed", CertificateUsage.SERVER, second_key.public_key
+            )
+        )
+        world["trusted"].install_identity(ServerIdentity(new_cert, second_key))
+        client = TlsClient(
+            Endpoint(world["listener"]).connect(),
+            world["client"]._identity,
+            world["ca"].public_key,
+            clock=world["env"].clock,
+        )
+        client.handshake()
+        assert client.server_certificate.subject == "srv-renewed"
+        # The old session still works (its keys are unaffected).
+        assert world["client"].request(b"still alive") == b"echo:alice:still alive"

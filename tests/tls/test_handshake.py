@@ -1,0 +1,148 @@
+"""The mutually-authenticated handshake: success and every failure mode."""
+
+import pytest
+
+from repro.crypto import rsa
+from repro.errors import TlsError
+from repro.pki import CertificateAuthority, CertificateUsage
+from repro.pki.certificate import CertificateSigningRequest
+from repro.tls.handshake import (
+    ClientHandshake,
+    ClientIdentity,
+    ClientKeyExchange,
+    ServerHandshake,
+    ServerHello,
+    ServerIdentity,
+)
+
+
+@pytest.fixture(scope="module")
+def world(user_key, second_key):
+    ca = CertificateAuthority(key_bits=1024)
+    client_cert = ca.issue_client_certificate("alice", user_key.public_key)
+    csr = CertificateSigningRequest(
+        "server", CertificateUsage.SERVER, second_key.public_key
+    )
+    server_cert = ca.sign_csr(csr)
+    return {
+        "ca": ca,
+        "client": ClientIdentity(client_cert, user_key),
+        "server": ServerIdentity(server_cert, second_key),
+    }
+
+
+def run_handshake(client_hs: ClientHandshake, server_hs: ServerHandshake):
+    hello = client_hs.client_hello()
+    server_hello = server_hs.handle_client_hello(hello)
+    kx = client_hs.handle_server_hello(server_hello)
+    server_hs.handle_client_key_exchange(kx)
+    finished = client_hs.client_finished()
+    server_finished = server_hs.verify_client_finished(finished)
+    client_hs.verify_server_finished(server_finished)
+
+
+class TestSuccess:
+    def test_full_handshake_agrees_on_keys(self, world):
+        client_hs = ClientHandshake(world["client"], world["ca"].public_key)
+        server_hs = ServerHandshake(world["server"], world["ca"].public_key)
+        run_handshake(client_hs, server_hs)
+        assert client_hs.keys == server_hs.keys
+        assert client_hs.keys.client_write != client_hs.keys.server_write
+
+    def test_identities_are_exchanged(self, world):
+        client_hs = ClientHandshake(world["client"], world["ca"].public_key)
+        server_hs = ServerHandshake(world["server"], world["ca"].public_key)
+        run_handshake(client_hs, server_hs)
+        assert server_hs.client_certificate.user_id == "alice"
+        assert client_hs.server_certificate.subject == "server"
+
+    def test_sessions_have_distinct_keys(self, world):
+        keys = []
+        for _ in range(2):
+            client_hs = ClientHandshake(world["client"], world["ca"].public_key)
+            server_hs = ServerHandshake(world["server"], world["ca"].public_key)
+            run_handshake(client_hs, server_hs)
+            keys.append(client_hs.keys.client_write)
+        assert keys[0] != keys[1]  # ephemeral DH: forward secrecy
+
+
+class TestCertificateRejection:
+    def test_client_cert_from_wrong_ca(self, world, user_key):
+        rogue = CertificateAuthority(name="rogue", key_bits=1024)
+        rogue_cert = rogue.issue_client_certificate("mallory", user_key.public_key)
+        client_hs = ClientHandshake(
+            ClientIdentity(rogue_cert, user_key), rogue.public_key
+        )
+        server_hs = ServerHandshake(world["server"], world["ca"].public_key)
+        with pytest.raises(TlsError, match="client certificate"):
+            server_hs.handle_client_hello(client_hs.client_hello())
+
+    def test_server_cert_from_wrong_ca(self, world, second_key):
+        rogue = CertificateAuthority(name="rogue", key_bits=1024)
+        csr = CertificateSigningRequest(
+            "fake-server", CertificateUsage.SERVER, second_key.public_key
+        )
+        fake_identity = ServerIdentity(rogue.sign_csr(csr), second_key)
+        client_hs = ClientHandshake(world["client"], world["ca"].public_key)
+        # The impostor happily accepts real client certificates; what
+        # matters is that the CLIENT rejects the rogue server certificate.
+        server_hs = ServerHandshake(fake_identity, world["ca"].public_key)
+        server_hello = server_hs.handle_client_hello(client_hs.client_hello())
+        with pytest.raises(TlsError, match="server certificate"):
+            client_hs.handle_server_hello(server_hello)
+
+    def test_client_cert_as_server_cert_rejected(self, world, user_key):
+        # A valid CLIENT certificate must not authenticate a server.
+        client_as_server = ServerIdentity(world["client"].certificate, user_key)
+        client_hs = ClientHandshake(world["client"], world["ca"].public_key)
+        server_hs = ServerHandshake(client_as_server, world["ca"].public_key)
+        server_hello = server_hs.handle_client_hello(client_hs.client_hello())
+        with pytest.raises(TlsError):
+            client_hs.handle_server_hello(server_hello)
+
+
+class TestActiveAttacks:
+    def test_substituted_server_dh_rejected(self, world):
+        """A MITM replacing the server's DH value breaks the signature."""
+        client_hs = ClientHandshake(world["client"], world["ca"].public_key)
+        server_hs = ServerHandshake(world["server"], world["ca"].public_key)
+        server_hello = ServerHello.deserialize(
+            server_hs.handle_client_hello(client_hs.client_hello())
+        )
+        from repro.crypto import dh
+
+        mitm = dh.generate_keypair()
+        forged = ServerHello(
+            server_random=server_hello.server_random,
+            certificate=server_hello.certificate,
+            dh_public=mitm.public_bytes(),
+            signature=server_hello.signature,
+        )
+        with pytest.raises(TlsError, match="signature"):
+            client_hs.handle_server_hello(forged.serialize())
+
+    def test_substituted_client_dh_rejected(self, world):
+        client_hs = ClientHandshake(world["client"], world["ca"].public_key)
+        server_hs = ServerHandshake(world["server"], world["ca"].public_key)
+        server_hello = server_hs.handle_client_hello(client_hs.client_hello())
+        kx = ClientKeyExchange.deserialize(client_hs.handle_server_hello(server_hello))
+        from repro.crypto import dh
+
+        mitm = dh.generate_keypair()
+        forged = ClientKeyExchange(dh_public=mitm.public_bytes(), signature=kx.signature)
+        with pytest.raises(TlsError, match="signature"):
+            server_hs.handle_client_key_exchange(forged.serialize())
+
+    def test_wrong_finished_mac_rejected(self, world):
+        client_hs = ClientHandshake(world["client"], world["ca"].public_key)
+        server_hs = ServerHandshake(world["server"], world["ca"].public_key)
+        server_hello = server_hs.handle_client_hello(client_hs.client_hello())
+        kx = client_hs.handle_server_hello(server_hello)
+        server_hs.handle_client_key_exchange(kx)
+        with pytest.raises(TlsError, match="Finished"):
+            server_hs.verify_client_finished(b"\x00" * 32)
+
+    def test_messages_out_of_order_rejected(self, world):
+        server_hs = ServerHandshake(world["server"], world["ca"].public_key)
+        with pytest.raises(TlsError):
+            server_hs.handle_client_key_exchange(b"premature")

@@ -1,0 +1,47 @@
+"""TLS record framing."""
+
+import pytest
+
+from repro.errors import TlsError
+from repro.tls.records import (
+    ContentType,
+    TlsRecord,
+    alert_record,
+    data_record,
+    handshake_record,
+    parse_record,
+)
+
+
+def test_round_trip():
+    record = TlsRecord(ContentType.APPLICATION_DATA, b"payload")
+    assert TlsRecord.deserialize(record.serialize()) == record
+
+
+def test_parse_checks_expected_type():
+    raw = handshake_record(b"hello")
+    assert parse_record(raw, ContentType.HANDSHAKE) == b"hello"
+    with pytest.raises(TlsError):
+        parse_record(raw, ContentType.APPLICATION_DATA)
+
+
+def test_alert_raises_with_message():
+    raw = alert_record("session error")
+    with pytest.raises(TlsError, match="session error"):
+        parse_record(raw, ContentType.APPLICATION_DATA)
+
+
+def test_unknown_content_type_rejected():
+    raw = bytearray(data_record(b"x"))
+    raw[0] = 99
+    with pytest.raises(TlsError):
+        TlsRecord.deserialize(bytes(raw))
+
+
+def test_trailing_bytes_rejected():
+    with pytest.raises(Exception):
+        TlsRecord.deserialize(data_record(b"x") + b"junk")
+
+
+def test_empty_payload_allowed():
+    assert parse_record(data_record(b""), ContentType.APPLICATION_DATA) == b""

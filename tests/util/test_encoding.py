@@ -1,0 +1,52 @@
+"""Tests for hex codecs, constant-time compare, and exact reads."""
+
+import io
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.encoding import ct_equal, from_hex, read_exact, to_hex
+
+
+class TestHex:
+    def test_round_trip(self):
+        assert from_hex(to_hex(b"\x00\xffabc")) == b"\x00\xffabc"
+
+    def test_lowercase(self):
+        assert to_hex(b"\xab\xcd") == "abcd"
+
+    @given(st.binary(max_size=256))
+    def test_round_trip_property(self, data):
+        assert from_hex(to_hex(data)) == data
+
+
+class TestCtEqual:
+    def test_equal(self):
+        assert ct_equal(b"same", b"same")
+
+    def test_unequal_same_length(self):
+        assert not ct_equal(b"aaaa", b"aaab")
+
+    def test_unequal_length(self):
+        assert not ct_equal(b"short", b"longer")
+
+
+class TestReadExact:
+    def test_reads_across_partial_chunks(self):
+        class Dribble(io.RawIOBase):
+            def __init__(self, data):
+                self._data = data
+
+            def read(self, n):
+                chunk, self._data = self._data[:1], self._data[1:]
+                return chunk
+
+        assert read_exact(Dribble(b"abcdef"), 4) == b"abcd"
+
+    def test_eof_raises(self):
+        with pytest.raises(EOFError):
+            read_exact(io.BytesIO(b"ab"), 3)
+
+    def test_zero_read(self):
+        assert read_exact(io.BytesIO(b""), 0) == b""

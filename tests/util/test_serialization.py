@@ -1,0 +1,149 @@
+"""Unit and property tests for the canonical binary serialization."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.serialization import (
+    Reader,
+    SerializationError,
+    Writer,
+    pack_bytes,
+    pack_str,
+    pack_u32,
+    pack_u64,
+    unpack_bytes,
+    unpack_str,
+    unpack_u32,
+    unpack_u64,
+)
+
+
+class TestFixedWidth:
+    def test_u32_round_trip(self):
+        for value in (0, 1, 2**31, 2**32 - 1):
+            decoded, offset = unpack_u32(pack_u32(value))
+            assert decoded == value
+            assert offset == 4
+
+    def test_u64_round_trip(self):
+        for value in (0, 1, 2**63, 2**64 - 1):
+            decoded, offset = unpack_u64(pack_u64(value))
+            assert decoded == value
+            assert offset == 8
+
+    def test_u32_out_of_range(self):
+        with pytest.raises(SerializationError):
+            pack_u32(2**32)
+        with pytest.raises(SerializationError):
+            pack_u32(-1)
+
+    def test_u64_out_of_range(self):
+        with pytest.raises(SerializationError):
+            pack_u64(2**64)
+
+    def test_truncated_u32(self):
+        with pytest.raises(SerializationError):
+            unpack_u32(b"\x00\x00")
+
+    def test_big_endian_layout(self):
+        assert pack_u32(1) == b"\x00\x00\x00\x01"
+        assert pack_u64(0x0102030405060708) == bytes(range(1, 9))
+
+
+class TestVariableLength:
+    def test_bytes_round_trip(self):
+        data = b"hello\x00world"
+        decoded, offset = unpack_bytes(pack_bytes(data))
+        assert decoded == data
+        assert offset == 4 + len(data)
+
+    def test_str_round_trip(self):
+        decoded, _ = unpack_str(pack_str("grüße/été"))
+        assert decoded == "grüße/été"
+
+    def test_truncated_bytes(self):
+        blob = pack_bytes(b"abcdef")
+        with pytest.raises(SerializationError):
+            unpack_bytes(blob[:-1])
+
+    def test_invalid_utf8(self):
+        blob = pack_bytes(b"\xff\xfe")
+        with pytest.raises(SerializationError):
+            unpack_str(blob)
+
+
+class TestWriterReader:
+    def test_mixed_round_trip(self):
+        blob = (
+            Writer()
+            .u8(7)
+            .u32(42)
+            .u64(2**40)
+            .bool(True)
+            .str("name")
+            .bytes(b"\x01\x02")
+            .str_list(["a", "b", "c"])
+            .raw(b"tail")
+            .take()
+        )
+        r = Reader(blob)
+        assert r.u8() == 7
+        assert r.u32() == 42
+        assert r.u64() == 2**40
+        assert r.bool() is True
+        assert r.str() == "name"
+        assert r.bytes() == b"\x01\x02"
+        assert r.str_list() == ["a", "b", "c"]
+        assert r.raw(4) == b"tail"
+        r.expect_end()
+
+    def test_take_resets_writer(self):
+        w = Writer()
+        w.u32(1)
+        assert w.take() == pack_u32(1)
+        assert w.take() == b""
+
+    def test_expect_end_rejects_trailing(self):
+        r = Reader(b"\x00\x01")
+        r.u8()
+        with pytest.raises(SerializationError):
+            r.expect_end()
+
+    def test_invalid_bool(self):
+        with pytest.raises(SerializationError):
+            Reader(b"\x02").bool()
+
+    def test_raw_overread(self):
+        with pytest.raises(SerializationError):
+            Reader(b"ab").raw(3)
+
+    def test_u8_range_checked_on_write(self):
+        with pytest.raises(SerializationError):
+            Writer().u8(256)
+
+
+@given(st.binary(max_size=4096))
+def test_bytes_encoding_is_injective_prefix(data):
+    blob = pack_bytes(data)
+    decoded, offset = unpack_bytes(blob + b"trailing")
+    assert decoded == data
+    assert offset == len(blob)
+
+
+@given(st.lists(st.text(max_size=50), max_size=20))
+def test_str_list_round_trip(items):
+    blob = Writer().str_list(items).take()
+    r = Reader(blob)
+    assert r.str_list() == items
+    r.expect_end()
+
+
+@given(
+    st.integers(min_value=0, max_value=2**32 - 1),
+    st.binary(max_size=100),
+    st.text(max_size=100),
+)
+def test_canonical_encoding_deterministic(n, data, text):
+    encode = lambda: Writer().u32(n).bytes(data).str(text).take()
+    assert encode() == encode()

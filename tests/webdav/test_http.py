@@ -1,0 +1,66 @@
+"""HTTP/WebDAV message parsing and serialization."""
+
+import pytest
+
+from repro.errors import WebDavError
+from repro.webdav import HttpRequest, HttpResponse, Method
+
+
+class TestRequest:
+    def test_round_trip(self):
+        request = HttpRequest(
+            Method.PUT, "/d/f.txt", headers={"x-custom": "v"}, body=b"body"
+        )
+        parsed = HttpRequest.parse(request.serialize())
+        assert parsed.method is Method.PUT
+        assert parsed.path == "/d/f.txt"
+        assert parsed.header("X-Custom") == "v"
+        assert parsed.body == b"body"
+
+    def test_content_length_checked(self):
+        raw = b"PUT /f HTTP/1.1\r\ncontent-length: 99\r\n\r\nshort"
+        with pytest.raises(WebDavError):
+            HttpRequest.parse(raw)
+
+    def test_header_names_case_insensitive(self):
+        raw = b"GET /f HTTP/1.1\r\nDepth: 1\r\n\r\n"
+        assert HttpRequest.parse(raw).header("depth") == "1"
+
+    def test_unsupported_method(self):
+        with pytest.raises(WebDavError):
+            HttpRequest.parse(b"BREW /pot HTTP/1.1\r\n\r\n")
+
+    def test_malformed_request_line(self):
+        with pytest.raises(WebDavError):
+            HttpRequest.parse(b"GET /f\r\n\r\n")
+
+    def test_malformed_header(self):
+        with pytest.raises(WebDavError):
+            HttpRequest.parse(b"GET /f HTTP/1.1\r\nnocolon\r\n\r\n")
+
+    def test_binary_body_survives(self):
+        body = bytes(range(256)) + b"\r\n\r\n" + bytes(range(256))
+        parsed = HttpRequest.parse(HttpRequest(Method.PUT, "/f", body=body).serialize())
+        assert parsed.body == body
+
+    def test_all_webdav_methods_parse(self):
+        for method in Method:
+            raw = f"{method.value} /p HTTP/1.1\r\n\r\n".encode()
+            assert HttpRequest.parse(raw).method is method
+
+
+class TestResponse:
+    def test_round_trip(self):
+        response = HttpResponse(207, "Multi-Status", body=b"listing")
+        parsed = HttpResponse.parse(response.serialize())
+        assert parsed.status == 207
+        assert parsed.reason == "Multi-Status"
+        assert parsed.body == b"listing"
+
+    def test_ok_predicate(self):
+        assert HttpResponse(201, "Created").ok
+        assert not HttpResponse(403, "Forbidden").ok
+
+    def test_malformed_status_line(self):
+        with pytest.raises(WebDavError):
+            HttpResponse.parse(b"HTTP/9.9 banana\r\n\r\n")
