@@ -1,0 +1,17 @@
+"""SeGShare reproduction: secure group file sharing using enclaves.
+
+Package map:
+
+* ``repro.crypto`` — primitives (PAE, sealing, key derivation).
+* ``repro.sgx`` — simulated SGX platform: enclaves, sealing, counters,
+  protected FS, cost model.
+* ``repro.storage`` — untrusted key-value backends.
+* ``repro.netsim`` — simulated network (clock, links, transport).
+* ``repro.tls`` — the enclave-terminated TLS channel.
+* ``repro.core`` — the SeGShare server/enclave/client themselves.
+* ``repro.faults`` — deterministic fault injection: seeded
+  :class:`~repro.faults.FaultPlan` schedules driving storage faults
+  (``FaultyStore``), network faults (``FaultyLink``), and enclave
+  crashes at operation boundaries; pairs with the write-ahead journal
+  in ``repro.core.journal`` for crash-consistency testing.
+"""

@@ -13,6 +13,7 @@ The client stores nothing beyond its certificate and private key
 
 from __future__ import annotations
 
+import random
 from typing import Iterator
 
 from repro.core.requests import (
@@ -24,15 +25,39 @@ from repro.core.requests import (
     StatInfo,
     Status,
 )
-from repro.errors import AccessDenied, RequestError
+from repro.errors import (
+    AccessDenied,
+    FaultError,
+    RequestError,
+    RetryPolicy,
+    ServiceUnavailableError,
+)
 from repro.tls.channel import TlsClient
 
 
 class SeGShareClient:
-    """A connected, authenticated SeGShare user."""
+    """A connected, authenticated SeGShare user.
 
-    def __init__(self, tls: TlsClient) -> None:
+    With a :class:`repro.errors.RetryPolicy`, requests answered with
+    :data:`Status.RETRY` (a transient server-side fault that was rolled
+    back) are re-issued with capped exponential backoff; the delays are
+    charged to the channel's simulated clock, and the jitter draws from a
+    client-private seeded RNG so runs stay reproducible.  RETRY responses
+    that outlive the policy raise :class:`repro.errors.FaultError`;
+    :data:`Status.UNAVAILABLE` (the server degraded to read-only) raises
+    :class:`repro.errors.ServiceUnavailableError` immediately — backoff
+    cannot help there.
+    """
+
+    def __init__(
+        self,
+        tls: TlsClient,
+        retry: RetryPolicy | None = None,
+        retry_seed: int = 0,
+    ) -> None:
         self._tls = tls
+        self._retry = retry
+        self._retry_rng = random.Random(retry_seed)
 
     # -- plumbing ---------------------------------------------------------------
 
@@ -42,16 +67,40 @@ class SeGShareClient:
             raise AccessDenied("the server denied the request")
         if response.status is Status.ERROR:
             raise RequestError(response.message)
-        return response
-
-    def _call(self, op: Op, *args: str) -> Response:
-        header, body = self._tls.request_full(Request(op=op, args=args).serialize())
-        response = self._check(Response.deserialize(header))
-        if body:
-            return Response(
-                status=response.status, message=response.message, payload=body
+        if response.status is Status.RETRY:
+            raise FaultError(response.message or "transient server fault")
+        if response.status is Status.UNAVAILABLE:
+            raise ServiceUnavailableError(
+                response.message or "service degraded to read-only"
             )
         return response
+
+    def _should_retry(self, response: Response, attempt: int) -> bool:
+        if response.status is not Status.RETRY or self._retry is None:
+            return False
+        if attempt >= self._retry.attempts:
+            return False
+        delay = self._retry.delay(attempt, self._retry_rng)
+        clock = getattr(self._tls, "_clock", None)
+        if clock is not None:
+            clock.charge(delay, account="client-backoff")
+        return True
+
+    def _call(self, op: Op, *args: str) -> Response:
+        payload = Request(op=op, args=args).serialize()
+        attempt = 1
+        while True:
+            header, body = self._tls.request_full(payload)
+            response = Response.deserialize(header)
+            if self._should_retry(response, attempt):
+                attempt += 1
+                continue
+            response = self._check(response)
+            if body:
+                return Response(
+                    status=response.status, message=response.message, payload=body
+                )
+            return response
 
     # -- files and directories -------------------------------------------------------
 
@@ -60,10 +109,21 @@ class SeGShareClient:
         self._call(Op.PUT_DIR, path)
 
     def upload(self, path: str, content: bytes | Iterator[bytes]) -> None:
-        """Create or update a content file, streamed in fixed-size chunks."""
+        """Create or update a content file, streamed in fixed-size chunks.
+
+        Only whole-``bytes`` uploads are retried on transient faults: a
+        generator is consumed by the first attempt and cannot be replayed.
+        """
         header = Request(op=Op.PUT_FILE, args=(path,)).serialize()
-        reply, _ = self._tls.upload_full(header, content)
-        self._check(Response.deserialize(reply))
+        attempt = 1
+        while True:
+            reply, _ = self._tls.upload_full(header, content)
+            response = Response.deserialize(reply)
+            if isinstance(content, bytes) and self._should_retry(response, attempt):
+                attempt += 1
+                continue
+            self._check(response)
+            return
 
     def download(self, path: str) -> bytes:
         """Fetch a content file."""

@@ -153,6 +153,36 @@ class DedupStore:
         entry = self._index.get(h_name)
         return 0 if entry is None else entry[1]
 
+    def reload_index(self) -> None:
+        """Drop the in-memory index and re-read the persisted one.
+
+        An undo-journal rollback restores the on-disk index bytes
+        underneath this cache; the in-memory copy must follow or later
+        refcounts act on the aborted batch's state.
+        """
+        if self._pfs.exists(_INDEX_PATH):
+            self._load_index()
+        else:
+            self._index = {}
+
+    def sweep_orphans(self) -> int:
+        """Reclaim objects the index does not reference; returns the count.
+
+        A crash can strand objects: streamed chunks land in the store
+        before the index adopts them, and an undo-log rollback restores
+        the index without deleting the abandoned object.  Index-first
+        write ordering guarantees the converse (referenced-but-missing)
+        cannot happen, so sweeping unreferenced ``obj:`` files after
+        crash recovery is always safe.
+        """
+        referenced = {object_id for object_id, _ in self._index.values()}
+        removed = 0
+        for path in list(self._pfs.list_paths()):
+            if path.startswith(_OBJECT_PREFIX) and path not in referenced:
+                self._pfs.remove(path)
+                removed += 1
+        return removed
+
     def object_count(self) -> int:
         return len(self._index)
 

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from repro.core.access_control import AccessControl
 from repro.core.audit import AuditLog, export_message_bytes
 from repro.core.file_manager import TrustedFileManager
+from repro.core.journal import WriteAheadJournal
 from repro.core.request_handler import RequestHandler, UploadSink
 from repro.core.requests import Op, Request, Response
 from repro.core.rollback import FlatStoreGuard, RollbackGuard
@@ -37,6 +38,7 @@ from repro.errors import (
     AccessDenied,
     AttestationError,
     BackupError,
+    EnclaveCrashed,
     EnclaveError,
     ReplicationError,
     ReproError,
@@ -88,6 +90,10 @@ class SeGShareOptions:
     replica: bool = False
     audit: bool = False
     quota_bytes: int | None = None
+    #: Crash-consistent mutations: every multi-key request runs under the
+    #: encrypted write-ahead journal (repro/core/journal.py) and is rolled
+    #: back on enclave restart if it did not commit.
+    journal: bool = False
 
     def __post_init__(self) -> None:
         if self.rollback not in ("off", "individual", "whole_fs"):
@@ -189,21 +195,35 @@ class SeGShareEnclave(Enclave):
 
     def _build_components(self) -> None:
         assert self._root_key is not None
+        counter = None
+        if self._options.rollback == "whole_fs":
+            counter = self._platform_counter()
+        journal = None
+        recovered = False
+        if self._options.journal:
+            journal = WriteAheadJournal(
+                self._stores,
+                self._root_key,
+                crash_hook=self.platform.crashpoint,
+                counter_probe=self._counter_probe(counter),
+            )
+            # Roll back any batch a crash left uncommitted BEFORE the
+            # trusted components read storage, so the dedup index, guard
+            # nodes, and directory files all come back pre-batch.
+            recovered = journal.recover_restore()
         self.manager = TrustedFileManager(
             self._stores,
             self._root_key,
             enclave=self,
             hide_paths=self._options.hide_paths,
             enable_dedup=self._options.enable_dedup,
+            journal=journal,
         )
         self.access = AccessControl(self.manager)
         self.handler = RequestHandler(
             self.manager, self.access, quota_bytes=self._options.quota_bytes
         )
         if self._options.rollback != "off":
-            counter = None
-            if self._options.rollback == "whole_fs":
-                counter = self._platform_counter()
             self.guard = RollbackGuard(
                 self.manager,
                 self._root_key,
@@ -220,9 +240,34 @@ class SeGShareEnclave(Enclave):
                 counter=counter,
             )
             self.manager.group_guard = self.group_guard
+        if recovered:
+            # The restore rewound the anchors to their pre-batch bytes but
+            # the counter kept the aborted batch's increments: check the
+            # restored state is internally consistent, then re-anchor it.
+            if self.guard is not None:
+                self.guard.verify_restored_state()
+                self.guard.accept_current_state()
+            if self.group_guard is not None:
+                self.group_guard.accept_current_state()
+            if self.manager.dedup is not None:
+                self.manager.dedup.sweep_orphans()
+        if journal is not None:
+            journal.recover_finish()
         self.webdav = WebDavAdapter(self.handler)
         if self._options.audit:
             self.audit_log = AuditLog(self.manager, self._root_key)
+
+    def _counter_probe(self, counter: "MonotonicCounter | RoteCounterService | None"):
+        """A read-only probe of the whole-FS counter for the journal."""
+        if counter is None:
+            return None
+
+        def probe() -> int:
+            if not counter.exists("segshare-fs"):
+                return 0
+            return counter.read(self, "segshare-fs")
+
+        return probe
 
     def _platform_counter(self) -> "MonotonicCounter | RoteCounterService":
         """The platform's counter service, created once and shared across
@@ -360,6 +405,8 @@ class SeGShareEnclave(Enclave):
         except AccessDenied:
             self._audit(client_cert.user_id, Op.PUT_FILE.name, request.args, "denied")
             return _RejectingSink(Response.denied())
+        except EnclaveCrashed:
+            raise
         except ReproError as exc:
             return _RejectingSink(Response.error(str(exc)))
 
@@ -452,9 +499,11 @@ class SeGShareEnclave(Enclave):
         from repro.crypto import default_pae
 
         self._root_key = default_pae().decrypt(channel_key, wrapped_key, aad=b"segshare-root-key")
-        self._pending_join = None
         self._stores.content.put(self._slot(_SEALED_ROOT_KEY), seal(self, self._root_key))
         self._build_components()
+        # Cleared only once the join fully succeeded, so a transient
+        # storage fault above leaves the join retryable.
+        self._pending_join = None
 
     def _verify_peer_quote(self, quote: att.Quote, peer_public: bytes) -> None:
         if self._attestation_service is None:

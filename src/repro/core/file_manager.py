@@ -23,6 +23,7 @@ Content-store plaintext formats:
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 from typing import TYPE_CHECKING, Iterator
 
@@ -37,8 +38,20 @@ from repro.core.acl import (
 )
 from repro.core.dedup import DedupStore
 from repro.core.hiding import HmacPathTransform, IdentityTransform
+from repro.core.journal import (
+    TAG_CONTENT,
+    TAG_DEDUP,
+    TAG_GROUP,
+    JournaledStore,
+    WriteAheadJournal,
+)
 from repro.crypto import derive_key
-from repro.errors import FileSystemError, ProtectedFsError
+from repro.errors import (
+    EnclaveCrashed,
+    FileSystemError,
+    ProtectedFsError,
+    ReproError,
+)
 from repro.fsmodel import DirectoryFile
 from repro.sgx.enclave import Enclave
 from repro.sgx.protected_fs import ProtectedFs
@@ -66,19 +79,31 @@ class TrustedFileManager:
         enclave: Enclave | None = None,
         hide_paths: bool = False,
         enable_dedup: bool = False,
+        journal: WriteAheadJournal | None = None,
     ) -> None:
         self._root_key = root_key
         self._enclave = enclave
+        self.journal = journal
+        # With journaling on, the ProtectedFs instances write through undo-
+        # recording wrappers; the raw stores stay on self._stores (stats,
+        # sealed slots, and the journal's own keys bypass the wrappers).
+        backends = stores
+        if journal is not None:
+            backends = StoreSet(
+                content=JournaledStore(stores.content, journal, TAG_CONTENT),
+                group=JournaledStore(stores.group, journal, TAG_GROUP),
+                dedup=JournaledStore(stores.dedup, journal, TAG_DEDUP),
+            )
         self._content = ProtectedFs(
-            stores.content, master_key=derive_key(root_key, "segshare/store/content", length=16),
+            backends.content, master_key=derive_key(root_key, "segshare/store/content", length=16),
             enclave=enclave,
         )
         self._group = ProtectedFs(
-            stores.group, master_key=derive_key(root_key, "segshare/store/group", length=16),
+            backends.group, master_key=derive_key(root_key, "segshare/store/group", length=16),
             enclave=enclave,
         )
         self._dedup_pfs = ProtectedFs(
-            stores.dedup, master_key=derive_key(root_key, "segshare/store/dedup", length=16),
+            backends.dedup, master_key=derive_key(root_key, "segshare/store/dedup", length=16),
             enclave=enclave,
         )
         self._transform = HmacPathTransform(root_key) if hide_paths else IdentityTransform()
@@ -88,6 +113,58 @@ class TrustedFileManager:
         self.guard: "RollbackGuard | None" = None
         self.group_guard: "FlatStoreGuard | None" = None
         self._stores = stores
+
+    # -- crash-consistent mutation batches ----------------------------------------
+
+    @contextlib.contextmanager
+    def batch(self, label: str) -> Iterator[None]:
+        """Run a multi-key mutation as one all-or-nothing unit.
+
+        Without a journal this is free.  With one, the span is bracketed
+        by the undo journal: a crash inside it is rolled back on restart;
+        a non-crash failure is rolled back immediately (pre-images
+        restored, guards re-anchored).  Nested batches join the outer one.
+        """
+        journal = self.journal
+        if journal is None or journal.active:
+            yield
+            return
+        journal.begin(label)
+        try:
+            yield
+        except EnclaveCrashed:
+            # The enclave is gone; restart recovery replays the undo log.
+            raise
+        except BaseException:
+            try:
+                journal.rollback()
+                self._reanchor_guards()
+                journal.clear()
+            except EnclaveCrashed:
+                raise
+            except ReproError as rollback_exc:
+                # State may be inconsistent; refuse further mutations until
+                # a restart re-runs the (still persisted) undo log.
+                journal.poison(f"rollback of batch {label!r} failed: {rollback_exc}")
+            raise
+        else:
+            journal.commit()
+
+    def _reanchor_guards(self) -> None:
+        """Resync in-memory state after an undo-log restore.
+
+        The restore brought back the pre-batch anchors byte-for-byte, but
+        the monotonic counter kept the increments the aborted batch made —
+        the anchors must be rewritten against the current counter value.
+        The dedup index cache likewise still holds the aborted batch's
+        refcounts and must follow the restored bytes.
+        """
+        if self.dedup is not None:
+            self.dedup.reload_index()
+        if self.guard is not None:
+            self.guard.accept_current_state()
+        if self.group_guard is not None:
+            self.group_guard.accept_current_state()
 
     # -- helpers -----------------------------------------------------------------
 

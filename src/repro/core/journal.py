@@ -1,0 +1,324 @@
+"""Encrypted write-ahead (undo) journal for crash-consistent mutations.
+
+The problem: one SeGShare request mutates *many* untrusted keys — content
+chunks, directory files, ACLs, quota records, dedup index, rollback-guard
+nodes, the anchor, and the monotonic counter.  A crash between any two of
+those writes leaves the store permanently failing ``verify_read`` (the
+anchor no longer matches storage), which is indistinguishable from a
+rollback attack.
+
+The fix is a classic undo journal, kept *inside* the trust boundary:
+
+1.  ``begin(label)`` writes an encrypted **batch marker** to the content
+    store before the first mutation.  The marker records the whole-FS
+    counter value, freshness-binding the journal itself (see below).
+2.  Before the first mutation of each key in the batch, the journal
+    persists an encrypted **undo entry** holding the key's pre-image (or
+    an "absent" tombstone).  Entries are written *before* the mutation
+    they cover, so a crash can always undo it.
+3.  ``commit()`` deletes the marker — one atomic object delete is the
+    commit point — then sweeps the entries as garbage.
+
+On enclave restart, a surviving marker means the batch did not commit:
+every recorded pre-image is restored, the rollback guards re-anchor, and
+the batch is gone without a trace (all-or-nothing).  Entries *without* a
+marker are post-commit garbage and are swept.
+
+Freshness of the journal: the marker and entries are PAE-encrypted under
+a key derived from SK_r, with the object key bound as AAD, so the host
+can neither forge nor transplant records.  The host *can* replay an old
+complete journal together with old data; the marker's recorded counter
+value bounds that attack — recovery refuses a journal whose counter is
+more than ``MAX_COUNTER_LAG`` increments behind the TEE counter (or ahead
+of it, which is outright forgery).  Without whole-FS protection there is
+no counter and the check is vacuous, matching the (weaker) guarantees of
+those modes.
+
+Everything here is opt-in via ``SeGShareOptions(journal=True)``; with the
+option off no wrapper is installed and no overhead exists.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterator, Optional
+
+from repro.crypto import default_pae, derive_key
+from repro.errors import (
+    IntegrityError,
+    RollbackDetected,
+    ServiceUnavailableError,
+    StorageError,
+)
+from repro.storage.backends import TransactionalStore, UntrustedStore
+from repro.storage.stores import StoreSet
+from repro.util.serialization import Reader, Writer
+
+#: Store tags identifying which member of the :class:`StoreSet` a journal
+#: entry belongs to.
+TAG_CONTENT, TAG_GROUP, TAG_DEDUP = 0, 1, 2
+
+#: Recovery refuses a journal whose recorded counter value lags the TEE
+#: counter by more than this many increments: a replayed old journal
+#: (a rollback attack staged through the recovery path) is rejected while
+#: repeated crash/recover cycles — which advance the counter a few steps
+#: per cycle — stay well inside the bound.
+MAX_COUNTER_LAG = 4096
+
+_MARKER_KEY = "\x00journal:batch"
+_ENTRY_PREFIX = "\x00journal:entry:"
+_MARKER_AAD = b"segshare-journal:marker"
+_ENTRY_AAD = b"segshare-journal:"
+
+
+class WriteAheadJournal:
+    """Undo journal over the three untrusted stores of one deployment.
+
+    ``crash_hook`` is called with a site name (``journal:begin``,
+    ``journal:entry``, ``journal:mutate``, ``journal:commit``,
+    ``journal:committed``) at every step boundary; wiring it to
+    :meth:`SgxPlatform.crashpoint` lets a fault plan kill the enclave at
+    any individual journal step (the crash-matrix tests enumerate them).
+    ``counter_probe`` returns the current whole-FS counter value, or is
+    ``None`` when no counter protects the deployment.
+    """
+
+    def __init__(
+        self,
+        stores: StoreSet,
+        root_key: bytes,
+        crash_hook: Optional[Callable[[str], None]] = None,
+        counter_probe: Optional[Callable[[], int]] = None,
+    ) -> None:
+        self._tagged: tuple[UntrustedStore, ...] = (stores.content, stores.group, stores.dedup)
+        self._backend = stores.content
+        self._key = derive_key(root_key, "segshare/journal", length=16)
+        self._pae = default_pae()
+        self._crash_hook = crash_hook
+        self.counter_probe = counter_probe
+        self._active = False
+        self._seq = 0
+        self._recorded: set[tuple[int, str]] = set()
+        self._poisoned: Optional[str] = None
+
+    # -- step boundaries -------------------------------------------------------
+
+    @property
+    def active(self) -> bool:
+        return self._active
+
+    def crashpoint(self, site: str) -> None:
+        if self._crash_hook is not None:
+            self._crash_hook(site)
+
+    # -- batch lifecycle -------------------------------------------------------
+
+    def begin(self, label: str) -> None:
+        """Open a batch: persist the marker before any data mutation."""
+        if self._poisoned is not None:
+            raise ServiceUnavailableError(
+                f"mutations are disabled: {self._poisoned} (restart the enclave)"
+            )
+        if self._active:
+            raise StorageError("journal batch already open")
+        counter_start = self.counter_probe() if self.counter_probe is not None else 0
+        plaintext = Writer().str(label).u64(counter_start).take()
+        self._backend.put(
+            _MARKER_KEY, self._pae.encrypt(self._key, plaintext, aad=_MARKER_AAD)
+        )
+        self._active = True
+        self._seq = 0
+        self._recorded.clear()
+        self.crashpoint("journal:begin")
+
+    def record(self, tag: int, key: str) -> None:
+        """Persist the pre-image of ``(tag, key)`` before its first mutation."""
+        if not self._active or (tag, key) in self._recorded:
+            return
+        store = self._tagged[tag]
+        present = store.exists(key)
+        pre_image = store.get(key) if present else b""
+        entry_key = f"{_ENTRY_PREFIX}{self._seq:08d}"
+        plaintext = (
+            Writer().u8(tag).str(key).u8(1 if present else 0).raw(pre_image).take()
+        )
+        self._backend.put(
+            entry_key,
+            self._pae.encrypt(
+                self._key, plaintext, aad=_ENTRY_AAD + entry_key.encode("utf-8")
+            ),
+        )
+        self._seq += 1
+        self._recorded.add((tag, key))
+        self.crashpoint("journal:entry")
+
+    def commit(self) -> None:
+        """Commit the batch: the marker delete is the atomic commit point."""
+        if not self._active:
+            return
+        self.crashpoint("journal:commit")
+        self._backend.delete(_MARKER_KEY)
+        self._active = False
+        self.crashpoint("journal:committed")
+        # Commit is the hot path: sweep the entries written this batch by
+        # sequence number instead of scanning the whole key space.
+        for seq in range(self._seq):
+            entry_key = f"{_ENTRY_PREFIX}{seq:08d}"
+            if self._backend.exists(entry_key):
+                self._backend.delete(entry_key)
+        self._recorded.clear()
+
+    def rollback(self) -> None:
+        """In-process abort: restore every recorded pre-image.
+
+        The journal keys are deliberately *kept* — the caller re-anchors
+        the rollback guards first and then calls :meth:`clear`, so a crash
+        anywhere in between is repaired by restart recovery re-running the
+        (idempotent) restore.
+        """
+        self._active = False
+        self._restore_entries()
+
+    def clear(self) -> None:
+        """Drop the marker and all entries (after rollback + re-anchor)."""
+        self._active = False
+        if self._backend.exists(_MARKER_KEY):
+            self._backend.delete(_MARKER_KEY)
+        self._sweep_entries()
+        self._recorded.clear()
+
+    def poison(self, reason: str) -> None:
+        """Refuse further batches (rollback itself failed); reads continue."""
+        self._poisoned = reason
+
+    @property
+    def poisoned(self) -> Optional[str]:
+        return self._poisoned
+
+    # -- recovery (enclave start) ----------------------------------------------
+
+    def recover_restore(self) -> bool:
+        """Roll back an uncommitted batch left by a crash; True if one was.
+
+        Runs before the trusted components are built so they observe the
+        restored bytes.  The caller re-anchors the guards and then calls
+        :meth:`recover_finish`; until then the journal keys survive, so a
+        crash *during* recovery just re-runs it.
+        """
+        if not self._backend.exists(_MARKER_KEY):
+            # Entries without a marker are garbage from a commit that
+            # crashed mid-sweep; the batch itself was fully applied.
+            self._sweep_entries()
+            return False
+        try:
+            plaintext = self._pae.decrypt(
+                self._key, self._backend.get(_MARKER_KEY), aad=_MARKER_AAD
+            )
+        except IntegrityError:
+            raise RollbackDetected(
+                "write-ahead journal marker is corrupt or not ours"
+            ) from None
+        r = Reader(plaintext)
+        label = r.str()
+        counter_start = r.u64()
+        r.expect_end()
+        if self.counter_probe is not None:
+            current = self.counter_probe()
+            if current < counter_start or current - counter_start > MAX_COUNTER_LAG:
+                raise RollbackDetected(
+                    f"stale write-ahead journal for batch {label!r}: recorded "
+                    f"counter {counter_start}, TEE counter {current}"
+                )
+        self._restore_entries()
+        return True
+
+    def recover_finish(self) -> None:
+        """Finish recovery after the guards re-anchored."""
+        self.clear()
+
+    # -- internals ---------------------------------------------------------------
+
+    def _entry_keys(self) -> list[str]:
+        return sorted(
+            key for key in self._backend.keys() if key.startswith(_ENTRY_PREFIX)
+        )
+
+    def _sweep_entries(self) -> None:
+        for key in self._entry_keys():
+            self._backend.delete(key)
+
+    def _restore_entries(self) -> None:
+        restore = (
+            self._backend.batch()
+            if isinstance(self._backend, TransactionalStore)
+            else contextlib.nullcontext()
+        )
+        with restore:
+            for entry_key in self._entry_keys():
+                try:
+                    plaintext = self._pae.decrypt(
+                        self._key,
+                        self._backend.get(entry_key),
+                        aad=_ENTRY_AAD + entry_key.encode("utf-8"),
+                    )
+                except IntegrityError:
+                    raise RollbackDetected(
+                        f"write-ahead journal entry {entry_key!r} is corrupt"
+                    ) from None
+                r = Reader(plaintext)
+                tag = r.u8()
+                key = r.str()
+                present = r.u8()
+                pre_image = r.raw(r.remaining)
+                store = self._tagged[tag]
+                if present:
+                    store.put(key, pre_image)
+                elif store.exists(key):
+                    store.delete(key)
+
+
+class JournaledStore(UntrustedStore):
+    """Store wrapper that records undo entries before every mutation.
+
+    Installed between the :class:`~repro.sgx.protected_fs.ProtectedFs`
+    instances and the raw backends when journaling is enabled; reads pass
+    straight through, mutations first persist the key's pre-image while a
+    batch is open.  The journal's own keys live on the raw backend, so
+    its writes never recurse through this wrapper.
+    """
+
+    def __init__(self, inner: UntrustedStore, journal: WriteAheadJournal, tag: int) -> None:
+        self.inner = inner
+        self._journal = journal
+        self._tag = tag
+
+    def put(self, key: str, value: bytes) -> None:
+        self._journal.record(self._tag, key)
+        self.inner.put(key, value)
+        self._journal.crashpoint("journal:mutate")
+
+    def delete(self, key: str) -> None:
+        self._journal.record(self._tag, key)
+        self.inner.delete(key)
+        self._journal.crashpoint("journal:mutate")
+
+    def rename(self, old: str, new: str) -> None:
+        self._journal.record(self._tag, old)
+        self._journal.record(self._tag, new)
+        self.inner.rename(old, new)
+        self._journal.crashpoint("journal:mutate")
+
+    def get(self, key: str) -> bytes:
+        return self.inner.get(key)
+
+    def exists(self, key: str) -> bool:
+        return self.inner.exists(key)
+
+    def keys(self) -> Iterator[str]:
+        return self.inner.keys()
+
+    def size(self, key: str) -> int:
+        return self.inner.size(key)
+
+    def total_bytes(self) -> int:
+        return self.inner.total_bytes()

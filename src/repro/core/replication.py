@@ -21,24 +21,75 @@ sealed blob would otherwise be the only copy).
 
 from __future__ import annotations
 
+import random
+from typing import Callable
+
 from repro.core.server import SeGShareServer
-from repro.errors import ReplicationError
+from repro.errors import NetworkError, ReplicationError, RetryPolicy, StorageError
 
 
-def transfer_root_key(root: SeGShareServer, replica: SeGShareServer) -> None:
+def _with_retry(
+    step: Callable[[], object],
+    retry: RetryPolicy | None,
+    rng: random.Random,
+    clock,
+) -> object:
+    """Run one join-protocol step, retrying transient faults.
+
+    Each ECALL of the protocol is individually idempotent until the
+    final ``replication_complete_join`` commits (it clears the pending
+    join state only after the sealed key is persisted), so re-running a
+    failed step is always safe.
+    """
+    attempt = 1
+    while True:
+        try:
+            return step()
+        except (StorageError, NetworkError):
+            if retry is None or attempt >= retry.attempts:
+                raise
+            delay = retry.delay(attempt, rng)
+            if clock is not None:
+                clock.charge(delay, account="replication-backoff")
+            attempt += 1
+
+
+def transfer_root_key(
+    root: SeGShareServer,
+    replica: SeGShareServer,
+    retry: RetryPolicy | None = None,
+    retry_seed: int = 0,
+) -> None:
     """Run the join protocol: ``replica`` obtains SK_r from ``root``.
 
     Raises :class:`ReplicationError` (or an attestation error from inside
     the enclaves) if either side's quote fails verification or the
-    measurements differ.
+    measurements differ.  With ``retry``, transient storage or network
+    faults in any step are retried with capped, seeded backoff.
     """
     if root.enclave is replica.enclave:
         raise ReplicationError("cannot replicate an enclave with itself")
-    replica_quote, replica_pub = replica.handle.call("replication_begin_join")
-    root_quote, root_pub, wrapped = root.handle.call(
-        "replication_share_root_key", replica_quote, replica_pub
+    rng = random.Random(retry_seed)
+    clock = replica.env.clock
+    replica_quote, replica_pub = _with_retry(
+        lambda: replica.handle.call("replication_begin_join"), retry, rng, clock
     )
-    replica.handle.call("replication_complete_join", root_quote, root_pub, wrapped)
+    root_quote, root_pub, wrapped = _with_retry(
+        lambda: root.handle.call(
+            "replication_share_root_key", replica_quote, replica_pub
+        ),
+        retry,
+        rng,
+        clock,
+    )
+    _with_retry(
+        lambda: replica.handle.call(
+            "replication_complete_join", root_quote, root_pub, wrapped
+        ),
+        retry,
+        rng,
+        clock,
+    )
 
 
 class ReplicaSet:

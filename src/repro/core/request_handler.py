@@ -45,16 +45,39 @@ from repro.core.requests import (
 )
 from repro.errors import (
     AccessDenied,
+    CounterError,
+    EnclaveCrashed,
+    FaultError,
     FileSystemError,
     PathError,
     ReproError,
     RequestError,
     RollbackDetected,
+    ServiceUnavailableError,
 )
 from repro.fsmodel import DirectoryFile, is_dir_path, parent, validate_path
 from repro.tls.channel import StreamingResponse
 
 ROOT = "/"
+
+#: Requests that mutate multiple untrusted keys and therefore run inside a
+#: write-ahead journal batch when the enclave has journaling enabled.
+#: (PUT_FILE streams; its batch opens in :meth:`UploadSink.finish`.)
+_MUTATING_OPS = frozenset(
+    {
+        Op.PUT_DIR,
+        Op.REMOVE,
+        Op.MOVE,
+        Op.SET_PERM,
+        Op.SET_INHERIT,
+        Op.ADD_FILE_OWNER,
+        Op.RMV_FILE_OWNER,
+        Op.ADD_USER,
+        Op.RMV_USER,
+        Op.ADD_GROUP_OWNER,
+        Op.DELETE_GROUP,
+    }
+)
 
 
 def _validate_user_path(path: str) -> None:
@@ -89,11 +112,24 @@ class RequestHandler:
         """Process one non-streaming request; exceptions become responses."""
         try:
             request.validate()
+            if request.op in _MUTATING_OPS:
+                with self._manager.batch(request.op.name):
+                    return self._dispatch(user_id, request)
             return self._dispatch(user_id, request)
+        except EnclaveCrashed:
+            # Not a request failure: the enclave itself is gone.  Restart
+            # recovery (not a response) is the only way forward.
+            raise
         except AccessDenied:
             return Response.denied()
         except RollbackDetected as exc:
             return Response.error(f"integrity violation: {exc}")
+        except ServiceUnavailableError as exc:
+            return Response.unavailable(str(exc))
+        except CounterError as exc:
+            return Response.unavailable(f"freshness counter unreachable: {exc}")
+        except FaultError as exc:
+            return Response.retryable(str(exc))
         except (RequestError, PathError, FileSystemError) as exc:
             return Response.error(str(exc))
         except ReproError as exc:
@@ -528,10 +564,24 @@ class UploadSink:
 
     def finish(self) -> bytes:
         try:
-            response = self._handler._commit_upload(self._user_id, self._path, self._upload)
+            with self._handler._manager.batch("PUT_FILE"):
+                response = self._handler._commit_upload(
+                    self._user_id, self._path, self._upload
+                )
+        except EnclaveCrashed:
+            raise
         except AccessDenied:
             self._upload.abort()
             response = Response.denied()
+        except ServiceUnavailableError as exc:
+            self._upload.abort()
+            response = Response.unavailable(str(exc))
+        except CounterError as exc:
+            self._upload.abort()
+            response = Response.unavailable(f"freshness counter unreachable: {exc}")
+        except FaultError as exc:
+            self._upload.abort()
+            response = Response.retryable(str(exc))
         except ReproError as exc:
             self._upload.abort()
             response = Response.error(str(exc))

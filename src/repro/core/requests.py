@@ -48,6 +48,12 @@ class Status(enum.IntEnum):
     OK = 0
     DENIED = 1
     ERROR = 2
+    #: Transient server-side fault; the request did not take effect and the
+    #: client should retry with backoff.
+    RETRY = 3
+    #: The service is degraded to read-only (e.g. the counter quorum is
+    #: unreachable); retrying immediately will not help.
+    UNAVAILABLE = 4
 
 
 @dataclass(frozen=True)
@@ -166,6 +172,16 @@ class Response:
     @classmethod
     def error(cls, message: str) -> "Response":
         return cls(status=Status.ERROR, message=message)
+
+    @classmethod
+    def retryable(cls, message: str) -> "Response":
+        """A transient fault: the mutation was rolled back; retry is safe."""
+        return cls(status=Status.RETRY, message=message)
+
+    @classmethod
+    def unavailable(cls, message: str) -> "Response":
+        """The service is degraded (read-only); writes are refused."""
+        return cls(status=Status.UNAVAILABLE, message=message)
 
 
 @dataclass(frozen=True)

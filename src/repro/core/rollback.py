@@ -36,7 +36,7 @@ from repro.core.acl import acl_path
 from repro.core.file_manager import GUARD_PREFIX, TrustedFileManager
 from repro.crypto import derive_key
 from repro.crypto.mset_hash import MSetXorHash
-from repro.errors import RollbackDetected
+from repro.errors import CounterError, RollbackDetected
 from repro.fsmodel import DirectoryFile, parent
 from repro.sgx.counters import MonotonicCounter, RoteCounterService
 from repro.sgx.enclave import Enclave
@@ -98,6 +98,12 @@ class RollbackGuard:
         self._enclave = enclave
         self._counter = counter
         self._counter_id = counter_id
+        #: With the counter service unreachable (ROTE quorum lost), reads
+        #: may proceed on the hash chain alone; writes still fail because
+        #: the anchor cannot be re-counted.  Set False to fail reads too.
+        self.allow_degraded_reads = True
+        #: Count of reads served without the counter freshness check.
+        self.degraded_reads = 0
         if counter is not None and enclave is None:
             raise RollbackDetected("whole-FS protection needs the owning enclave")
         if counter is not None and not counter.exists(counter_id):
@@ -172,7 +178,15 @@ class RollbackGuard:
         if stored_main != root_main:
             raise RollbackDetected("root hash does not match the anchored value")
         if self._counter is not None:
-            current = self._counter.read(self._enclave, self._counter_id)
+            try:
+                current = self._counter.read(self._enclave, self._counter_id)
+            except CounterError:
+                if not self.allow_degraded_reads:
+                    raise
+                # Degraded mode: the hash chain above already authenticated
+                # the state; only the whole-FS freshness bound is lost.
+                self.degraded_reads += 1
+                return
             if stored_counter != current:
                 raise RollbackDetected(
                     "file system rolled back: anchor counter "
@@ -426,6 +440,8 @@ class FlatStoreGuard:
         self._enclave = enclave
         self._counter = counter
         self._counter_id = counter_id
+        self.allow_degraded_reads = True
+        self.degraded_reads = 0
         if counter is not None and enclave is None:
             raise RollbackDetected("whole-FS protection needs the owning enclave")
         if counter is not None and not counter.exists(counter_id):
@@ -479,7 +495,13 @@ class FlatStoreGuard:
         if stored_main != main:
             raise RollbackDetected("group store root hash does not match the anchor")
         if self._counter is not None:
-            current = self._counter.read(self._enclave, self._counter_id)
+            try:
+                current = self._counter.read(self._enclave, self._counter_id)
+            except CounterError:
+                if not self.allow_degraded_reads:
+                    raise
+                self.degraded_reads += 1
+                return
             if stored_counter != current:
                 raise RollbackDetected(
                     "group store rolled back: anchor counter "

@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 from repro.core.client import SeGShareClient
 from repro.core.enclave_app import SeGShareEnclave, SeGShareOptions
 from repro.crypto import rsa
-from repro.errors import AttestationError
+from repro.errors import AttestationError, RetryPolicy
 from repro.netsim import Endpoint, Listener, NetworkEnv, azure_wan_env
 from repro.pki import CertificateAuthority, Certificate
 from repro.pki.certificate import CertificateSigningRequest
@@ -162,8 +162,17 @@ class Deployment:
         cert = self.ca.issue_client_certificate(user_id, key.public_key)
         return ClientIdentity(certificate=cert, private_key=key)
 
-    def connect(self, identity: ClientIdentity) -> SeGShareClient:
-        """Open a connection + TLS handshake for an issued identity."""
+    def connect(
+        self,
+        identity: ClientIdentity,
+        retry: RetryPolicy | None = None,
+        retry_seed: int = 0,
+    ) -> SeGShareClient:
+        """Open a connection + TLS handshake for an issued identity.
+
+        ``retry`` (optional) makes the channel and client retry transient
+        network/storage faults with capped, seeded exponential backoff.
+        """
         conn = self.server.endpoint().connect()
         tls = TlsClient(
             conn,
@@ -171,9 +180,11 @@ class Deployment:
             self.ca.public_key,
             clock=self.env.clock,
             costs=self.client_cost_profile,
+            retry=retry,
+            retry_seed=retry_seed,
         )
         tls.handshake()
-        return SeGShareClient(tls)
+        return SeGShareClient(tls, retry=retry, retry_seed=retry_seed)
 
     def new_user(
         self, user_id: str, key: rsa.RsaPrivateKey | None = None, key_bits: int = 1024

@@ -9,6 +9,10 @@ the paper's enclave returns a generic error to the untrusted host.
 
 from __future__ import annotations
 
+import dataclasses
+import random
+from typing import Optional
+
 
 class ReproError(Exception):
     """Base class for all errors raised by this library."""
@@ -66,6 +70,25 @@ class StorageError(ReproError):
     """Untrusted store failure (missing object, backend I/O error)."""
 
 
+class FaultError(StorageError):
+    """A *transient*, injected or host-side fault (see :mod:`repro.faults`).
+
+    Subclasses :class:`StorageError` so existing handling treats it as a
+    storage failure, but callers that implement retry treat ``FaultError``
+    as retryable where a plain ``StorageError`` (missing object) is not.
+    """
+
+
+class ServiceUnavailableError(ReproError):
+    """The service has degraded to read-only or cannot make progress.
+
+    Raised when the freshness-counter quorum is unreachable or the write
+    journal is poisoned: reads may still be served (without a freshness
+    guarantee), but mutations are refused until the operator restores the
+    quorum or restarts the enclave.
+    """
+
+
 class FileSystemError(ReproError):
     """File system model violation (bad path, missing parent, type clash)."""
 
@@ -100,3 +123,33 @@ class BackupError(ReproError):
 
 class WebDavError(ReproError):
     """WebDAV front-end protocol violation."""
+
+
+@dataclasses.dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff schedule for transient faults.
+
+    Delays are *simulated* seconds charged to the deployment's
+    :class:`~repro.netsim.clock.SimClock`, never wall-clock sleeps, so
+    retries are free at test time and deterministic under a seeded RNG.
+
+    ``delay(attempt)`` for ``attempt = 1, 2, 3, ...`` yields
+    ``base_delay * multiplier ** (attempt - 1)`` capped at ``max_delay``,
+    with a symmetric ``jitter`` fraction applied when an RNG is supplied.
+    """
+
+    attempts: int = 5
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    multiplier: float = 2.0
+    jitter: float = 0.1
+
+    def delay(self, attempt: int, rng: Optional[random.Random] = None) -> float:
+        """Backoff delay in simulated seconds before retry ``attempt``."""
+        if attempt < 1:
+            raise ValueError("attempt numbers start at 1")
+        base = self.base_delay * self.multiplier ** (attempt - 1)
+        capped = min(self.max_delay, base)
+        if rng is not None and self.jitter > 0:
+            capped *= 1.0 + rng.uniform(-self.jitter, self.jitter)
+        return capped

@@ -1,0 +1,66 @@
+"""A :class:`Link` that injects network faults from a :class:`FaultPlan`.
+
+Four behaviours, decided per message by the plan:
+
+* **drop** — the send raises :class:`~repro.errors.NetworkError` before any
+  bytes are charged; the sender notices and may retry.
+* **lose** — bytes are charged but ``delivery_copies()`` answers 0: the
+  message vanishes in flight (the receiver never reacts).
+* **duplicate** — ``delivery_copies()`` answers 2+; the transport delivers
+  the same record several times (TLS replay protection must reject it).
+* **delay** — extra seconds are charged to the clock before delivery.
+"""
+
+from __future__ import annotations
+
+from repro.faults.plan import FaultPlan
+from repro.netsim.clock import SimClock
+from repro.netsim.network import AZURE_WAN, Link, LinkSpec, NetworkEnv
+
+
+class FaultyLink(Link):
+    """A link whose transfers consult a fault plan."""
+
+    def __init__(self, clock: SimClock, spec: LinkSpec, plan: FaultPlan, seed: int = 0) -> None:
+        super().__init__(clock, spec, seed=seed)
+        self._plan = plan
+        self._next_copies = 1
+
+    def _consult(self, direction: str, nbytes: int) -> None:
+        self._next_copies = 1
+        action = self._plan.on_message(direction, nbytes)
+        if action is None:
+            return
+        if action[0] == "lose":
+            self._next_copies = 0
+        elif action[0] == "dup":
+            self._next_copies = int(action[1])
+        elif action[0] == "delay":
+            self.clock.charge(float(action[1]), account="network")
+
+    def transfer_up(self, nbytes: int) -> None:
+        self._consult("up", nbytes)
+        super().transfer_up(nbytes)
+
+    def transfer_down(self, nbytes: int) -> None:
+        self._consult("down", nbytes)
+        super().transfer_down(nbytes)
+
+    def stream_up(self, nbytes: int) -> None:
+        self._consult("up", nbytes)
+        super().stream_up(nbytes)
+
+    def stream_down(self, nbytes: int) -> None:
+        self._consult("down", nbytes)
+        super().stream_down(nbytes)
+
+    def delivery_copies(self) -> int:
+        copies = self._next_copies
+        self._next_copies = 1
+        return copies
+
+
+def faulty_env(plan: FaultPlan, spec: LinkSpec = AZURE_WAN, seed: int = 0) -> NetworkEnv:
+    """A :class:`NetworkEnv` whose link injects faults from ``plan``."""
+    clock = SimClock()
+    return NetworkEnv(clock=clock, link=FaultyLink(clock, spec, plan, seed=seed))

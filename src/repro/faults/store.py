@@ -1,0 +1,68 @@
+"""An :class:`UntrustedStore` wrapper that injects storage faults.
+
+``FaultyStore`` reports every operation to its :class:`FaultPlan` before
+delegating to the wrapped backend.  The plan may let the operation
+through, raise a transient :class:`~repro.errors.FaultError`, mangle a
+``put`` (torn or lost write), or kill the enclave mid-operation.  The
+wrapper itself stays dumb — all policy lives in the plan, which keeps
+fault sequences deterministic under a seed.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator
+
+from repro.faults.plan import FaultPlan
+from repro.storage.backends import TransactionalStore, UntrustedStore
+
+
+class FaultyStore(TransactionalStore):
+    """Wrap ``inner`` so ``plan`` can inject faults into every operation."""
+
+    def __init__(self, inner: UntrustedStore, plan: FaultPlan, name: str = "store") -> None:
+        self.inner = inner
+        self._plan = plan
+        self._name = name
+
+    def put(self, key: str, value: bytes) -> None:
+        action = self._plan.on_store_op(self._name, "put", key)
+        if action == "lost":
+            return
+        if action == "torn":
+            self.inner.put(key, value[: max(1, len(value) // 2)])
+            return
+        self.inner.put(key, value)
+
+    def get(self, key: str) -> bytes:
+        self._plan.on_store_op(self._name, "get", key)
+        return self.inner.get(key)
+
+    def delete(self, key: str) -> None:
+        self._plan.on_store_op(self._name, "delete", key)
+        self.inner.delete(key)
+
+    def exists(self, key: str) -> bool:
+        self._plan.on_store_op(self._name, "exists", key)
+        return self.inner.exists(key)
+
+    def keys(self) -> Iterator[str]:
+        self._plan.on_store_op(self._name, "keys", "*")
+        return self.inner.keys()
+
+    def size(self, key: str) -> int:
+        self._plan.on_store_op(self._name, "size", key)
+        return self.inner.size(key)
+
+    def total_bytes(self) -> int:
+        # Accounting reads bypass injection: benchmarks inspect storage
+        # overhead without perturbing the fault schedule.
+        return self.inner.total_bytes()
+
+    @contextlib.contextmanager
+    def batch(self) -> Iterator[None]:
+        if isinstance(self.inner, TransactionalStore):
+            with self.inner.batch():
+                yield
+        else:
+            yield

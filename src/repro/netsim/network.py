@@ -108,6 +108,16 @@ class Link:
         self.bytes_down += nbytes
         self.clock.charge(nbytes / self.spec.bandwidth_down, account="network")
 
+    def delivery_copies(self) -> int:
+        """How many copies of the message just charged should be delivered.
+
+        A healthy link delivers exactly one copy.  :class:`repro.faults`'s
+        ``FaultyLink`` overrides this to 0 (silent loss after the bytes
+        were charged) or 2+ (duplicate delivery, as a retransmitting WAN
+        can produce).  The transport consults it once per ``transfer_*``.
+        """
+        return 1
+
 
 @dataclass
 class NetworkEnv:

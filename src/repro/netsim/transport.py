@@ -59,10 +59,13 @@ class Connection:
         peer = self.peer
         if peer is None or peer._closed:
             raise NetworkError("peer is gone")
-        if peer._receiver is not None:
-            peer._receiver(message)
-        else:
-            peer._inbox.append(message)
+        # A faulty link may deliver 0 copies (silent loss) or several
+        # (duplication); a healthy link always answers 1.
+        for _ in range(self._link.delivery_copies()):
+            if peer._receiver is not None:
+                peer._receiver(message)
+            else:
+                peer._inbox.append(message)
 
     # -- receiving -----------------------------------------------------------
 

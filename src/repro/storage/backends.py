@@ -15,8 +15,10 @@ Two implementations:
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import os
+import tempfile
 import threading
 from abc import ABC, abstractmethod
 from typing import Iterator
@@ -61,7 +63,23 @@ class UntrustedStore(ABC):
         self.delete(old)
 
 
-class InMemoryStore(UntrustedStore):
+class TransactionalStore(UntrustedStore):
+    """An :class:`UntrustedStore` that can group operations into a batch.
+
+    ``batch()`` is a no-op hook: the base implementation provides no
+    atomicity, it only marks the span a caller *wants* treated as one
+    unit.  The enclave's write-ahead journal enters a ``batch()`` while
+    restoring pre-images so smarter backends (a future SQL or object
+    store) can make the restore itself atomic.
+    """
+
+    @contextlib.contextmanager
+    def batch(self) -> Iterator[None]:
+        """Group subsequent operations; no-op in the base class."""
+        yield
+
+
+class InMemoryStore(TransactionalStore):
     """Dict-backed store; thread-safe because the server may use worker threads."""
 
     def __init__(self) -> None:
@@ -96,6 +114,13 @@ class InMemoryStore(UntrustedStore):
     def size(self, key: str) -> int:
         return len(self.get(key))
 
+    def rename(self, old: str, new: str) -> None:
+        """Move an object atomically: no reader can see it half-moved."""
+        with self._lock:
+            if old not in self._objects:
+                raise StorageError(f"no object at key {old!r}")
+            self._objects[new] = self._objects.pop(old)
+
     def snapshot(self) -> dict[str, bytes]:
         """Copy of all objects — the cloud provider's trivial backup (§V-G)."""
         with self._lock:
@@ -107,7 +132,7 @@ class InMemoryStore(UntrustedStore):
             self._objects = dict(snapshot)
 
 
-class DiskStore(UntrustedStore):
+class DiskStore(TransactionalStore):
     """Directory-backed store.
 
     Keys may contain characters that are not filesystem-safe (SeGShare
@@ -125,14 +150,21 @@ class DiskStore(UntrustedStore):
         digest = hashlib.sha256(key.encode("utf-8")).hexdigest()
         return os.path.join(self.root, digest)
 
+    def _write_atomic(self, path: str, data: bytes) -> None:
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(data)
+            os.replace(tmp, path)
+        except BaseException:
+            with contextlib.suppress(FileNotFoundError):
+                os.remove(tmp)
+            raise
+
     def put(self, key: str, value: bytes) -> None:
         path = self._path(key)
-        tmp = path + ".tmp"
-        with open(tmp, "wb") as fh:
-            fh.write(value)
-        os.replace(tmp, path)
-        with open(path + self._INDEX_SUFFIX, "w", encoding="utf-8") as fh:
-            fh.write(key)
+        self._write_atomic(path, value)
+        self._write_atomic(path + self._INDEX_SUFFIX, key.encode("utf-8"))
 
     def get(self, key: str) -> bytes:
         try:
@@ -166,3 +198,14 @@ class DiskStore(UntrustedStore):
             return os.path.getsize(self._path(key))
         except FileNotFoundError:
             raise StorageError(f"no object at key {key!r}") from None
+
+    def rename(self, old: str, new: str) -> None:
+        """Move an object with ``os.replace`` — atomic on POSIX filesystems."""
+        old_path, new_path = self._path(old), self._path(new)
+        try:
+            os.replace(old_path, new_path)
+        except FileNotFoundError:
+            raise StorageError(f"no object at key {old!r}") from None
+        self._write_atomic(new_path + self._INDEX_SUFFIX, new.encode("utf-8"))
+        with contextlib.suppress(FileNotFoundError):
+            os.remove(old_path + self._INDEX_SUFFIX)

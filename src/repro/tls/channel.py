@@ -27,8 +27,10 @@ import itertools
 from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator, Protocol
 
+import random
+
 from repro.crypto import rsa
-from repro.errors import TlsError
+from repro.errors import EnclaveCrashed, NetworkError, RetryPolicy, TlsError
 from repro.netsim.clock import SimClock
 from repro.netsim.transport import Connection
 from repro.pki import Certificate
@@ -154,6 +156,10 @@ class TrustedTlsInterface:
             return [records.alert_record("unknown session")]
         try:
             return session.on_record(raw, self._application)
+        except EnclaveCrashed:
+            # A fault-injected crash must propagate to the platform layer,
+            # not collapse into a TLS alert: the whole enclave is dead.
+            raise
         except Exception:
             self.close_session(session_id)
             return [records.alert_record("session error")]
@@ -331,6 +337,8 @@ class TlsClient:
         ca_public_key: rsa.RsaPublicKey,
         clock: SimClock | None = None,
         costs: CryptoCostProfile | None = None,
+        retry: RetryPolicy | None = None,
+        retry_seed: int = 0,
     ) -> None:
         self._conn = conn
         self._identity = identity
@@ -338,16 +346,40 @@ class TlsClient:
         self._clock = clock
         self._costs = costs or CryptoCostProfile()
         self._session: TlsSession | None = None
+        self._retry = retry
+        self._retry_rng = random.Random(retry_seed)
         self.server_certificate: Certificate | None = None
+
+    def _send_record(self, record: bytes, stream: bool = False) -> None:
+        """Send one record, retrying transient network faults.
+
+        Retrying re-sends the *same ciphertext*: record sequence numbers
+        were already consumed by ``protect``, so a dropped record must be
+        replayed verbatim — re-encrypting would desynchronise the session.
+        Backoff is charged to the simulated clock under ``client-backoff``.
+        """
+        send = self._conn.send_stream if stream else self._conn.send
+        attempt = 1
+        while True:
+            try:
+                send(record)
+                return
+            except NetworkError:
+                if self._retry is None or attempt >= self._retry.attempts:
+                    raise
+                delay = self._retry.delay(attempt, self._retry_rng)
+                if self._clock is not None:
+                    self._clock.charge(delay, account="client-backoff")
+                attempt += 1
 
     def handshake(self) -> None:
         """Run the full handshake; afterwards the channel is ready."""
         hs = ClientHandshake(self._identity, self._ca_public_key)
-        self._conn.send(records.handshake_record(hs.client_hello()))
+        self._send_record(records.handshake_record(hs.client_hello()))
         server_hello = records.parse_record(self._conn.recv(), ContentType.HANDSHAKE)
         kx = hs.handle_server_hello(server_hello)
-        self._conn.send(records.handshake_record(kx))
-        self._conn.send(records.handshake_record(hs.client_finished()))
+        self._send_record(records.handshake_record(kx))
+        self._send_record(records.handshake_record(hs.client_finished()))
         server_finished = records.parse_record(self._conn.recv(), ContentType.HANDSHAKE)
         hs.verify_server_finished(server_finished)
         _charge_handshake(self._clock, "client-crypto")
@@ -384,12 +416,12 @@ class TlsClient:
         chunks = chunk_payload(payload) if len(payload) > STREAM_CHUNK else []
         if chunks:
             header = _message_header(_KIND_SINGLE, b"", len(chunks), len(payload))
-            self._conn.send(records.data_record(session.protect(header)))
+            self._send_record(records.data_record(session.protect(header)))
             for chunk in chunks:
-                self._conn.send_stream(records.data_record(session.protect(chunk)))
+                self._send_record(records.data_record(session.protect(chunk)), stream=True)
         else:
             header = _message_header(_KIND_SINGLE, payload, 0, 0)
-            self._conn.send(records.data_record(session.protect(header)))
+            self._send_record(records.data_record(session.protect(header)))
         return self._read_response()
 
     def upload(self, header_payload: bytes, content: bytes | Iterator[bytes]) -> bytes:
@@ -409,9 +441,9 @@ class TlsClient:
             chunks = list(content)
             body_len = sum(len(c) for c in chunks)
         header = _message_header(_KIND_STREAM, header_payload, len(chunks), body_len)
-        self._conn.send(records.data_record(session.protect(header)))
+        self._send_record(records.data_record(session.protect(header)))
         for chunk in chunks:
-            self._conn.send_stream(records.data_record(session.protect(chunk)))
+            self._send_record(records.data_record(session.protect(chunk)), stream=True)
         return self._read_response()
 
     # -- receiving ---------------------------------------------------------------

@@ -142,3 +142,97 @@ def test_soak_workload(org):
     )
     denied = [r for r in records if r.outcome == "denied"]
     assert len(denied) >= 2  # sales probe + offboarded contractor
+
+
+def test_fault_seeded_soak(user_key):
+    """The soak's adversarial sibling: the same kind of workload with
+    transient storage faults and scheduled enclave crashes injected from
+    one seeded plan.  The client retries what it can; when the enclave
+    dies (or degrades after a failed rollback) the test restarts it —
+    journal recovery must always yield a state where simply retrying the
+    interrupted operation completes the workload exactly.
+
+    ``SEGSHARE_FAULT_SEED`` picks the schedule, so CI can sweep seeds.
+    """
+    import os
+
+    from repro.core.server import deploy
+    from repro.errors import EnclaveCrashed, RetryPolicy, ServiceUnavailableError
+    from repro.faults import FaultPlan, faulty_stores
+    from repro.netsim import azure_wan_env
+    from repro.storage.stores import StoreSet
+
+    from repro.errors import StorageError
+
+    seed = int(os.environ.get("SEGSHARE_FAULT_SEED", "0"))
+    plan = FaultPlan(seed=seed)
+    plan.fail_randomly(probability=0.004, op="put", store="content", limit=8)
+    for nth in (100, 230, 390):
+        plan.crash_at_point(nth=nth, site_prefix="journal:")
+
+    stores = faulty_stores(StoreSet.in_memory(), plan)
+    deployment = deploy(
+        env=azure_wan_env(),
+        stores=stores,
+        options=SeGShareOptions(
+            rollback="whole_fs",
+            counter_kind="rote",
+            rollback_buckets=8,
+            journal=True,
+            enable_dedup=True,
+        ),
+    )
+    plan.attach_platform(deployment.server.platform)
+    policy = RetryPolicy(attempts=6, base_delay=0.01)
+    identity = deployment.user_identity("alice", key=user_key)
+
+    def fresh_client():
+        return deployment.connect(identity, retry=policy)
+
+    alice = fresh_client()
+    model: dict[str, bytes] = {}
+    restarts = 0
+
+    def restart():
+        # Recovery itself can be hit by faults; it keeps the journal until
+        # it completes, so simply restarting again is always safe.
+        for _ in range(6):
+            try:
+                deployment.server.restart_enclave()
+                return
+            except (EnclaveCrashed, StorageError):
+                continue
+        pytest.fail("enclave recovery kept failing")
+
+    def run_resiliently(operation):
+        nonlocal alice, restarts
+        for _ in range(5):
+            try:
+                operation(alice)
+                return
+            except (EnclaveCrashed, ServiceUnavailableError):
+                restarts += 1
+                restart()
+                alice = fresh_client()
+        pytest.fail("operation kept failing across enclave restarts")
+
+    for i in range(60):
+        path = f"/doc-{i % 12}"
+        content = unique_bytes("fault-soak", i, 400)
+        run_resiliently(lambda c: c.upload(path, content))
+        model[path] = content
+        if i % 17 == 11:
+            victim = f"/doc-{(i - 3) % 12}"
+            if victim in model:
+                run_resiliently(lambda c: c.remove(victim))
+                del model[victim]
+
+    assert restarts >= 1, "the crash schedule never fired — workload too small"
+
+    # Every surviving file reads back exactly; the guard accepts a full
+    # recompute; no journal residue is left behind.
+    for path, expected in sorted(model.items()):
+        assert alice.download(path) == expected, path
+    enclave = deployment.server.enclave
+    assert enclave.guard.recompute_root_hash() == enclave.guard.root_hash()
+    assert not deployment.server.stores.content.exists("\x00journal:batch")

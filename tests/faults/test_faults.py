@@ -1,0 +1,180 @@
+"""The fault-injection framework: plans, faulty stores, faulty links."""
+
+import pytest
+
+from repro.errors import EnclaveCrashed, FaultError, NetworkError, RetryPolicy
+from repro.faults import FaultPlan, FaultyStore, faulty_env, faulty_stores
+from repro.netsim.transport import connection_pair
+from repro.storage.backends import InMemoryStore
+from repro.storage.stores import StoreSet
+
+
+class TestFaultPlanDeterminism:
+    @staticmethod
+    def _workload(plan: FaultPlan) -> None:
+        store = FaultyStore(InMemoryStore(), plan, name="content")
+        for i in range(40):
+            try:
+                store.put(f"k{i}", bytes([i]) * 8)
+            except FaultError:
+                pass
+            try:
+                store.get(f"k{i}")
+            except (FaultError, Exception):
+                pass
+
+    def test_same_seed_same_events(self):
+        runs = []
+        for _ in range(2):
+            plan = FaultPlan(seed=7).fail_randomly(probability=0.2)
+            self._workload(plan)
+            runs.append(plan.events)
+        assert runs[0] == runs[1]
+        assert runs[0], "expected some injected faults at p=0.2 over 80 ops"
+
+    def test_different_seed_different_schedule(self):
+        events = []
+        for seed in (1, 2):
+            plan = FaultPlan(seed=seed).fail_randomly(probability=0.2)
+            self._workload(plan)
+            events.append(plan.events)
+        assert events[0] != events[1]
+
+    def test_limit_caps_random_rule(self):
+        plan = FaultPlan(seed=3).fail_randomly(probability=1.0, limit=2)
+        self._workload(plan)
+        assert len(plan.events) == 2
+
+
+class TestFaultyStore:
+    def test_fail_nth_targets_exact_operation(self):
+        plan = FaultPlan().fail_nth(nth=2, op="put", store="content")
+        store = FaultyStore(InMemoryStore(), plan, name="content")
+        store.put("a", b"1")
+        with pytest.raises(FaultError):
+            store.put("b", b"2")
+        store.put("b", b"2")  # one-shot: the third put proceeds
+        assert store.get("b") == b"2"
+
+    def test_rule_scoped_to_other_store_never_fires(self):
+        plan = FaultPlan().fail_nth(nth=1, store="group")
+        store = FaultyStore(InMemoryStore(), plan, name="content")
+        store.put("a", b"1")
+        assert store.get("a") == b"1"
+
+    def test_torn_write_persists_half(self):
+        plan = FaultPlan().torn_write(nth=1, store="content")
+        store = FaultyStore(InMemoryStore(), plan, name="content")
+        store.put("a", b"0123456789")
+        assert store.get("a") == b"01234"
+
+    def test_lost_write_persists_nothing(self):
+        plan = FaultPlan().lost_write(nth=1, store="content")
+        store = FaultyStore(InMemoryStore(), plan, name="content")
+        store.put("a", b"vanishes")
+        assert not store.exists("a")
+
+    def test_zero_overhead_passthrough_when_no_rules(self):
+        plan = FaultPlan()
+        store = FaultyStore(InMemoryStore(), plan, name="content")
+        store.put("a", b"1")
+        store.put("a", b"2")
+        store.delete("a")
+        assert plan.store_ops == 3
+        assert plan.events == []
+
+    def test_faulty_stores_wraps_all_three(self):
+        plan = FaultPlan()
+        stores = faulty_stores(StoreSet.in_memory(), plan)
+        stores.content.put("c", b"1")
+        stores.group.put("g", b"1")
+        stores.dedup.put("d", b"1")
+        assert plan.store_ops == 3
+
+
+class TestFaultyLink:
+    def test_drop_raises_network_error_and_retry_succeeds(self):
+        plan = FaultPlan().drop_message(nth=1, direction="up")
+        env = faulty_env(plan)
+        client, server = connection_pair(env.link)
+        with pytest.raises(NetworkError):
+            client.send(b"ping")
+        client.send(b"ping")
+        assert server.recv() == b"ping"
+
+    def test_lost_message_charged_but_not_delivered(self):
+        plan = FaultPlan().lose_message(nth=1)
+        env = faulty_env(plan)
+        client, server = connection_pair(env.link)
+        before = env.clock.now()
+        client.send(b"ghost")
+        assert env.clock.now() > before  # bytes were paid for
+        with pytest.raises(NetworkError):
+            server.recv()  # nothing arrived
+
+    def test_duplicate_message_delivered_twice(self):
+        plan = FaultPlan().duplicate_message(nth=1, copies=2)
+        env = faulty_env(plan)
+        client, server = connection_pair(env.link)
+        client.send(b"echo")
+        assert server.recv() == b"echo"
+        assert server.recv() == b"echo"
+
+    def test_delay_charges_extra_latency(self):
+        plan = FaultPlan().delay_message(seconds=1.5, nth=1)
+        slow = faulty_env(plan)
+        fast = faulty_env(FaultPlan())
+        for env in (slow, fast):
+            client, _ = connection_pair(env.link)
+            client.send(b"x" * 100)
+        delta = slow.clock.now() - fast.clock.now()
+        assert delta == pytest.approx(1.5)
+
+
+class TestCrashpoints:
+    def test_crash_at_point_kills_loaded_enclave(self):
+        from repro.sgx import SgxPlatform
+        from repro.sgx.enclave import Enclave
+
+        class Dummy(Enclave):
+            pass
+
+        platform = SgxPlatform()
+        handle = platform.load(Dummy())
+        plan = FaultPlan().crash_at_point(nth=2, site_prefix="journal:")
+        plan.attach_platform(platform)
+        assert plan.on_crashpoint("journal:begin") is False
+        with pytest.raises(EnclaveCrashed):
+            platform.crashpoint("journal:entry")
+        with pytest.raises(EnclaveCrashed):
+            handle.call("anything")  # the enclave is dead
+        plan.detach()
+        assert platform.fault_plan is None
+
+    def test_site_prefix_filters(self):
+        plan = FaultPlan().crash_at_point(nth=1, site_prefix="journal:")
+        assert plan.on_crashpoint("ecall:get") is False
+        assert plan.on_crashpoint("store-op:4:put") is False
+        assert plan.on_crashpoint("journal:commit") is True
+
+
+class TestRetryPolicy:
+    def test_exponential_growth_capped(self):
+        policy = RetryPolicy(attempts=8, base_delay=0.1, max_delay=1.0, multiplier=2.0)
+        delays = [policy.delay(n) for n in range(1, 8)]
+        assert delays[:4] == [0.1, 0.2, 0.4, 0.8]
+        assert all(d == 1.0 for d in delays[4:])
+
+    def test_jitter_is_seeded_and_bounded(self):
+        import random
+
+        policy = RetryPolicy(base_delay=0.1, jitter=0.1)
+        a = [policy.delay(1, random.Random(5)) for _ in range(3)]
+        b = [policy.delay(1, random.Random(5)) for _ in range(3)]
+        assert a == b
+        for delay in a:
+            assert 0.09 <= delay <= 0.11
+
+    def test_attempt_must_be_positive(self):
+        with pytest.raises(ValueError):
+            RetryPolicy().delay(0)

@@ -1,0 +1,229 @@
+"""End-to-end retry behaviour: client backoff over injected faults."""
+
+import pytest
+
+from repro.core.enclave_app import SeGShareOptions
+from repro.core.replication import transfer_root_key
+from repro.core.server import SeGShareServer, deploy, provision_certificate
+from repro.errors import (
+    FaultError,
+    NetworkError,
+    RetryPolicy,
+    ServiceUnavailableError,
+)
+from repro.faults import FaultPlan, faulty_env, faulty_stores
+from repro.netsim import azure_wan_env
+from repro.sgx import SgxPlatform
+from repro.storage.backends import InMemoryStore
+from repro.storage.stores import StoreSet
+
+POLICY = RetryPolicy(attempts=5, base_delay=0.05, max_delay=1.0)
+
+
+def flaky_deployment(plan: FaultPlan, **deploy_kwargs):
+    stores = faulty_stores(StoreSet.in_memory(), plan)
+    return deploy(env=azure_wan_env(), stores=stores, **deploy_kwargs)
+
+
+class TestTransientStorageFaults:
+    def test_client_retries_through_transient_fault(self, user_key):
+        plan = FaultPlan()
+        deployment = flaky_deployment(
+            plan,
+            options=SeGShareOptions(
+                rollback="whole_fs", counter_kind="rote", journal=True
+            ),
+        )
+        identity = deployment.user_identity("alice", key=user_key)
+        alice = deployment.connect(identity, retry=POLICY)
+        alice.upload("/f", b"v1")
+
+        # Each rule fires on the first matching put it observes — the
+        # journal marker write of one attempt — so three rules fail three
+        # consecutive attempts with RETRY; the client's backoff wins.
+        plan.fail_nth(nth=1, op="put", store="content")
+        plan.fail_nth(nth=1, op="put", store="content")
+        plan.fail_nth(nth=1, op="put", store="content")
+        before = deployment.env.clock.now()
+        alice.upload("/f", b"v2")
+        assert alice.download("/f") == b"v2"
+        # The retries charged backoff delays to the simulated clock.
+        accounts = deployment.env.clock.accounts()
+        assert accounts.get("client-backoff", 0.0) > 0.0
+        assert deployment.env.clock.now() > before
+
+    def test_without_policy_fault_surfaces_as_error(self, user_key):
+        plan = FaultPlan()
+        deployment = flaky_deployment(
+            plan,
+            options=SeGShareOptions(
+                rollback="whole_fs", counter_kind="rote", journal=True
+            ),
+        )
+        identity = deployment.user_identity("alice", key=user_key)
+        alice = deployment.connect(identity)  # no retry policy
+        alice.upload("/f", b"v1")
+        plan.fail_nth(nth=1, op="put", store="content")
+        with pytest.raises(FaultError):
+            alice.upload("/f", b"v2")
+        # The failed mutation was rolled back server-side.
+        assert alice.download("/f") == b"v1"
+
+    def test_exhausted_retries_surface_the_fault(self, user_key):
+        plan = FaultPlan()
+        deployment = flaky_deployment(
+            plan,
+            options=SeGShareOptions(
+                rollback="whole_fs", counter_kind="rote", journal=True
+            ),
+        )
+        identity = deployment.user_identity("alice", key=user_key)
+        alice = deployment.connect(
+            identity, retry=RetryPolicy(attempts=2, base_delay=0.01)
+        )
+        alice.upload("/f", b"v1")
+        plan.fail_nth(nth=1, op="put", store="content")
+        plan.fail_nth(nth=1, op="put", store="content")
+        with pytest.raises(FaultError):
+            alice.upload("/f", b"v2")
+        # Every fault hit before the first mutation, so nothing was torn
+        # and the journal was never poisoned: the next attempt succeeds.
+        alice.upload("/f", b"v2")
+        assert alice.download("/f") == b"v2"
+
+    def test_rollback_resyncs_dedup_index(self, user_key):
+        """A rolled-back batch must not leave the in-memory dedup index
+        ahead of the restored on-disk one (refcounts would drift and a
+        later remove would reclaim a live object — or chase a dead one).
+        """
+        plan = FaultPlan()
+        deployment = flaky_deployment(
+            plan,
+            options=SeGShareOptions(
+                rollback="whole_fs",
+                counter_kind="rote",
+                journal=True,
+                enable_dedup=True,
+            ),
+        )
+        identity = deployment.user_identity("alice", key=user_key)
+        alice = deployment.connect(identity, retry=POLICY)
+        shared = b"shared corpus" * 30
+        alice.upload("/a", shared)
+        dedup = deployment.server.enclave.manager.dedup
+        h = dedup.h_name(shared)
+        assert dedup.refcount(h) == 1
+
+        # Control run: count the content-store puts one second-reference
+        # upload makes, so the fault below can land near the end of the
+        # batch — after the dedup index has adopted the new reference.
+        sentinel = plan.fail_nth(nth=10**9, op="put", store="content")
+        before = sentinel._store_rules[-1].seen
+        alice.upload("/b", shared)
+        puts_per_upload = sentinel._store_rules[-1].seen - before
+        assert dedup.refcount(h) == 2
+        alice.remove("/b")
+        assert dedup.refcount(h) == 1
+
+        # Fail the pointer-file write: the index already says refcount 2
+        # in memory; the rollback restores refcount 1 on disk and must
+        # drag the cache back with it before the client's retry lands.
+        plan.fail_nth(nth=puts_per_upload - 4, op="put", store="content")
+        alice.upload("/b", shared)
+        assert alice.download("/b") == shared
+        assert dedup.refcount(h) == 2
+        alice.remove("/b")
+        assert dedup.refcount(h) == 1
+        assert alice.download("/a") == shared
+
+
+class TestDroppedRecords:
+    def test_client_resends_dropped_record(self, user_key):
+        plan = FaultPlan()
+        deployment = deploy(env=faulty_env(plan))
+        identity = deployment.user_identity("alice", key=user_key)
+        alice = deployment.connect(identity, retry=POLICY)
+        alice.upload("/f", b"payload")
+        # Drop the next two client→server sends; the channel re-sends the
+        # identical ciphertext so TLS sequence numbers stay aligned.
+        plan.drop_message(nth=1, direction="up")
+        plan.drop_message(nth=2, direction="up")
+        assert alice.download("/f") == b"payload"
+
+    def test_drop_without_policy_raises(self, user_key):
+        plan = FaultPlan()
+        deployment = deploy(env=faulty_env(plan))
+        identity = deployment.user_identity("alice", key=user_key)
+        alice = deployment.connect(identity)
+        alice.upload("/f", b"payload")
+        plan.drop_message(nth=1, direction="up")
+        with pytest.raises(NetworkError):
+            alice.download("/f")
+
+
+class TestUnavailability:
+    def test_quorum_loss_raises_service_unavailable(self, user_key):
+        deployment = deploy(
+            env=azure_wan_env(),
+            options=SeGShareOptions(
+                rollback="whole_fs", counter_kind="rote", journal=True
+            ),
+        )
+        identity = deployment.user_identity("alice", key=user_key)
+        alice = deployment.connect(identity, retry=POLICY)
+        alice.upload("/f", b"v1")
+
+        counter = getattr(deployment.server.platform, "_segshare_counter_rote")
+        counter.set_replica_up(0, False)
+        counter.set_replica_up(1, False)
+        # Reads still work (degraded); writes raise the typed error without
+        # burning retries (UNAVAILABLE is not RETRY).
+        assert alice.download("/f") == b"v1"
+        with pytest.raises(ServiceUnavailableError):
+            alice.upload("/f", b"v2")
+        counter.set_replica_up(0, True)
+        counter.set_replica_up(1, True)
+        alice.upload("/f", b"v2")
+        assert alice.download("/f") == b"v2"
+
+
+class TestReplicationRetry:
+    def _replica_for(self, deployment, stores):
+        env = azure_wan_env()
+        server = SeGShareServer(
+            env,
+            deployment.ca.public_key,
+            stores=stores,
+            options=SeGShareOptions(replica=True),
+            attestation_service=deployment.attestation,
+            platform=SgxPlatform(clock=env.clock),
+        )
+        deployment.attestation.register_platform(
+            server.platform.platform_id,
+            server.platform.quoting_enclave.attestation_public_key,
+        )
+        provision_certificate(
+            deployment.ca, deployment.attestation, server, server.enclave.measurement()
+        )
+        return server
+
+    def test_transfer_root_key_retries_transient_faults(self):
+        plan = FaultPlan()
+        backend = InMemoryStore()
+        deployment = deploy(env=azure_wan_env(), stores=StoreSet.over(backend))
+        replica_stores = faulty_stores(StoreSet.over(backend), plan)
+        replica = self._replica_for(deployment, replica_stores)
+        # Fail the sealed-root-key put of the join's final step once.
+        plan.fail_nth(nth=1, op="put", store="content")
+        transfer_root_key(deployment.server, replica, retry=POLICY)
+        assert replica.enclave.ready
+
+    def test_transfer_without_retry_propagates(self):
+        plan = FaultPlan()
+        backend = InMemoryStore()
+        deployment = deploy(env=azure_wan_env(), stores=StoreSet.over(backend))
+        replica_stores = faulty_stores(StoreSet.over(backend), plan)
+        replica = self._replica_for(deployment, replica_stores)
+        plan.fail_nth(nth=1, op="put", store="content")
+        with pytest.raises(FaultError):
+            transfer_root_key(deployment.server, replica)

@@ -12,6 +12,7 @@ EXAMPLES = [
     "examples/replication_cluster.py",
     "examples/webdav_gateway.py",
     "examples/audit_trail.py",
+    "examples/fault_drill.py",
 ]
 
 pytestmark = pytest.mark.slow
