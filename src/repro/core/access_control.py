@@ -105,20 +105,24 @@ class AccessControl:
         Per Algo. 1 the creator also becomes the group's first member.
         """
         validate_group_id(group_id)
+        # Register BEFORE the first member-list write: the group guard
+        # enumerates leaves through the registry, so a member list whose
+        # leaf enters a guard bucket while its user is still unregistered
+        # makes every verify of that bucket fail until registration.
+        self._register_user(creator_id)
         group_list = self._manager.read_group_list()
         group_list.create(group_id, default_group(creator_id))
         self._manager.write_group_list(group_list)
         members = self._manager.read_member_list(creator_id)
         members.add(group_id)
         self._manager.write_member_list(creator_id, members)
-        self._register_user(creator_id)
 
     def add_member(self, user_id: str, group_id: str) -> None:
         """updateRel(g, g ∪ u): touches only ``user_id``'s member list."""
+        self._register_user(user_id)  # before the write — see create_group
         members = self._manager.read_member_list(user_id)
         members.add(group_id)
         self._manager.write_member_list(user_id, members)
-        self._register_user(user_id)
 
     def remove_member(self, user_id: str, group_id: str) -> None:
         """updateRel(g, g \\ u): immediate revocation, one member list."""
@@ -137,19 +141,26 @@ class AccessControl:
     def delete_group(self, group_id: str) -> int:
         """Delete a group: scan all member lists (the paper's known-slow path).
 
-        Returns the number of member lists that were updated.
+        Returns the number of member lists that were updated.  The whole
+        scan runs as ONE batch: all-or-nothing under the undo journal,
+        and the rollback guards flush their node and anchor once at
+        commit instead of per touched member list.  The metadata cache
+        (when enabled) serves the group list and every previously seen
+        member list from enclave memory, so the scan's per-user cost
+        drops to one decrypt per cold list.
         """
-        group_list = self._manager.read_group_list()
-        group_list.delete(group_id)
-        self._manager.write_group_list(group_list)
-        touched = 0
-        for user_id in self.known_users():
-            members = self._manager.read_member_list(user_id)
-            if group_id in members:
-                members.remove(group_id)
-                self._manager.write_member_list(user_id, members)
-                touched += 1
-        return touched
+        with self._manager.batch("delete_group"):
+            group_list = self._manager.read_group_list()
+            group_list.delete(group_id)
+            self._manager.write_group_list(group_list)
+            touched = 0
+            for user_id in self.known_users():
+                members = self._manager.read_member_list(user_id)
+                if group_id in members:
+                    members.remove(group_id)
+                    self._manager.write_member_list(user_id, members)
+                    touched += 1
+            return touched
 
     # -- user registry (supports the delete-group scan) ----------------------------
 

@@ -31,6 +31,7 @@ from repro.util.serialization import Reader, Writer
 ACL_SUFFIX = ".acl"
 GROUP_LIST_PATH = "grouplist"
 MEMBER_LIST_PREFIX = "member:"
+QUOTA_PREFIX = "quota:"
 
 #: Pseudo-user whose member list is the registry of all known users.
 #: The NUL prefix keeps it out of the real user-id namespace.
@@ -51,6 +52,11 @@ def acl_path(path: str) -> str:
 
 def member_list_path(user_id: str) -> str:
     return MEMBER_LIST_PREFIX + user_id
+
+
+def quota_path(user_id: str) -> str:
+    """Group-store location of ``user_id``'s quota ledger record."""
+    return QUOTA_PREFIX + user_id
 
 
 def _perm_bits(perms: frozenset[Permission]) -> int:

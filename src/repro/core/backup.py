@@ -20,7 +20,7 @@ from __future__ import annotations
 import secrets
 
 from repro.core.server import SeGShareServer
-from repro.errors import BackupError
+from repro.errors import BackupError, EnclaveCrashed
 from repro.pki import CertificateAuthority
 from repro.storage.backends import InMemoryStore
 
@@ -43,6 +43,13 @@ def restore_backup(server: SeGShareServer, snapshot: dict[str, dict[str, bytes]]
         if not isinstance(store, InMemoryStore):
             raise BackupError("restore_backup supports in-memory stores only")
         store.restore(objects)
+    # A live enclave's metadata cache now describes the pre-restore world;
+    # invalidate it immediately rather than waiting for the CA-signed
+    # reset (reads between restore and reset must not see stale entries).
+    try:
+        server.handle.call("invalidate_metadata_cache")
+    except EnclaveCrashed:
+        pass  # a dead enclave rebuilds a fresh (empty) cache on restart
 
 
 def ca_signed_reset(

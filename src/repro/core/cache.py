@@ -1,0 +1,193 @@
+"""Enclave-resident authenticated metadata cache.
+
+Every request pays a metadata tax: ``auth_f`` re-fetches and re-decrypts
+the file's ACL (and its parent's, under inheritance), the user's member
+list, and the group list through the protected file system — a 4 KiB
+chunked decrypt plus Merkle verification each time — and the rollback
+guards re-read and re-verify node objects on both reads and writes.  The
+paper's core performance claim (Fig. 3/4: enclave-side authorization
+adds only small constant overhead per request) demands that this
+repeated work be amortized, and IBBE-SGX (Contiu et al., PAPERS.md)
+shows the standard trick: keep hot, already-verified group-access state
+*inside* the trusted boundary.
+
+:class:`MetadataCache` is a size-bounded LRU over *decrypted,
+integrity-verified* plaintext objects, living in enclave memory and
+charged against the EPC model so the simulation stays faithful to
+paging costs.  Entries are namespaced:
+
+* ``content`` — content-store plaintext (directory files, ACLs, content
+  records) that passed the full read path (PFS decrypt + Merkle +
+  rollback-guard verification) or was just written by this enclave;
+* ``node`` / ``gnode`` — serialized rollback-guard nodes and anchors;
+* ``group`` — group-store plaintext (group list, member lists, quota
+  records);
+* ``dedup`` — the serialized deduplication index.
+
+Security argument (docs/PERF.md §3): the cache never creates a new
+information flow — it holds plaintext the enclave was already entitled
+to hold, in memory the attacker cannot read (EPC), and an entry is only
+created from (a) bytes this enclave itself just wrote, or (b) bytes
+that passed the same verification an uncached read performs.  Serving a
+read from enclave memory is therefore at least as fresh as a verified
+read from untrusted storage.  The one obligation the cache *adds* is
+coherence: a stale entry must never outlive a rolled-back write, an
+enclave restart, a root-key transfer, or a backup restore — which is
+why every one of those paths calls :meth:`MetadataCache.clear` (the
+cache-coherence test suite and the crash matrix prove it).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import asdict, dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sgx.epc import EpcModel
+
+#: Default bound for one entry: larger objects (big inline content
+#: files) bypass the cache rather than evicting all hot metadata.
+DEFAULT_MAX_ENTRY_FRACTION = 8
+
+
+@dataclass
+class CacheStats:
+    """Counters exposed on ``SeGShareServer.stats()``."""
+
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+    oversize_skips: int = 0
+    current_bytes: int = 0
+    #: Cumulative bytes ever charged to the EPC model on behalf of the cache.
+    epc_charged_bytes: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def snapshot(self) -> dict:
+        data = asdict(self)
+        data["hit_rate"] = round(self.hit_rate, 4)
+        return data
+
+
+class MetadataCache:
+    """Size-bounded, EPC-charged LRU of verified metadata plaintext.
+
+    ``capacity_bytes`` bounds the sum of entry sizes; the oldest entries
+    are evicted (and their EPC accounting released) when an insertion
+    overflows it.  ``epc`` is the owning platform's EPC model; every
+    resident byte is a real enclave allocation there, so an oversized
+    cache honestly pays paging costs instead of pretending memory is
+    free.
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        epc: "EpcModel | None" = None,
+        max_entry_bytes: int | None = None,
+    ) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError("cache capacity must be positive")
+        self._capacity = capacity_bytes
+        self._max_entry = min(
+            capacity_bytes,
+            max_entry_bytes
+            if max_entry_bytes is not None
+            else max(4096, capacity_bytes // DEFAULT_MAX_ENTRY_FRACTION),
+        )
+        self._epc = epc
+        self._entries: "OrderedDict[tuple[str, str], bytes]" = OrderedDict()
+        self.stats = CacheStats()
+
+    # -- queries -----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self._capacity
+
+    def get(self, namespace: str, key: str) -> bytes | None:
+        """The entry's plaintext, or None; a hit refreshes LRU order."""
+        entry = self._entries.get((namespace, key))
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end((namespace, key))
+        self.stats.hits += 1
+        if self._epc is not None:
+            # A hit is not free: the bytes are copied out of (MEE-decrypted)
+            # EPC memory, and an oversized cache pays paging on top.
+            self._epc.touch(len(entry))
+            if self._epc.clock is not None:
+                self._epc.clock.charge(
+                    len(entry) / self._epc.costs.enclave_memcpy_bytes_per_second,
+                    account="metadata-cache",
+                )
+        return entry
+
+    def contains(self, namespace: str, key: str) -> bool:
+        """Membership without touching hit/miss counters or LRU order."""
+        return (namespace, key) in self._entries
+
+    # -- mutation ----------------------------------------------------------------
+
+    def put(self, namespace: str, key: str, value: bytes) -> None:
+        """Insert or replace an entry (write-through callers, verified reads).
+
+        Oversized values are *not* cached — and any smaller stale entry
+        under the same key is dropped, so the cache can never serve an
+        old version of a value that outgrew it.
+        """
+        if len(value) > self._max_entry:
+            self.discard(namespace, key)
+            self.stats.oversize_skips += 1
+            return
+        full_key = (namespace, key)
+        old = self._entries.pop(full_key, None)
+        if old is not None:
+            self._release(len(old))
+        self._entries[full_key] = value
+        self._charge(len(value))
+        self.stats.insertions += 1
+        while self.stats.current_bytes > self._capacity and self._entries:
+            _, evicted = self._entries.popitem(last=False)
+            self._release(len(evicted))
+            self.stats.evictions += 1
+
+    def discard(self, namespace: str, key: str) -> None:
+        """Drop one entry (file deletions)."""
+        old = self._entries.pop((namespace, key), None)
+        if old is not None:
+            self._release(len(old))
+
+    def clear(self) -> None:
+        """Strict invalidation: journal rollback, restore, key transfer.
+
+        Releases every byte from the EPC accounting; the next reads
+        repopulate from (verified) storage.
+        """
+        self._release(self.stats.current_bytes)
+        self._entries.clear()
+        self.stats.invalidations += 1
+
+    # -- EPC accounting -----------------------------------------------------------
+
+    def _charge(self, nbytes: int) -> None:
+        self.stats.current_bytes += nbytes
+        self.stats.epc_charged_bytes += nbytes
+        if self._epc is not None:
+            self._epc.alloc_cache(nbytes)
+
+    def _release(self, nbytes: int) -> None:
+        self.stats.current_bytes -= nbytes
+        if self._epc is not None:
+            self._epc.free_cache(nbytes)

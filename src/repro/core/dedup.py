@@ -35,9 +35,13 @@ _OBJECT_PREFIX = "obj:"
 class DedupStore:
     """The deduplication store: content-addressed objects plus an index."""
 
-    def __init__(self, pfs: ProtectedFs, root_key: bytes) -> None:
+    def __init__(self, pfs: ProtectedFs, root_key: bytes, cache=None) -> None:
         self._pfs = pfs
         self._hmac_key = derive_key(root_key, "segshare/dedup-hmac")
+        # Optional repro.core.cache.MetadataCache holding the serialized
+        # index under the "dedup" namespace, so a rebuild of this store
+        # object (reload, enclave component rebuild) skips the PFS decrypt.
+        self._cache = cache
         # hName -> (object id, reference count)
         self._index: dict[str, tuple[str, int]] = {}
         if self._pfs.exists(_INDEX_PATH):
@@ -46,7 +50,12 @@ class DedupStore:
     # -- index persistence -----------------------------------------------------
 
     def _load_index(self) -> None:
-        r = Reader(self._pfs.read_file(_INDEX_PATH))
+        data = self._cache.get("dedup", _INDEX_PATH) if self._cache is not None else None
+        if data is None:
+            data = self._pfs.read_file(_INDEX_PATH)
+            if self._cache is not None:
+                self._cache.put("dedup", _INDEX_PATH, data)
+        r = Reader(data)
         count = r.u32()
         self._index = {}
         for _ in range(count):
@@ -64,7 +73,12 @@ class DedupStore:
             w.str(h_name)
             w.str(object_id)
             w.u32(refcount)
-        self._pfs.write_file(_INDEX_PATH, w.take())
+        blob = w.take()
+        if self._cache is not None:
+            self._cache.discard("dedup", _INDEX_PATH)
+        self._pfs.write_file(_INDEX_PATH, blob)
+        if self._cache is not None:
+            self._cache.put("dedup", _INDEX_PATH, blob)
 
     # -- content hashing -----------------------------------------------------
 
@@ -160,6 +174,9 @@ class DedupStore:
         underneath this cache; the in-memory copy must follow or later
         refcounts act on the aborted batch's state.
         """
+        if self._cache is not None:
+            # Re-read storage, not a cached copy of the aborted state.
+            self._cache.discard("dedup", _INDEX_PATH)
         if self._pfs.exists(_INDEX_PATH):
             self._load_index()
         else:

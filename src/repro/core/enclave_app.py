@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 from repro.core.access_control import AccessControl
 from repro.core.audit import AuditLog, export_message_bytes
+from repro.core.cache import MetadataCache
 from repro.core.file_manager import TrustedFileManager
 from repro.core.journal import WriteAheadJournal
 from repro.core.request_handler import RequestHandler, UploadSink
@@ -94,12 +95,23 @@ class SeGShareOptions:
     #: encrypted write-ahead journal (repro/core/journal.py) and is rolled
     #: back on enclave restart if it did not commit.
     journal: bool = False
+    #: Enclave-resident metadata cache capacity (repro/core/cache.py);
+    #: ``None`` disables the cache entirely.  Occupancy is charged against
+    #: the platform's EPC model.
+    metadata_cache_bytes: int | None = None
+    #: Flush rollback-guard nodes and the anchor once per journal batch
+    #: instead of per touched leaf.  Only takes effect with ``journal=True``
+    #: (an abort must be able to discard the pending nodes); ``False``
+    #: reproduces the per-leaf baseline for benchmarking.
+    guard_batching: bool = True
 
     def __post_init__(self) -> None:
         if self.rollback not in ("off", "individual", "whole_fs"):
             raise ValueError(f"bad rollback mode {self.rollback!r}")
         if self.counter_kind not in ("sgx", "rote"):
             raise ValueError(f"bad counter kind {self.counter_kind!r}")
+        if self.metadata_cache_bytes is not None and self.metadata_cache_bytes <= 0:
+            raise ValueError("metadata_cache_bytes must be positive or None")
 
 
 class SeGShareEnclave(Enclave):
@@ -109,6 +121,7 @@ class SeGShareEnclave(Enclave):
     TCB_MODULES = (
         "repro.core.access_control",
         "repro.core.acl",
+        "repro.core.cache",
         "repro.core.dedup",
         "repro.core.file_manager",
         "repro.core.hiding",
@@ -159,6 +172,7 @@ class SeGShareEnclave(Enclave):
         self.manager: TrustedFileManager | None = None
         self.guard: RollbackGuard | None = None
         self.group_guard: FlatStoreGuard | None = None
+        self.cache: MetadataCache | None = None
         self.audit_log: AuditLog | None = None
         self.tls: TrustedTlsInterface | None = None
 
@@ -195,6 +209,15 @@ class SeGShareEnclave(Enclave):
 
     def _build_components(self) -> None:
         assert self._root_key is not None
+        # Rebuilds (root-key rotation) must release the previous cache's
+        # EPC accounting before the replacement claims its own.
+        if self.cache is not None:
+            self.cache.clear()
+            self.cache = None
+        if self._options.metadata_cache_bytes is not None:
+            self.cache = MetadataCache(
+                self._options.metadata_cache_bytes, epc=self.platform.epc
+            )
         counter = None
         if self._options.rollback == "whole_fs":
             counter = self._platform_counter()
@@ -218,6 +241,8 @@ class SeGShareEnclave(Enclave):
             hide_paths=self._options.hide_paths,
             enable_dedup=self._options.enable_dedup,
             journal=journal,
+            cache=self.cache,
+            guard_batching=self._options.guard_batching and self._options.journal,
         )
         self.access = AccessControl(self.manager)
         self.handler = RequestHandler(
@@ -286,6 +311,12 @@ class SeGShareEnclave(Enclave):
     def ready(self) -> bool:
         """True once the enclave has a root key and can serve requests."""
         return self.handler is not None
+
+    def on_destroy(self) -> None:
+        """Release the cache's EPC residency on orderly teardown."""
+        cache = getattr(self, "cache", None)
+        if cache is not None:
+            cache.clear()
 
     # -- certification component (trusted part) ------------------------------------------
 
@@ -533,6 +564,13 @@ class SeGShareEnclave(Enclave):
         message = self.reset_message_bytes(self.platform.platform_id, nonce)
         if not rsa.verify(self._ca_public_key, message, signature):
             raise BackupError("reset message signature is invalid")
+        # The provider replaced the stores underneath us: every cached
+        # object and the in-memory dedup index describe the pre-restore
+        # world and must go before the consistency walk reads storage.
+        if self.cache is not None:
+            self.cache.clear()
+        if self.manager is not None and self.manager.dedup is not None:
+            self.manager.dedup.reload_index()
         if self.guard is not None:
             self.guard.verify_restored_state()
             self.guard.accept_current_state()
@@ -564,6 +602,45 @@ class SeGShareEnclave(Enclave):
         )
         self._build_components()
         return replay_state(self.manager, self.audit_log, snapshot)
+
+    # -- cache coherence across the host boundary ---------------------------------------------
+
+    @ecall
+    def invalidate_metadata_cache(self) -> None:
+        """Strictly invalidate enclave-resident metadata state.
+
+        Called by the untrusted host after it changed storage behind the
+        enclave's back — backup restore onto a live enclave, or another
+        replica joining the shared repository.  Dropping cached plaintext
+        is always safe (the next read re-verifies from storage); keeping
+        it would not be.
+        """
+        self._check_alive()
+        if self.cache is not None:
+            self.cache.clear()
+        if self.manager is not None and self.manager.dedup is not None:
+            self.manager.dedup.reload_index()
+
+    @ecall
+    def runtime_stats(self) -> dict:
+        """Cache/guard/EPC counters for operators and the benchmark harness."""
+        self._check_alive()
+        epc = self.platform.epc.stats
+        stats: dict = {
+            "epc": {
+                "allocated": epc.allocated,
+                "peak": epc.peak,
+                "page_swaps": epc.page_swaps,
+                "cache_bytes": epc.cache_bytes,
+            }
+        }
+        if self.cache is not None:
+            stats["cache"] = self.cache.stats.snapshot()
+        if self.guard is not None:
+            stats["rollback_guard"] = self.guard.stats.snapshot()
+        if self.group_guard is not None:
+            stats["group_guard"] = self.group_guard.stats.snapshot()
+        return stats
 
     # -- introspection ------------------------------------------------------------------------------
 

@@ -35,7 +35,9 @@ from repro.core.acl import (
     MemberListFile,
     acl_path,
     member_list_path,
+    quota_path,
 )
+from repro.core.cache import MetadataCache
 from repro.core.dedup import DedupStore
 from repro.core.hiding import HmacPathTransform, IdentityTransform
 from repro.core.journal import (
@@ -68,6 +70,13 @@ _KIND_POINTER = 1
 #: which is invalid in user paths, so collisions are impossible.
 GUARD_PREFIX = "\x00rb:"
 
+#: Same, for the group store's flat guard (node + anchor).
+GROUP_GUARD_PREFIX = "\x00rbg:"
+
+#: Metadata-cache namespaces, one per store.
+_NS_CONTENT = "content"
+_NS_GROUP = "group"
+
 
 class TrustedFileManager:
     """The enclave component owning all persistent state."""
@@ -80,10 +89,19 @@ class TrustedFileManager:
         hide_paths: bool = False,
         enable_dedup: bool = False,
         journal: WriteAheadJournal | None = None,
+        cache: MetadataCache | None = None,
+        guard_batching: bool = True,
     ) -> None:
         self._root_key = root_key
         self._enclave = enclave
         self.journal = journal
+        self._cache = cache
+        self._guard_batching = guard_batching
+        if journal is not None and cache is not None:
+            # Belt and braces: ANY undo-log restore — including paths that
+            # bypass batch() — drops the cache before restored bytes can
+            # coexist with stale entries.
+            journal.on_restore = cache.clear
         # With journaling on, the ProtectedFs instances write through undo-
         # recording wrappers; the raw stores stay on self._stores (stats,
         # sealed slots, and the journal's own keys bypass the wrappers).
@@ -108,11 +126,15 @@ class TrustedFileManager:
         )
         self._transform = HmacPathTransform(root_key) if hide_paths else IdentityTransform()
         self.dedup: DedupStore | None = (
-            DedupStore(self._dedup_pfs, root_key) if enable_dedup else None
+            DedupStore(self._dedup_pfs, root_key, cache=cache) if enable_dedup else None
         )
         self.guard: "RollbackGuard | None" = None
         self.group_guard: "FlatStoreGuard | None" = None
         self._stores = stores
+
+    @property
+    def cache(self) -> MetadataCache | None:
+        return self._cache
 
     # -- crash-consistent mutation batches ----------------------------------------
 
@@ -130,12 +152,17 @@ class TrustedFileManager:
             yield
             return
         journal.begin(label)
+        self._begin_guard_batches()
         try:
             yield
+            # Flush inside the try: a fault while persisting the batched
+            # guard nodes rolls the whole batch back like any other fault.
+            self._flush_guard_batches()
         except EnclaveCrashed:
             # The enclave is gone; restart recovery replays the undo log.
             raise
         except BaseException:
+            self._abort_guard_batches()
             try:
                 journal.rollback()
                 self._reanchor_guards()
@@ -150,6 +177,33 @@ class TrustedFileManager:
         else:
             journal.commit()
 
+    def _begin_guard_batches(self) -> None:
+        """Defer guard node/anchor persistence until the batch commits.
+
+        Only safe under an open undo-journal batch: an abort rolls back
+        the data writes the pending nodes describe, so dropping them is
+        consistent.  Disabled entirely with ``guard_batching=False`` (the
+        benchmark baseline).
+        """
+        if not self._guard_batching:
+            return
+        if self.guard is not None:
+            self.guard.begin_batch()
+        if self.group_guard is not None:
+            self.group_guard.begin_batch()
+
+    def _flush_guard_batches(self) -> None:
+        if self.guard is not None:
+            self.guard.commit_batch()
+        if self.group_guard is not None:
+            self.group_guard.commit_batch()
+
+    def _abort_guard_batches(self) -> None:
+        if self.guard is not None:
+            self.guard.abort_batch()
+        if self.group_guard is not None:
+            self.group_guard.abort_batch()
+
     def _reanchor_guards(self) -> None:
         """Resync in-memory state after an undo-log restore.
 
@@ -158,7 +212,14 @@ class TrustedFileManager:
         the anchors must be rewritten against the current counter value.
         The dedup index cache likewise still holds the aborted batch's
         refcounts and must follow the restored bytes.
+
+        Ordering matters: pending guard batches are dropped and the
+        metadata cache cleared FIRST — re-anchoring reads storage, and a
+        stale cached entry must never feed the new anchor.
         """
+        self._abort_guard_batches()
+        if self._cache is not None:
+            self._cache.clear()
         if self.dedup is not None:
             self.dedup.reload_index()
         if self.guard is not None:
@@ -186,6 +247,8 @@ class TrustedFileManager:
 
     def exists(self, path: str) -> bool:
         """Table IV ``exists_f``: is there a stored file at ``path``?"""
+        if self._cache is not None and self._cache.contains(_NS_CONTENT, path):
+            return True
         return self._content.exists(self._sp(path))
 
     # -- directory files ------------------------------------------------------------
@@ -234,12 +297,14 @@ class TrustedFileManager:
 
     def _pointer_target(self, path: str) -> str | None:
         """The dedup hName the current record points to, if any."""
-        if not self.exists(path):
-            return None
-        try:
-            record = self._content.read_file(self._sp(path))
-        except ProtectedFsError:
-            return None
+        record = self._cache.get(_NS_CONTENT, path) if self._cache is not None else None
+        if record is None:
+            if not self.exists(path):
+                return None
+            try:
+                record = self._content.read_file(self._sp(path))
+            except ProtectedFsError:
+                return None
         r = Reader(record)
         if r.u8() != _KIND_POINTER:
             return None
@@ -301,29 +366,47 @@ class TrustedFileManager:
     # -- group store -------------------------------------------------------------------
 
     def _group_read_guarded(self, logical_path: str) -> bytes:
+        if self._cache is not None:
+            cached = self._cache.get(_NS_GROUP, logical_path)
+            if cached is not None:
+                return cached
         data = self._group.read_file(self._sp(logical_path))
         if self.group_guard is not None:
             self.group_guard.verify_read(logical_path, self._content_hash(data))
+        if self._cache is not None:
+            self._cache.put(_NS_GROUP, logical_path, data)
         return data
 
     def _group_write_guarded(self, logical_path: str, data: bytes) -> None:
         sp = self._sp(logical_path)
         old_hash = None
         if self.group_guard is not None and self._group.exists(sp):
-            old_hash = self._content_hash(self._group.read_file(sp))
+            old = self._cache.get(_NS_GROUP, logical_path) if self._cache is not None else None
+            if old is None:
+                old = self._group.read_file(sp)
+            old_hash = self._content_hash(old)
+        if self._cache is not None:
+            self._cache.discard(_NS_GROUP, logical_path)
         self._group.write_file(sp, data)
         if self.group_guard is not None:
             self.group_guard.on_write(logical_path, self._content_hash(data), old_hash)
+        if self._cache is not None:
+            self._cache.put(_NS_GROUP, logical_path, data)
 
     def read_group_list(self) -> GroupListFile:
-        if not self._group.exists(self._sp(GROUP_LIST_PATH)):
-            return GroupListFile()
+        if self._cache is None or not self._cache.contains(_NS_GROUP, GROUP_LIST_PATH):
+            if not self._group.exists(self._sp(GROUP_LIST_PATH)):
+                return GroupListFile()
         return GroupListFile.deserialize(self._group_read_guarded(GROUP_LIST_PATH))
 
     def write_group_list(self, group_list: GroupListFile) -> None:
         self._group_write_guarded(GROUP_LIST_PATH, group_list.serialize())
 
     def member_list_exists(self, user_id: str) -> bool:
+        if self._cache is not None and self._cache.contains(
+            _NS_GROUP, member_list_path(user_id)
+        ):
+            return True
         return self._group.exists(self._sp(member_list_path(user_id)))
 
     def read_member_list(self, user_id: str) -> MemberListFile:
@@ -341,26 +424,55 @@ class TrustedFileManager:
 
     def read_quota(self, user_id: str) -> int:
         """Bytes currently accounted to ``user_id``."""
-        sp = self._sp("quota:" + user_id)
-        if not self._group.exists(sp):
-            return 0
-        r = Reader(self._group.read_file(sp))
+        key = quota_path(user_id)
+        data = self._cache.get(_NS_GROUP, key) if self._cache is not None else None
+        if data is None:
+            sp = self._sp(key)
+            if not self._group.exists(sp):
+                return 0
+            data = self._group.read_file(sp)
+            if self._cache is not None:
+                # Quota records are unguarded in the baseline too: the PFS
+                # Merkle check is all the integrity either path provides,
+                # so caching the decrypted record loses nothing.
+                self._cache.put(_NS_GROUP, key, data)
+        r = Reader(data)
         used = r.u64()
         r.expect_end()
         return used
 
     def write_quota(self, user_id: str, used: int) -> None:
-        self._group.write_file(self._sp("quota:" + user_id), Writer().u64(used).take())
+        key = quota_path(user_id)
+        blob = Writer().u64(used).take()
+        if self._cache is not None:
+            self._cache.discard(_NS_GROUP, key)
+        self._group.write_file(self._sp(key), blob)
+        if self._cache is not None:
+            self._cache.put(_NS_GROUP, key, blob)
 
     # -- unverified group access for the flat rollback guard -------------------------
 
     def raw_group_read(self, logical_path: str) -> bytes:
-        return self._group.read_file(self._sp(logical_path))
+        # Same policy as raw_read: consult always, fill guard objects only.
+        if self._cache is not None:
+            cached = self._cache.get(_NS_GROUP, logical_path)
+            if cached is not None:
+                return cached
+        data = self._group.read_file(self._sp(logical_path))
+        if self._cache is not None and logical_path.startswith(GROUP_GUARD_PREFIX):
+            self._cache.put(_NS_GROUP, logical_path, data)
+        return data
 
     def raw_group_write(self, logical_path: str, data: bytes) -> None:
+        if self._cache is not None:
+            self._cache.discard(_NS_GROUP, logical_path)
         self._group.write_file(self._sp(logical_path), data)
+        if self._cache is not None:
+            self._cache.put(_NS_GROUP, logical_path, data)
 
     def raw_group_exists(self, logical_path: str) -> bool:
+        if self._cache is not None and self._cache.contains(_NS_GROUP, logical_path):
+            return True
         return self._group.exists(self._sp(logical_path))
 
     def group_logical_paths(self) -> list[str]:
@@ -385,27 +497,51 @@ class TrustedFileManager:
     # -- guarded low-level I/O ------------------------------------------------------------
 
     def _read_guarded(self, path: str) -> bytes:
+        # Cache hit: the plaintext was verified when it entered the cache
+        # (or written by this enclave); serving it from enclave memory
+        # skips the PFS decrypt AND the per-level guard recomputation.
+        if self._cache is not None:
+            cached = self._cache.get(_NS_CONTENT, path)
+            if cached is not None:
+                return cached
         if not self.exists(path):
             raise FileSystemError(f"no file at {path!r}")
         data = self._content.read_file(self._sp(path))
         if self.guard is not None:
             self.guard.verify_read(path, self._content_hash(data))
+        if self._cache is not None:
+            self._cache.put(_NS_CONTENT, path, data)
         return data
 
     def _write_guarded(self, path: str, data: bytes) -> None:
         old_hash = None
         if self.guard is not None and self.exists(path):
-            old_hash = self._content_hash(self._content.read_file(self._sp(path)))
+            old = self._cache.get(_NS_CONTENT, path) if self._cache is not None else None
+            if old is None:
+                old = self._content.read_file(self._sp(path))
+            old_hash = self._content_hash(old)
+        # Drop the entry before mutating: if the write or guard update
+        # faults part-way, the cache must not keep serving the old value
+        # over now-divergent storage.
+        if self._cache is not None:
+            self._cache.discard(_NS_CONTENT, path)
         self._content.write_file(self._sp(path), data)
         if self.guard is not None:
             self.guard.on_write(path, self._content_hash(data), old_hash)
+        if self._cache is not None:
+            self._cache.put(_NS_CONTENT, path, data)
 
     def _delete_guarded(self, path: str) -> None:
         if not self.exists(path):
             raise FileSystemError(f"no file at {path!r}")
         old_hash = None
         if self.guard is not None:
-            old_hash = self._content_hash(self._content.read_file(self._sp(path)))
+            old = self._cache.get(_NS_CONTENT, path) if self._cache is not None else None
+            if old is None:
+                old = self._content.read_file(self._sp(path))
+            old_hash = self._content_hash(old)
+        if self._cache is not None:
+            self._cache.discard(_NS_CONTENT, path)
         self._content.remove(self._sp(path))
         if self.guard is not None:
             self.guard.on_delete(path, old_hash)
@@ -413,17 +549,41 @@ class TrustedFileManager:
     # -- unverified access for the rollback guard -----------------------------------------
 
     def raw_read(self, path: str) -> bytes:
-        """Read without rollback verification (guard internals only)."""
-        return self._content.read_file(self._sp(path))
+        """Read without rollback verification (guard internals only).
+
+        Consults the cache (entries are only ever inserted verified or
+        write-through, so they are at least as fresh as storage) but fills
+        it only for guard objects: a guard node read here still gets
+        authenticated by its parent's bucket up to the counter-checked
+        anchor, whereas a sibling file read during bucket recomputation is
+        never individually verified and must not be laundered into the
+        cache.
+        """
+        if self._cache is not None:
+            cached = self._cache.get(_NS_CONTENT, path)
+            if cached is not None:
+                return cached
+        data = self._content.read_file(self._sp(path))
+        if self._cache is not None and path.startswith(GUARD_PREFIX):
+            self._cache.put(_NS_CONTENT, path, data)
+        return data
 
     def raw_exists(self, path: str) -> bool:
+        if self._cache is not None and self._cache.contains(_NS_CONTENT, path):
+            return True
         return self._content.exists(self._sp(path))
 
     def raw_write(self, path: str, data: bytes) -> None:
         """Write without guard hooks (guard node persistence)."""
+        if self._cache is not None:
+            self._cache.discard(_NS_CONTENT, path)
         self._content.write_file(self._sp(path), data)
+        if self._cache is not None:
+            self._cache.put(_NS_CONTENT, path, data)
 
     def raw_delete(self, path: str) -> None:
+        if self._cache is not None:
+            self._cache.discard(_NS_CONTENT, path)
         self._content.remove(self._sp(path))
 
     # -- statistics -------------------------------------------------------------------------

@@ -100,6 +100,11 @@ class WriteAheadJournal:
         self._seq = 0
         self._recorded: set[tuple[int, str]] = set()
         self._poisoned: Optional[str] = None
+        #: Invoked after every undo restore (in-process rollback AND crash
+        #: recovery).  The trusted file manager hangs the metadata cache's
+        #: ``clear`` here so restored pre-images can never coexist with
+        #: cache entries from the aborted batch.
+        self.on_restore: Optional[Callable[[], None]] = None
 
     # -- step boundaries -------------------------------------------------------
 
@@ -275,6 +280,8 @@ class WriteAheadJournal:
                     store.put(key, pre_image)
                 elif store.exists(key):
                     store.delete(key)
+        if self.on_restore is not None:
+            self.on_restore()
 
 
 class JournaledStore(UntrustedStore):

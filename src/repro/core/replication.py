@@ -90,6 +90,12 @@ def transfer_root_key(
         rng,
         clock,
     )
+    # The replica will now mutate the shared repository with writes the
+    # root enclave never sees, so the root's enclave-resident metadata
+    # cache can go stale: drop it.  (Cross-replica coherence during
+    # steady-state serving is out of scope — see docs/PERF.md — so shared-
+    # backend deployments should disable the cache or shard ownership.)
+    root.handle.call("invalidate_metadata_cache")
 
 
 class ReplicaSet:

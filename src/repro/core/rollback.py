@@ -30,10 +30,10 @@ from __future__ import annotations
 
 import hashlib
 import hmac
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 from repro.core.acl import acl_path
-from repro.core.file_manager import GUARD_PREFIX, TrustedFileManager
+from repro.core.file_manager import GROUP_GUARD_PREFIX, GUARD_PREFIX, TrustedFileManager
 from repro.crypto import derive_key
 from repro.crypto.mset_hash import MSetXorHash
 from repro.errors import CounterError, RollbackDetected
@@ -44,6 +44,22 @@ from repro.util.serialization import Reader, Writer
 
 _ANCHOR_PATH = GUARD_PREFIX + "anchor"
 ROOT = "/"
+
+
+@dataclass
+class GuardStats:
+    """Counters for one guard, exposed via ``SeGShareServer.stats()``."""
+
+    verifies: int = 0
+    updates: int = 0
+    node_saves: int = 0
+    anchor_writes: int = 0
+    batches: int = 0
+    nodes_flushed: int = 0
+    last_batch_nodes: int = 0
+
+    def snapshot(self) -> dict:
+        return asdict(self)
 
 
 def _node_path(dir_path: str) -> str:
@@ -104,12 +120,59 @@ class RollbackGuard:
         self.allow_degraded_reads = True
         #: Count of reads served without the counter freshness check.
         self.degraded_reads = 0
+        self.stats = GuardStats()
+        # Batch mode: node updates and the anchor write are deferred and
+        # flushed once at commit — O(dirty nodes) instead of O(N·depth).
+        self._batching = False
+        self._pending_nodes: dict[str, _Node] = {}
+        self._pending_root_main: bytes | None = None
         if counter is not None and enclave is None:
             raise RollbackDetected("whole-FS protection needs the owning enclave")
         if counter is not None and not counter.exists(counter_id):
             counter.create(enclave, counter_id)
         if not self._manager.raw_exists(_node_path(ROOT)):
             self._bootstrap()
+
+    # -- batched updates ------------------------------------------------------------
+    #
+    # Within a TrustedFileManager.batch(), every on_write/on_delete still
+    # updates the tree — but the updated nodes accumulate in enclave
+    # memory and the anchor write (with its monotonic-counter increment)
+    # is deferred.  commit_batch() then persists each dirty node once and
+    # the anchor once.  Reads *inside* the batch verify against the
+    # pending in-enclave root (enclave memory is fresh by definition);
+    # the counter check resumes with the commit-time anchor write.  The
+    # caller only enables batching under an open undo-journal batch, so
+    # an abort (or crash) rolls the already-persisted data writes back
+    # and the dropped pending nodes were never visible.
+
+    def begin_batch(self) -> None:
+        if self._batching:
+            return
+        self._batching = True
+        self._pending_nodes = {}
+        self._pending_root_main = None
+
+    def commit_batch(self) -> None:
+        """Flush dirty nodes and the deferred anchor; leaves batch mode."""
+        if not self._batching:
+            return
+        self._batching = False
+        pending, self._pending_nodes = self._pending_nodes, {}
+        root_main, self._pending_root_main = self._pending_root_main, None
+        for node in pending.values():
+            self._save_node(node)
+        if root_main is not None:
+            self._write_anchor(root_main)
+        self.stats.batches += 1
+        self.stats.nodes_flushed += len(pending)
+        self.stats.last_batch_nodes = len(pending)
+
+    def abort_batch(self) -> None:
+        """Drop pending state without persisting (undo-journal rollback)."""
+        self._batching = False
+        self._pending_nodes = {}
+        self._pending_root_main = None
 
     # -- hashing -------------------------------------------------------------------
 
@@ -148,23 +211,45 @@ class RollbackGuard:
         )
 
     def _load_node(self, dir_path: str) -> _Node:
+        if self._batching:
+            pending = self._pending_nodes.get(dir_path)
+            if pending is not None:
+                return pending
         data = self._manager.raw_read(_node_path(dir_path))
         return _Node.deserialize(self._key, data)
 
     def _save_node(self, node: _Node) -> None:
+        if self._batching:
+            self._pending_nodes[node.path] = node
+            return
         self._manager.raw_write(_node_path(node.path), node.serialize())
+        self.stats.node_saves += 1
+
+    def _delete_node(self, dir_path: str) -> None:
+        """Remove a directory's node (pending copy and persisted object)."""
+        if self._batching:
+            self._pending_nodes.pop(dir_path, None)
+        node_path = _node_path(dir_path)
+        if self._manager.raw_exists(node_path):
+            self._manager.raw_delete(node_path)
 
     def _node_exists(self, dir_path: str) -> bool:
+        if self._batching and dir_path in self._pending_nodes:
+            return True
         return self._manager.raw_exists(_node_path(dir_path))
 
     # -- anchor ---------------------------------------------------------------------------
 
     def _write_anchor(self, root_main: bytes) -> None:
+        if self._batching:
+            self._pending_root_main = root_main
+            return
         counter_value = 0
         if self._counter is not None:
             counter_value = self._counter.increment(self._enclave, self._counter_id)
         blob = Writer().bytes(root_main).u64(counter_value).take()
         self._manager.raw_write(_ANCHOR_PATH, blob)
+        self.stats.anchor_writes += 1
 
     def _read_anchor(self) -> tuple[bytes, int]:
         r = Reader(self._manager.raw_read(_ANCHOR_PATH))
@@ -174,6 +259,13 @@ class RollbackGuard:
         return root_main, counter_value
 
     def _verify_anchor(self, root_main: bytes) -> None:
+        if self._batching and self._pending_root_main is not None:
+            # Mid-batch, the persisted anchor is stale by design: the
+            # authoritative root lives in enclave memory until commit.
+            # Enclave memory needs no counter freshness check.
+            if root_main != self._pending_root_main:
+                raise RollbackDetected("root hash does not match the pending anchor")
+            return
         stored_main, stored_counter = self._read_anchor()
         if stored_main != root_main:
             raise RollbackDetected("root hash does not match the anchored value")
@@ -221,6 +313,7 @@ class RollbackGuard:
 
     def on_write(self, path: str, new_hash: bytes, old_hash: bytes | None) -> None:
         """A file at ``path`` now has content hash ``new_hash``."""
+        self.stats.updates += 1
         if path.endswith("/"):
             self._on_dir_write(path, new_hash, old_hash)
         else:
@@ -229,10 +322,11 @@ class RollbackGuard:
             self._propagate(parent(path), path, old_main, new_main)
 
     def on_delete(self, path: str, old_hash: bytes) -> None:
+        self.stats.updates += 1
         if path.endswith("/"):
             node = self._load_node(path)
             old_main = self._node_main(node)
-            self._manager.raw_delete(_node_path(path))
+            self._delete_node(path)
             self._propagate(parent(path), path, old_main, None)
         else:
             self._propagate(parent(path), path, self._leaf_main(path, old_hash), None)
@@ -320,6 +414,7 @@ class RollbackGuard:
         that bucket and compare against the inner node's stored digest;
         finally compare the root main hash (and counter) with the anchor.
         """
+        self.stats.verifies += 1
         if path.endswith("/"):
             node = self._load_node(path)
             if node.dir_hash != content_hash:
@@ -422,8 +517,8 @@ class FlatStoreGuard:
     store.
     """
 
-    _NODE_PATH = "\x00rbg:node"
-    _ANCHOR_PATH = "\x00rbg:anchor"
+    _NODE_PATH = GROUP_GUARD_PREFIX + "node"
+    _ANCHOR_PATH = GROUP_GUARD_PREFIX + "anchor"
 
     def __init__(
         self,
@@ -442,12 +537,48 @@ class FlatStoreGuard:
         self._counter_id = counter_id
         self.allow_degraded_reads = True
         self.degraded_reads = 0
+        self.stats = GuardStats()
+        # Batch mode mirrors RollbackGuard: the single node and anchor
+        # are flushed once per TrustedFileManager.batch().
+        self._batching = False
+        self._pending_buckets: list[MSetXorHash] | None = None
+        self._pending_main: bytes | None = None
         if counter is not None and enclave is None:
             raise RollbackDetected("whole-FS protection needs the owning enclave")
         if counter is not None and not counter.exists(counter_id):
             counter.create(enclave, counter_id)
         if not self._manager.raw_group_exists(self._NODE_PATH):
             self._bootstrap()
+
+    # -- batched updates ------------------------------------------------------------
+
+    def begin_batch(self) -> None:
+        if self._batching:
+            return
+        self._batching = True
+        self._pending_buckets = None
+        self._pending_main = None
+
+    def commit_batch(self) -> None:
+        if not self._batching:
+            return
+        self._batching = False
+        pending, self._pending_buckets = self._pending_buckets, None
+        main, self._pending_main = self._pending_main, None
+        if pending is not None:
+            self._save_node(pending)
+            self.stats.nodes_flushed += 1
+            self.stats.last_batch_nodes = 1
+        else:
+            self.stats.last_batch_nodes = 0
+        if main is not None:
+            self._write_anchor(main)
+        self.stats.batches += 1
+
+    def abort_batch(self) -> None:
+        self._batching = False
+        self._pending_buckets = None
+        self._pending_main = None
 
     def _leaf_main(self, path: str, content_hash: bytes) -> bytes:
         return hmac.new(
@@ -467,6 +598,8 @@ class FlatStoreGuard:
     # -- node/anchor persistence -------------------------------------------------
 
     def _load_node(self) -> list[MSetXorHash]:
+        if self._batching and self._pending_buckets is not None:
+            return self._pending_buckets
         r = Reader(self._manager.raw_group_read(self._NODE_PATH))
         count = r.u32()
         buckets = [MSetXorHash.deserialize(self._key, r.bytes()) for _ in range(count)]
@@ -474,20 +607,34 @@ class FlatStoreGuard:
         return buckets
 
     def _save_node(self, buckets: list[MSetXorHash]) -> None:
+        if self._batching:
+            self._pending_buckets = buckets
+            return
         w = Writer().u32(len(buckets))
         for bucket in buckets:
             w.bytes(bucket.serialize())
         self._manager.raw_group_write(self._NODE_PATH, w.take())
+        self.stats.node_saves += 1
 
     def _write_anchor(self, main: bytes) -> None:
+        if self._batching:
+            self._pending_main = main
+            return
         counter_value = 0
         if self._counter is not None:
             counter_value = self._counter.increment(self._enclave, self._counter_id)
         self._manager.raw_group_write(
             self._ANCHOR_PATH, Writer().bytes(main).u64(counter_value).take()
         )
+        self.stats.anchor_writes += 1
 
     def _verify_anchor(self, main: bytes) -> None:
+        if self._batching and self._pending_main is not None:
+            if main != self._pending_main:
+                raise RollbackDetected(
+                    "group store root hash does not match the pending anchor"
+                )
+            return
         r = Reader(self._manager.raw_group_read(self._ANCHOR_PATH))
         stored_main = r.bytes()
         stored_counter = r.u64()
@@ -521,6 +668,7 @@ class FlatStoreGuard:
     # -- hooks ----------------------------------------------------------------------
 
     def on_write(self, path: str, new_hash: bytes, old_hash: bytes | None) -> None:
+        self.stats.updates += 1
         buckets = self._load_node()
         bucket = buckets[self._bucket_of(path)]
         if old_hash is not None:
@@ -530,6 +678,7 @@ class FlatStoreGuard:
         self._write_anchor(self._node_main(buckets))
 
     def on_delete(self, path: str, old_hash: bytes) -> None:
+        self.stats.updates += 1
         buckets = self._load_node()
         buckets[self._bucket_of(path)].remove(self._leaf_main(path, old_hash))
         self._save_node(buckets)
@@ -538,6 +687,7 @@ class FlatStoreGuard:
     def verify_read(self, path: str, content_hash: bytes) -> None:
         """Recompute ``path``'s bucket from all group files in it and check
         it against the anchored node."""
+        self.stats.verifies += 1
         buckets = self._load_node()
         target_bucket = self._bucket_of(path)
         recomputed = MSetXorHash(self._key)

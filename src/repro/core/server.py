@@ -68,6 +68,10 @@ class SeGShareServer:
         """Where clients connect."""
         return Endpoint(self.listener)
 
+    def stats(self) -> dict:
+        """Cache, rollback-guard, and EPC counters from the enclave."""
+        return self.handle.call("runtime_stats")
+
     # -- untrusted certification component ---------------------------------------------
 
     def certification_request(self) -> tuple[bytes, bytes]:

@@ -38,6 +38,10 @@ class SgxCostModel:
     # library; calibrated against Fig. 3's 200 MB download latency.
     pfs_read_bytes_per_second: float = 350e6
 
+    # Plain in-enclave memory copies (cache hits): DRAM-speed, but the
+    # MEE still decrypts EPC lines on the way to the core.
+    enclave_memcpy_bytes_per_second: float = 10e9
+
     # Asymmetric operations (RSA-2048 sign/verify, DH exponentiation).
     rsa_sign: float = 600e-6
     rsa_verify: float = 20e-6

@@ -145,6 +145,18 @@ class Enclave:
     def on_load(self) -> None:
         """Hook called once the enclave is loaded (EINIT analogue)."""
 
+    def on_destroy(self) -> None:
+        """Hook called on orderly destruction, before state is dropped.
+
+        Gives the enclave a chance to release platform-side accounting
+        (EPC residency of long-lived caches).  NOT called on a crash —
+        a killed enclave releases nothing, exactly like real SGX, where
+        the EPC pages are reclaimed only when the host tears the enclave
+        down; :meth:`SeGShareServer.restart_enclave` destroys the old
+        handle either way, so the accounting is settled before a
+        replacement loads.
+        """
+
     def ocall(self, account: str = "transitions") -> None:
         """Charge one OCALL transition (call out of the enclave)."""
         clock = self.platform.clock
@@ -205,6 +217,7 @@ class EnclaveHandle:
 
     def destroy(self) -> None:
         """Destroy the enclave: all volatile state is lost (Section II-A)."""
+        self._enclave.on_destroy()
         self._enclave._destroyed = True
         # Drop trusted state so use-after-destroy is a hard error, not stale data.
         for attr in list(vars(self._enclave)):

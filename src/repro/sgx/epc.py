@@ -29,6 +29,9 @@ class EpcStats:
     allocated: int = 0
     peak: int = 0
     page_swaps: int = 0
+    #: Portion of ``allocated`` held by long-lived enclave caches (the
+    #: metadata cache), as opposed to transient per-request buffers.
+    cache_bytes: int = 0
 
 
 @dataclass
@@ -63,6 +66,25 @@ class EpcModel:
         if nbytes < 0 or nbytes > self.stats.allocated:
             raise EnclaveError(f"invalid free of {nbytes} (allocated {self.stats.allocated})")
         self.stats.allocated -= nbytes
+
+    def alloc_cache(self, nbytes: int) -> None:
+        """Account ``nbytes`` of long-lived cache residency.
+
+        Same paging semantics as :meth:`alloc` — a cache sized past the
+        EPC pays swap cost like any other enclave memory — but tracked
+        separately so stats can attribute residency to the cache.
+        """
+        self.alloc(nbytes)
+        self.stats.cache_bytes += nbytes
+
+    def free_cache(self, nbytes: int) -> None:
+        """Release cache residency accounted via :meth:`alloc_cache`."""
+        if nbytes < 0 or nbytes > self.stats.cache_bytes:
+            raise EnclaveError(
+                f"invalid cache free of {nbytes} (cache holds {self.stats.cache_bytes})"
+            )
+        self.free(nbytes)
+        self.stats.cache_bytes -= nbytes
 
     def touch(self, nbytes: int) -> None:
         """Charge access cost for a working set of ``nbytes``.

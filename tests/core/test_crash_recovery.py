@@ -155,6 +155,11 @@ def check_overwrite(server: SeGShareServer) -> None:
     assert content in (b"victim content", b"version two")
 
 
+#: Sized so the whole working set fits: every metadata object the matrix
+#: operations touch is cache-resident when the crash hits, which is the
+#: worst case for stale-entry bugs.
+_CACHED = {"metadata_cache_bytes": 256 * 1024}
+
 _MATRIX = {
     "move": (run_move, check_move, {}),
     "remove": (run_remove, check_remove, {}),
@@ -162,6 +167,13 @@ _MATRIX = {
     "overwrite": (run_overwrite, check_overwrite, {}),
     "put_dedup": (run_put, check_put, {"enable_dedup": True}),
     "move_hidden": (run_move, check_move, {"hide_paths": True}),
+    # Cached variants: the enclave-resident metadata cache must never let
+    # a value written by the rolled-back batch survive the crash — the
+    # check functions re-read everything through the manager (and thus
+    # through the cache) after recovery.
+    "move_cached": (run_move, check_move, dict(_CACHED)),
+    "overwrite_cached": (run_overwrite, check_overwrite, dict(_CACHED)),
+    "put_dedup_cached": (run_put, check_put, {"enable_dedup": True, **_CACHED}),
 }
 
 

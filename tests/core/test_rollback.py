@@ -186,3 +186,15 @@ class TestFlatGuardUnit:
         world.handler.add_user("alice", "bob", "eng")
         world.group_guard.accept_current_state()
         assert "eng" in world.access.user_groups("bob")
+
+    def test_new_users_survive_bucket_collisions(self, make_world):
+        """Regression: a new user's member list used to enter its guard
+        bucket before the user was in the registry, so leaf enumeration
+        (registry-driven) missed it — the first user whose member list
+        collided with the registry's bucket broke every verify of that
+        bucket.  With few buckets, collisions are guaranteed."""
+        world = make_world(rollback=True, buckets=2)
+        for i in range(12):
+            world.handler.add_user("alice", f"u{i}", "eng")
+            assert "eng" in world.access.user_groups(f"u{i}")
+        assert len(world.access.known_users()) == 13  # 12 members + alice

@@ -29,6 +29,7 @@ def org(user_key):
             counter_kind="rote",
             audit=True,
             quota_bytes=1_000_000,
+            metadata_cache_bytes=256 * 1024,
         ),
     )
     users = {
@@ -180,6 +181,7 @@ def test_fault_seeded_soak(user_key):
             rollback_buckets=8,
             journal=True,
             enable_dedup=True,
+            metadata_cache_bytes=128 * 1024,
         ),
     )
     plan.attach_platform(deployment.server.platform)

@@ -13,6 +13,7 @@ EXAMPLES = [
     "examples/webdav_gateway.py",
     "examples/audit_trail.py",
     "examples/fault_drill.py",
+    "examples/perf_demo.py",
 ]
 
 pytestmark = pytest.mark.slow
