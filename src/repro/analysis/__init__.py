@@ -1,0 +1,19 @@
+"""seglint: repo-specific static analysis of the enclave trust boundary.
+
+SeGShare's security argument rests on invariants that hold *by
+construction* in the paper but only *by convention* in a growing Python
+reproduction: plaintext never crosses the enclave boundary unencrypted,
+the untrusted host reaches trusted code only through declared ECALLs,
+secret comparisons run in constant time, every cached plaintext entry is
+discarded before the bytes underneath it change, and every trusted-flow
+store mutation is covered by the undo journal.  ``seglint`` turns each
+of those conventions into an AST-checked rule, driven by the declarative
+trust map in ``analysis/boundary.toml``.
+
+Run it as ``python -m repro.analysis.seglint src/``.
+"""
+
+from repro.analysis.boundary import BoundaryMap
+from repro.analysis.engine import Baseline, Finding, analyze_paths
+
+__all__ = ["Baseline", "BoundaryMap", "Finding", "analyze_paths"]

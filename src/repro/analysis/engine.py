@@ -1,0 +1,220 @@
+"""seglint's engine: source loading, suppressions, baseline, rule driving.
+
+The engine is deliberately small; every security judgement lives in the
+rules (``repro.analysis.rules``) and in the boundary map.  What belongs
+here is the mechanics shared by all rules:
+
+* mapping files to dotted module names (walking the ``__init__.py``
+  chain upward),
+* line-granular suppressions — ``# seglint: ignore[rule-id]`` on the
+  flagged line or on a comment line directly above it,
+* the checked-in baseline (``analysis/baseline.json``), which may only
+  shrink: a finding not covered by the baseline fails the run, and a
+  baseline entry no longer matched by any finding fails it too (stale
+  entries would let new findings hide behind old ones).
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import os
+import re
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.analysis.boundary import BoundaryError, BoundaryMap
+
+_IGNORE_RE = re.compile(r"#\s*seglint:\s*ignore(?:\[([A-Za-z0-9_,\- ]*)\])?")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    symbol: str
+    message: str
+
+    @property
+    def key(self) -> tuple[str, str, str]:
+        """Baseline identity: line numbers shift, (rule, path, symbol) don't."""
+        return (self.rule, self.path, self.symbol)
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule}: {self.message} [{self.symbol}]"
+
+
+class SourceModule:
+    """A parsed Python file plus its seglint suppression map."""
+
+    def __init__(self, path: Path, rel_path: str, name: str, source: str) -> None:
+        self.path = path
+        self.rel_path = rel_path
+        self.name = name
+        self.source = source
+        self.tree = ast.parse(source, filename=str(path))
+        self._ignores = self._scan_ignores(source)
+
+    @staticmethod
+    def _scan_ignores(source: str) -> dict[int, frozenset[str] | None]:
+        """Line -> suppressed rule ids (``None`` = every rule).
+
+        A trailing comment suppresses its own line; a comment-only line
+        suppresses the line below it.
+        """
+        ignores: dict[int, frozenset[str] | None] = {}
+        for lineno, line in enumerate(source.splitlines(), start=1):
+            match = _IGNORE_RE.search(line)
+            if match is None:
+                continue
+            rules: frozenset[str] | None
+            if match.group(1) is None:
+                rules = None
+            else:
+                rules = frozenset(
+                    part.strip() for part in match.group(1).split(",") if part.strip()
+                )
+            target = lineno + 1 if line.lstrip().startswith("#") else lineno
+            ignores[target] = rules
+        return ignores
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        rules = self._ignores.get(line, frozenset())
+        return rules is None or rule in rules
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name, walking up while ``__init__.py`` files exist.
+
+    Files outside any package (fixture snippets) are named by their stem,
+    which is what fixture boundary maps classify.
+    """
+    path = path.resolve()
+    parts = [path.stem] if path.stem != "__init__" else []
+    parent = path.parent
+    while (parent / "__init__.py").exists():
+        parts.insert(0, parent.name)
+        parent = parent.parent
+    return ".".join(parts) if parts else path.stem
+
+
+def load_modules(paths: Iterable[str | Path]) -> list[SourceModule]:
+    """Parse every ``.py`` file under ``paths`` (files or directories)."""
+    files: list[Path] = []
+    for entry in paths:
+        entry = Path(entry)
+        if entry.is_dir():
+            files.extend(
+                p
+                for p in sorted(entry.rglob("*.py"))
+                if not any(part.startswith(".") for part in p.parts)
+            )
+        elif entry.suffix == ".py":
+            files.append(entry)
+        else:
+            raise BoundaryError(f"not a Python file or directory: {entry}")
+    modules = []
+    for file_path in files:
+        source = file_path.read_text(encoding="utf-8")
+        rel = os.path.relpath(file_path)
+        try:
+            modules.append(
+                SourceModule(file_path, Path(rel).as_posix(), module_name_for(file_path), source)
+            )
+        except SyntaxError as exc:
+            raise BoundaryError(f"cannot parse {file_path}: {exc}") from None
+    return modules
+
+
+def analyze_paths(
+    paths: Iterable[str | Path],
+    boundary: BoundaryMap,
+    rules: Iterable[str] | None = None,
+) -> list[Finding]:
+    """Run the selected rules (default: all) and return unsuppressed findings."""
+    from repro.analysis.rules import REGISTRY
+
+    selected = list(REGISTRY) if rules is None else list(rules)
+    unknown = [rule for rule in selected if rule not in REGISTRY]
+    if unknown:
+        raise BoundaryError(f"unknown rule(s): {', '.join(unknown)}")
+    modules = load_modules(paths)
+    by_rel = {module.rel_path: module for module in modules}
+    findings: list[Finding] = []
+    for rule_id in selected:
+        for finding in REGISTRY[rule_id](modules, boundary):
+            module = by_rel.get(finding.path)
+            if module is not None and module.is_suppressed(finding.rule, finding.line):
+                continue
+            findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings
+
+
+@dataclass
+class Baseline:
+    """Checked-in waivers for known findings; allowed only to shrink."""
+
+    entries: Counter = field(default_factory=Counter)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        path = Path(path)
+        if not path.exists():
+            return cls()
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+            entries: Counter = Counter()
+            for entry in data["entries"]:
+                key = (entry["rule"], entry["path"], entry["symbol"])
+                entries[key] += int(entry.get("count", 1))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise BoundaryError(f"malformed baseline {path}: {exc}") from None
+        return cls(entries=entries)
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        return cls(entries=Counter(finding.key for finding in findings))
+
+    def write(self, path: str | Path) -> None:
+        entries = [
+            {"rule": rule, "path": rel, "symbol": symbol, "count": count}
+            for (rule, rel, symbol), count in sorted(self.entries.items())
+        ]
+        Path(path).write_text(
+            json.dumps({"version": 1, "entries": entries}, indent=2) + "\n",
+            encoding="utf-8",
+        )
+
+    def apply(self, findings: list[Finding]) -> tuple[list[Finding], list[str]]:
+        """Split findings into (new violations, stale baseline entries).
+
+        Baselined findings are waived up to their recorded count; any
+        surplus finding is a violation, and any baseline entry with no
+        matching finding left must be deleted from the baseline (stale
+        entries are headroom future regressions could hide in).
+        """
+        budget = Counter(self.entries)
+        new: list[Finding] = []
+        for finding in findings:
+            if budget[finding.key] > 0:
+                budget[finding.key] -= 1
+            else:
+                new.append(finding)
+        stale = [
+            f"{rule}:{path}:{symbol} (x{count})"
+            for (rule, path, symbol), count in sorted(budget.items())
+            if count > 0
+        ]
+        return new, stale
+
+
+def iter_rule_ids() -> Iterator[str]:
+    from repro.analysis.rules import REGISTRY
+
+    return iter(REGISTRY)

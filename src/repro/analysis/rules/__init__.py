@@ -1,0 +1,34 @@
+"""The seglint rule registry.
+
+Each rule module exposes ``RULE`` (its id) and
+``check(modules, boundary) -> Iterator[Finding]``.  Rules receive the
+whole module list because some checks are interprocedural across
+modules (``journal-batch``) or need the global classification
+(``boundary-import``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.analysis.boundary import BoundaryMap
+from repro.analysis.engine import Finding, SourceModule
+from repro.analysis.rules import (
+    boundary_import,
+    cache_discard,
+    journal_batch,
+    nonct_compare,
+    plaintext_escape,
+)
+
+RuleFn = Callable[[list[SourceModule], BoundaryMap], Iterator[Finding]]
+
+REGISTRY: dict[str, RuleFn] = {
+    plaintext_escape.RULE: plaintext_escape.check,
+    boundary_import.RULE: boundary_import.check,
+    nonct_compare.RULE: nonct_compare.check,
+    cache_discard.RULE: cache_discard.check,
+    journal_batch.RULE: journal_batch.check,
+}
+
+__all__ = ["REGISTRY", "RuleFn"]

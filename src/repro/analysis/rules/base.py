@@ -1,0 +1,65 @@
+"""AST helpers shared by the seglint rules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+
+def dotted(node: ast.AST) -> str | None:
+    """``a.b.c`` for Name/Attribute chains, ``None`` for anything else."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def segments(dotted_name: str) -> list[str]:
+    """Normalized path segments: leading underscores stripped, lowercase."""
+    return [part.lstrip("_").lower() for part in dotted_name.split(".")]
+
+
+def call_name(node: ast.Call) -> str | None:
+    """The final identifier a call resolves through (``x.y.f(...)`` -> ``f``)."""
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+def iter_functions(
+    tree: ast.Module,
+) -> Iterator[tuple[str, ast.FunctionDef | ast.AsyncFunctionDef]]:
+    """Yield ``(qualname, node)`` for every function, including methods."""
+
+    def walk(node: ast.AST, prefix: str) -> Iterator[tuple[str, ast.AST]]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{prefix}{child.name}"
+                yield qualname, child
+                yield from walk(child, f"{qualname}.")
+            elif isinstance(child, ast.ClassDef):
+                yield from walk(child, f"{prefix}{child.name}.")
+            else:
+                yield from walk(child, prefix)
+
+    for qualname, node in walk(tree, ""):
+        yield qualname, node  # type: ignore[misc]
+
+
+def walk_function_body(
+    fn: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> Iterator[ast.AST]:
+    """Walk a function's own body, not descending into nested functions."""
+    stack: list[ast.AST] = list(ast.iter_child_nodes(fn))
+    while stack:
+        node = stack.pop()
+        yield node
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            stack.extend(ast.iter_child_nodes(node))

@@ -1,0 +1,109 @@
+"""Rule ``boundary-import``: untrusted code stays outside the enclave.
+
+Paper Section II-A / IV-A: the untrusted host reaches trusted
+functionality only through the declared ECALL interface
+(:meth:`repro.sgx.enclave.EnclaveHandle.call`).  Statically that means
+an untrusted module may not import enclave-internal modules — the
+trusted file manager, access control, request handler, rollback guards,
+journal, cache, sealing — except for the names the boundary map
+explicitly allows (e.g. the host must be able to *construct*
+``SeGShareEnclave`` before loading it, and the wire-format module is
+shared by design).
+
+The rule also flags ``._enclave`` attribute access anywhere in untrusted
+code: that is the host reaching through :class:`EnclaveHandle` into the
+enclave object itself, bypassing the ECALL gate the runtime enforces.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.boundary import BoundaryMap
+from repro.analysis.engine import Finding, SourceModule
+
+RULE = "boundary-import"
+
+
+def _resolve_from(module: SourceModule, node: ast.ImportFrom) -> str | None:
+    """Absolute dotted target of a ``from X import ...`` statement."""
+    if node.level == 0:
+        return node.module
+    package = module.name.split(".")
+    # level=1 strips the module's own name, each further level one package.
+    if len(package) < node.level:
+        return node.module
+    base = package[: len(package) - node.level]
+    if node.module:
+        base.append(node.module)
+    return ".".join(base) if base else None
+
+
+def check(modules: list[SourceModule], boundary: BoundaryMap) -> Iterator[Finding]:
+    allow_raw = boundary.rule(RULE).get("allow", {})
+    allow = {name: tuple(names) for name, names in allow_raw.items()}
+
+    for module in modules:
+        if not boundary.is_untrusted(module.name):
+            continue
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if boundary.is_internal(alias.name):
+                        yield Finding(
+                            rule=RULE,
+                            path=module.rel_path,
+                            line=node.lineno,
+                            symbol=f"{module.name}:{alias.name}",
+                            message=(
+                                f"untrusted module imports enclave-internal "
+                                f"module {alias.name!r}; go through "
+                                f"EnclaveHandle.call/ECALLs instead"
+                            ),
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                target = _resolve_from(module, node)
+                if target is None:
+                    continue
+                if boundary.is_internal(target):
+                    allowed = allow.get(target, ())
+                    for alias in node.names:
+                        if alias.name in allowed or "*" in allowed:
+                            continue
+                        yield Finding(
+                            rule=RULE,
+                            path=module.rel_path,
+                            line=node.lineno,
+                            symbol=f"{module.name}:{target}.{alias.name}",
+                            message=(
+                                f"untrusted module imports {alias.name!r} from "
+                                f"enclave-internal module {target!r} (not in the "
+                                f"boundary allow list)"
+                            ),
+                        )
+                else:
+                    for alias in node.names:
+                        full = f"{target}.{alias.name}"
+                        if boundary.is_internal(full):
+                            yield Finding(
+                                rule=RULE,
+                                path=module.rel_path,
+                                line=node.lineno,
+                                symbol=f"{module.name}:{full}",
+                                message=(
+                                    f"untrusted module imports enclave-internal "
+                                    f"module {full!r}"
+                                ),
+                            )
+            elif isinstance(node, ast.Attribute) and node.attr == "_enclave":
+                yield Finding(
+                    rule=RULE,
+                    path=module.rel_path,
+                    line=node.lineno,
+                    symbol=f"{module.name}:_enclave",
+                    message=(
+                        "untrusted code reaches through EnclaveHandle._enclave, "
+                        "bypassing the ECALL interface"
+                    ),
+                )

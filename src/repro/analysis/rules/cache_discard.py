@@ -1,0 +1,103 @@
+"""Rule ``cache-discard``: mutate storage only after dropping the cache.
+
+The enclave-resident metadata cache (``repro.core.cache``, PR 2) holds
+verified plaintext keyed by logical path.  Its one obligation is
+coherence: a write or delete that changes the bytes under a cached key
+must discard the entry *before* the mutation, so a fault halfway through
+never leaves the cache serving pre-write plaintext over post-write
+storage (the discard-before-write protocol in
+``TrustedFileManager._write_guarded``).
+
+Mechanically: inside any class that owns a cache reference (an
+attribute whose name contains ``cache``), every
+``write_file``/``remove``/``rename`` call on a protected-store receiver
+must be preceded — same function, earlier line — by a ``discard`` or
+``clear`` call on the cache.  Writes of objects that are never cached
+(dedup content objects) carry a line-granular suppression explaining
+why the protocol does not apply.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.boundary import BoundaryMap
+from repro.analysis.engine import Finding, SourceModule
+from repro.analysis.rules.base import dotted, segments, walk_function_body
+
+RULE = "cache-discard"
+
+_DEFAULT_MODULES = ("repro.core.*",)
+_DEFAULT_WRITE_METHODS = ("write_file", "remove", "rename")
+_DEFAULT_DISCARD_METHODS = ("discard", "clear")
+
+
+def _class_owns_cache(cls: ast.ClassDef) -> bool:
+    """Does the class assign a ``self.*cache*`` attribute anywhere?"""
+    for node in ast.walk(cls):
+        if isinstance(node, (ast.Assign, ast.AnnAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                name = dotted(target)
+                if (
+                    name is not None
+                    and name.startswith("self.")
+                    and "cache" in name.split(".")[-1].lower()
+                ):
+                    return True
+    return False
+
+
+def _iter_methods(cls: ast.ClassDef) -> Iterator[tuple[str, ast.FunctionDef | ast.AsyncFunctionDef]]:
+    for child in cls.body:
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield f"{cls.name}.{child.name}", child
+
+
+def check(modules: list[SourceModule], boundary: BoundaryMap) -> Iterator[Finding]:
+    cfg = boundary.rule(RULE)
+    scope = boundary.rule_modules(RULE, _DEFAULT_MODULES)
+    write_methods = frozenset(cfg.get("write_methods", _DEFAULT_WRITE_METHODS))
+    discard_methods = frozenset(cfg.get("discard_methods", _DEFAULT_DISCARD_METHODS))
+
+    import fnmatch
+
+    for module in modules:
+        if not any(
+            module.name == p or fnmatch.fnmatchcase(module.name, p) for p in scope
+        ):
+            continue
+        for cls in ast.walk(module.tree):
+            if not isinstance(cls, ast.ClassDef) or not _class_owns_cache(cls):
+                continue
+            for qualname, fn in _iter_methods(cls):
+                writes: list[tuple[int, str, str]] = []
+                discard_lines: list[int] = []
+                for node in walk_function_body(fn):
+                    if not isinstance(node, ast.Call):
+                        continue
+                    func = node.func
+                    if not isinstance(func, ast.Attribute):
+                        continue
+                    receiver = dotted(func.value)
+                    if receiver is None:
+                        continue
+                    is_cache_recv = any("cache" in s for s in segments(receiver))
+                    if func.attr in discard_methods and is_cache_recv:
+                        discard_lines.append(node.lineno)
+                    elif func.attr in write_methods and not is_cache_recv:
+                        writes.append((node.lineno, func.attr, receiver))
+                for line, attr, receiver in sorted(writes):
+                    if not any(d < line for d in discard_lines):
+                        yield Finding(
+                            rule=RULE,
+                            path=module.rel_path,
+                            line=line,
+                            symbol=f"{module.name}:{qualname}",
+                            message=(
+                                f"{receiver}.{attr}() mutates the store without a "
+                                f"prior cache discard/clear in this method "
+                                f"(discard-before-write protocol)"
+                            ),
+                        )

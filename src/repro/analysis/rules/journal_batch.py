@@ -1,0 +1,160 @@
+"""Rule ``journal-batch``: trusted-flow mutations run under the undo journal.
+
+One SeGShare request mutates many untrusted keys; a crash between two of
+them leaves storage inconsistent with the rollback-guard anchors, which
+is indistinguishable from a rollback attack (``repro.core.journal``
+docstring, PR 1).  The discipline is therefore: every file-manager
+mutation reachable from a request entry point happens inside a
+``manager.batch(...)`` span.
+
+The check is interprocedural over the modules the boundary map puts in
+scope (the request handler and access control).  Exposure propagates
+from entry points: a function with no observed call sites is *exposed*
+(unless it is a declared batch wrapper such as ``RequestHandler.handle``,
+which brackets every mutating opcode before dispatching), and exposure
+flows along call edges that are not inside a lexical
+``with *.batch(...)`` block and do not originate in a wrapper.  A
+function is a violation if it is exposed and calls a mutator
+(``write_dir``, ``write_acl``, …) outside a batch block.  Propagating
+exposure (a least fixpoint from entry points) rather than "covered-ness"
+keeps recursion and delegate cycles — ``RequestHandler.set_permission``
+calling ``AccessControl.set_permission``, which shares its bare name —
+from wedging the analysis.  Call edges resolve by bare method name,
+which is deliberately coarse for a codebase this size.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import defaultdict
+from typing import Iterator
+
+from repro.analysis.boundary import BoundaryMap
+from repro.analysis.engine import Finding, SourceModule
+from repro.analysis.rules.base import call_name, iter_functions
+
+RULE = "journal-batch"
+
+_DEFAULT_MODULES = ("repro.core.request_handler", "repro.core.access_control")
+_DEFAULT_MUTATORS = (
+    "write_dir",
+    "write_acl",
+    "write_content",
+    "delete_content",
+    "delete_acl",
+    "write_member_list",
+    "write_group_list",
+    "write_quota",
+)
+
+
+class _FuncInfo:
+    __slots__ = ("key", "name", "mutators_outside", "calls")
+
+    def __init__(self, key: tuple[str, str], name: str) -> None:
+        self.key = key
+        self.name = name
+        #: (line, mutator name) for mutator calls outside any with-batch.
+        self.mutators_outside: list[tuple[int, str]] = []
+        #: (callee bare name, inside_batch) for every call in the body.
+        self.calls: list[tuple[str, bool]] = []
+
+
+def _is_batch_with(node: ast.With) -> bool:
+    for item in node.items:
+        expr = item.context_expr
+        if isinstance(expr, ast.Call) and call_name(expr) == "batch":
+            return True
+    return False
+
+
+def _scan(fn: ast.AST, info: _FuncInfo, mutators: frozenset[str], in_batch: bool) -> None:
+    for child in ast.iter_child_nodes(fn):
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue  # nested definitions are scanned as their own functions
+        child_in_batch = in_batch
+        if isinstance(child, ast.With) and _is_batch_with(child):
+            child_in_batch = True
+        if isinstance(child, ast.Call):
+            name = call_name(child)
+            if name is not None:
+                info.calls.append((name, in_batch))
+                if name in mutators and not in_batch:
+                    info.mutators_outside.append((child.lineno, name))
+        _scan(child, info, mutators, child_in_batch)
+
+
+def check(modules: list[SourceModule], boundary: BoundaryMap) -> Iterator[Finding]:
+    cfg = boundary.rule(RULE)
+    scope = boundary.rule_modules(RULE, _DEFAULT_MODULES)
+    mutators = frozenset(cfg.get("mutators", _DEFAULT_MUTATORS))
+    wrappers = frozenset(cfg.get("batch_wrappers", ()))
+    exempt = frozenset(cfg.get("exempt", ()))
+
+    import fnmatch
+
+    funcs: dict[tuple[str, str], _FuncInfo] = {}
+    positions: dict[tuple[str, str], tuple[SourceModule, str]] = {}
+    for module in modules:
+        if not any(
+            module.name == p or fnmatch.fnmatchcase(module.name, p) for p in scope
+        ):
+            continue
+        for qualname, fn in iter_functions(module.tree):
+            key = (module.name, qualname)
+            info = _FuncInfo(key, fn.name)
+            _scan(fn, info, mutators, in_batch=False)
+            funcs[key] = info
+            positions[key] = (module, qualname)
+
+    # Call sites per bare callee name.
+    sites: dict[str, list[tuple[tuple[str, str], bool]]] = defaultdict(list)
+    for info in funcs.values():
+        for callee, in_batch in info.calls:
+            sites[callee].append((info.key, in_batch))
+
+    # Least fixpoint on *exposure*: seed with entry points (no observed
+    # call sites, not a wrapper), then flow along call edges that are
+    # neither lexically batched nor made from a wrapper body.  Cycles —
+    # recursion, or a delegate sharing its caller's bare name — stay
+    # unexposed unless something genuinely exposed reaches them.
+    exposed: set[tuple[str, str]] = set()
+    changed = True
+    while changed:
+        changed = False
+        for info in funcs.values():
+            if info.key in exposed:
+                continue
+            call_sites = sites.get(info.name, [])
+            if not call_sites:
+                if info.name not in wrappers:
+                    exposed.add(info.key)
+                    changed = True
+                continue
+            if any(
+                not in_batch
+                and caller in exposed
+                and funcs[caller].name not in wrappers
+                for caller, in_batch in call_sites
+            ):
+                exposed.add(info.key)
+                changed = True
+
+    for info in funcs.values():
+        if not info.mutators_outside or info.key not in exposed:
+            continue
+        if info.name in exempt or f"{info.key[0]}:{positions[info.key][1]}" in exempt:
+            continue
+        module, qualname = positions[info.key]
+        line, mutator = info.mutators_outside[0]
+        yield Finding(
+            rule=RULE,
+            path=module.rel_path,
+            line=line,
+            symbol=f"{module.name}:{qualname}",
+            message=(
+                f"{mutator}() runs outside any journaled batch and no caller "
+                f"establishes one; wrap the mutation in manager.batch(...) or "
+                f"baseline it with a justification"
+            ),
+        )

@@ -1,0 +1,154 @@
+"""Rule ``plaintext-escape``: decrypted bytes must not reach untrusted stores.
+
+Paper Section III (attacker model): the cloud provider reads every byte
+the enclave hands to untrusted storage, so any value produced by a
+decrypt/unseal call inside a trusted module must pass back through an
+encrypt/seal/MAC before it may flow into a raw store ``put``.  The rule
+runs a function-local taint analysis: decrypt/unseal results (and
+everything assigned from them) are tainted; sanitizer calls cut the
+taint; a tainted expression inside a store-write call is a finding.
+
+Write paths through :class:`repro.sgx.protected_fs.ProtectedFs` are not
+sinks — that layer encrypts before it stores — only raw backend
+receivers (``store``/``backend``/``inner``/``_stores.*``) are.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.boundary import BoundaryMap
+from repro.analysis.engine import Finding, SourceModule
+from repro.analysis.rules.base import (
+    call_name,
+    dotted,
+    iter_functions,
+    segments,
+    walk_function_body,
+)
+
+RULE = "plaintext-escape"
+
+_DEFAULT_SOURCES = ("decrypt", "unseal")
+_DEFAULT_SANITIZERS = (
+    "encrypt",
+    "seal",
+    "derive_key",
+    "digest",
+    "hexdigest",
+    "sha256",
+    "h_name",
+    "_content_hash",
+    "measurement",
+    "signer_id",
+)
+_DEFAULT_SINK_METHODS = ("put",)
+_DEFAULT_SINK_SEGMENTS = ("store", "stores", "backend", "backends", "inner")
+
+
+def _assign_targets(node: ast.AST) -> Iterator[str]:
+    """Dotted names a value lands in (tuple targets are flattened)."""
+    if isinstance(node, (ast.Tuple, ast.List)):
+        for element in node.elts:
+            yield from _assign_targets(element)
+    elif isinstance(node, ast.Starred):
+        yield from _assign_targets(node.value)
+    else:
+        name = dotted(node)
+        if name is not None:
+            yield name
+
+
+def _expr_tainted(
+    expr: ast.AST,
+    tainted: set[str],
+    sources: frozenset[str],
+    sanitizers: frozenset[str],
+) -> bool:
+    """Does ``expr`` carry taint?  Sanitizer calls cut entire subtrees."""
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.Call):
+            name = call_name(node)
+            if name in sources:
+                return True
+            if name in sanitizers:
+                continue  # the call's result is ciphertext/a digest
+        name_or_attr = dotted(node)
+        if name_or_attr is not None and name_or_attr in tainted:
+            return True
+        stack.extend(ast.iter_child_nodes(node))
+    return False
+
+
+def _collect_taint(
+    fn: ast.FunctionDef | ast.AsyncFunctionDef,
+    sources: frozenset[str],
+    sanitizers: frozenset[str],
+) -> set[str]:
+    """Fixpoint over the function body's assignments."""
+    tainted: set[str] = set()
+    assignments: list[tuple[list[str], ast.AST]] = []
+    for node in walk_function_body(fn):
+        if isinstance(node, ast.Assign):
+            targets = [t for target in node.targets for t in _assign_targets(target)]
+            assignments.append((targets, node.value))
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)) and node.value is not None:
+            assignments.append((list(_assign_targets(node.target)), node.value))
+        elif isinstance(node, ast.NamedExpr):
+            assignments.append((list(_assign_targets(node.target)), node.value))
+        elif isinstance(node, ast.withitem) and node.optional_vars is not None:
+            assignments.append((list(_assign_targets(node.optional_vars)), node.context_expr))
+    changed = True
+    while changed:
+        changed = False
+        for targets, value in assignments:
+            if not targets:
+                continue
+            if _expr_tainted(value, tainted, sources, sanitizers):
+                for target in targets:
+                    if target not in tainted:
+                        tainted.add(target)
+                        changed = True
+    return tainted
+
+
+def check(modules: list[SourceModule], boundary: BoundaryMap) -> Iterator[Finding]:
+    cfg = boundary.rule(RULE)
+    sources = frozenset(cfg.get("sources", _DEFAULT_SOURCES))
+    sanitizers = frozenset(cfg.get("sanitizers", _DEFAULT_SANITIZERS))
+    sink_methods = frozenset(cfg.get("sink_methods", _DEFAULT_SINK_METHODS))
+    sink_segments = frozenset(cfg.get("sink_receiver_segments", _DEFAULT_SINK_SEGMENTS))
+
+    for module in modules:
+        if not boundary.is_trusted(module.name):
+            continue
+        for qualname, fn in iter_functions(module.tree):
+            tainted = _collect_taint(fn, sources, sanitizers)
+            for node in walk_function_body(fn):
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                if not (isinstance(func, ast.Attribute) and func.attr in sink_methods):
+                    continue
+                receiver = dotted(func.value)
+                if receiver is None or not any(
+                    segment in sink_segments for segment in segments(receiver)
+                ):
+                    continue
+                for arg in [*node.args, *[kw.value for kw in node.keywords]]:
+                    if _expr_tainted(arg, tainted, sources, sanitizers):
+                        yield Finding(
+                            rule=RULE,
+                            path=module.rel_path,
+                            line=node.lineno,
+                            symbol=f"{module.name}:{qualname}",
+                            message=(
+                                f"decrypted/unsealed data flows into untrusted "
+                                f"write {receiver}.{func.attr}() without an "
+                                f"encrypt/seal/MAC in between"
+                            ),
+                        )
+                        break

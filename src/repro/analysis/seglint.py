@@ -1,0 +1,115 @@
+"""seglint command line: ``python -m repro.analysis.seglint [paths...]``.
+
+Exit codes: 0 — clean (or fully baselined); 1 — new findings or a stale
+baseline; 2 — configuration error (bad boundary map, unknown rule,
+unparsable source).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.analysis.boundary import BoundaryError, BoundaryMap
+from repro.analysis.engine import Baseline, analyze_paths
+from repro.analysis.rules import REGISTRY
+
+
+def _default_config(start: Path) -> Path | None:
+    """Find ``analysis/boundary.toml`` walking up from ``start``."""
+    for candidate in [start, *start.parents]:
+        config = candidate / "analysis" / "boundary.toml"
+        if config.exists():
+            return config
+    return None
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.seglint",
+        description="Trust-boundary static analysis for the SeGShare reproduction.",
+    )
+    parser.add_argument("paths", nargs="*", default=["src"], help="files or directories (default: src)")
+    parser.add_argument("--boundary", help="boundary map (default: nearest analysis/boundary.toml)")
+    parser.add_argument("--baseline", help="baseline file (default: alongside the boundary map)")
+    parser.add_argument(
+        "--no-baseline", action="store_true", help="report every finding, waiving nothing"
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true", help="rewrite the baseline from current findings"
+    )
+    parser.add_argument(
+        "--rules", help=f"comma-separated subset of: {', '.join(REGISTRY)}"
+    )
+    parser.add_argument("--format", choices=("text", "json"), default="text")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.boundary:
+            boundary_path = Path(args.boundary)
+        else:
+            found = _default_config(Path.cwd())
+            if found is None:
+                print("seglint: no analysis/boundary.toml found (use --boundary)", file=sys.stderr)
+                return 2
+            boundary_path = found
+        boundary = BoundaryMap.load(boundary_path)
+        rules = args.rules.split(",") if args.rules else None
+        findings = analyze_paths(args.paths, boundary, rules=rules)
+    except BoundaryError as exc:
+        print(f"seglint: {exc}", file=sys.stderr)
+        return 2
+
+    baseline_path = (
+        Path(args.baseline) if args.baseline else boundary_path.parent / "baseline.json"
+    )
+    if args.write_baseline:
+        Baseline.from_findings(findings).write(baseline_path)
+        print(f"seglint: wrote {len(findings)} finding(s) to {baseline_path}")
+        return 0
+
+    if args.no_baseline:
+        new, stale = findings, []
+    else:
+        try:
+            baseline = Baseline.load(baseline_path)
+        except BoundaryError as exc:
+            print(f"seglint: {exc}", file=sys.stderr)
+            return 2
+        new, stale = baseline.apply(findings)
+
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "findings": [finding.__dict__ for finding in new],
+                    "stale_baseline": stale,
+                    "checked_rules": rules or list(REGISTRY),
+                },
+                indent=2,
+            )
+        )
+    else:
+        for finding in new:
+            print(finding.format())
+        for entry in stale:
+            print(f"stale baseline entry (delete it): {entry}")
+        if new or stale:
+            print(
+                f"seglint: {len(new)} new finding(s), {len(stale)} stale baseline "
+                f"entr{'y' if len(stale) == 1 else 'ies'}"
+            )
+        else:
+            waived = len(findings) - len(new)
+            suffix = f" ({waived} baselined)" if waived else ""
+            print(f"seglint: clean{suffix}")
+    return 1 if new or stale else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

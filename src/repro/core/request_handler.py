@@ -104,7 +104,8 @@ class RequestHandler:
     def ensure_root(self) -> None:
         """Create the root directory file on first start."""
         if not self._manager.exists(ROOT):
-            self._manager.write_dir(ROOT, DirectoryFile())
+            with self._manager.batch("ensure_root"):
+                self._manager.write_dir(ROOT, DirectoryFile())
 
     # -- dispatch ------------------------------------------------------------------
 

@@ -13,6 +13,7 @@ nodes with ``0x01`` to rule out second-preimage splicing attacks.
 from __future__ import annotations
 
 import hashlib
+import hmac
 
 from repro.errors import IntegrityError
 
@@ -107,5 +108,5 @@ class MerkleTree:
                 digest = hash_node(digest, sibling)
             else:
                 digest = hash_node(sibling, digest)
-        if digest != root:
+        if not hmac.compare_digest(digest, root):
             raise IntegrityError("Merkle proof does not match root")

@@ -69,7 +69,7 @@ class MSetXorHash:
 
     def combine(self, other: "MSetXorHash") -> None:
         """Fold another multiset hash (same key) into this one."""
-        if other._key != self._key:
+        if not hmac.compare_digest(other._key, self._key):
             raise ValueError("cannot combine multiset hashes under different keys")
         self._acc = bytes(a ^ b for a, b in zip(self._acc, other._acc))
         self._count = (self._count + other._count) & 0xFFFFFFFFFFFFFFFF
@@ -101,7 +101,11 @@ class MSetXorHash:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, MSetXorHash):
             return NotImplemented
-        return self._key == other._key and self._acc == other._acc and self._count == other._count
+        return (
+            hmac.compare_digest(self._key, other._key)
+            and hmac.compare_digest(self._acc, other._acc)
+            and self._count == other._count
+        )
 
     def __hash__(self) -> int:
         return hash((self._acc, self._count))

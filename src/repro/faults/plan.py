@@ -28,7 +28,7 @@ Supported faults:
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Optional
 
 from repro.errors import EnclaveCrashed, FaultError, NetworkError

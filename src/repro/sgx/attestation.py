@@ -20,6 +20,7 @@ The model:
 from __future__ import annotations
 
 import hashlib
+import hmac
 from dataclasses import dataclass
 
 from repro.crypto import dh, rsa
@@ -167,7 +168,7 @@ def verifier_key_exchange(
     not bind ``enclave_public``.
     """
     service.verify(quote, expected_measurement)
-    if quote.report_data != bind_public_value(enclave_public):
+    if not hmac.compare_digest(quote.report_data, bind_public_value(enclave_public)):
         raise AttestationError("quote does not bind the offered public value")
     keypair = dh.generate_keypair()
     peer = dh.public_from_bytes(enclave_public)

@@ -18,7 +18,9 @@ to the enclave identity through the PSE).
 
 from __future__ import annotations
 
+import hmac
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.errors import CounterError
 from repro.netsim.clock import SimClock
@@ -51,7 +53,7 @@ class MonotonicCounter:
         state = self._counters.get(counter_id)
         if state is None:
             raise CounterError(f"no counter {counter_id!r}")
-        if state.owner_signer != enclave.signer_id():
+        if not hmac.compare_digest(state.owner_signer, enclave.signer_id()):
             raise CounterError("counter is owned by a different enclave signer")
         if state.dead:
             raise CounterError(f"counter {counter_id!r} has worn out")
@@ -80,7 +82,7 @@ class MonotonicCounter:
     # -- persistence (hardware counters survive power cycles; the simulated
     # -- ones expose their state so long-lived deployments can carry it) ----
 
-    def export_state(self) -> dict:
+    def export_state(self) -> dict[str, dict[str, Any]]:
         return {
             counter_id: {
                 "owner": state.owner_signer.hex(),
@@ -91,7 +93,7 @@ class MonotonicCounter:
             for counter_id, state in self._counters.items()
         }
 
-    def restore_state(self, state: dict) -> None:
+    def restore_state(self, state: dict[str, dict[str, Any]]) -> None:
         self._counters = {
             counter_id: _CounterState(
                 owner_signer=bytes.fromhex(entry["owner"]),
@@ -149,7 +151,7 @@ class RoteCounterService:
         owner = self._owners.get(counter_id)
         if owner is None:
             raise CounterError(f"no counter {counter_id!r}")
-        if owner != enclave.signer_id():
+        if not hmac.compare_digest(owner, enclave.signer_id()):
             raise CounterError("counter is owned by a different enclave signer")
 
     def read(self, enclave: Enclave, counter_id: str) -> int:
@@ -176,7 +178,7 @@ class RoteCounterService:
     def exists(self, counter_id: str) -> bool:
         return counter_id in self._owners
 
-    def export_state(self) -> dict:
+    def export_state(self) -> dict[str, Any]:
         return {
             "owners": {cid: owner.hex() for cid, owner in self._owners.items()},
             "replicas": [
@@ -185,7 +187,7 @@ class RoteCounterService:
             ],
         }
 
-    def restore_state(self, state: dict) -> None:
+    def restore_state(self, state: dict[str, Any]) -> None:
         self._owners = {
             cid: bytes.fromhex(owner) for cid, owner in state["owners"].items()
         }

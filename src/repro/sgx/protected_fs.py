@@ -19,6 +19,7 @@ the file *system* (rollback across files) is the job of
 
 from __future__ import annotations
 
+import hmac
 from dataclasses import dataclass
 
 from repro.crypto import default_pae, derive_key
@@ -336,7 +337,7 @@ class ReadHandle:
         return data
 
     def _verify_root(self) -> None:
-        if MerkleTree(self._leaves).root() != self._meta.merkle_root:
+        if not hmac.compare_digest(MerkleTree(self._leaves).root(), self._meta.merkle_root):
             raise ProtectedFsError(f"Merkle root mismatch for {self._path!r}")
 
     def close(self) -> None:

@@ -1,0 +1,28 @@
+"""cache-discard fixtures: discard-before-write inside cache-owning classes."""
+
+
+class CachedStore:
+    def __init__(self, pfs, cache):
+        self._pfs = pfs
+        self._cache = cache  # marks the class as cache-owning
+
+    def write_bad(self, path, data):
+        self._pfs.write_file(path, data)  # flagged: no prior discard
+
+    def write_good(self, path, data):
+        self._cache.discard("content", path)
+        self._pfs.write_file(path, data)  # clean: discard precedes the write
+
+    def remove_waived(self, path):
+        # Fixture for the suppression path: blobs here are never cached.
+        self._pfs.remove(path)  # seglint: ignore[cache-discard]
+
+
+class PlainStore:
+    """Owns no cache attribute, so the protocol does not apply."""
+
+    def __init__(self, pfs):
+        self._pfs = pfs
+
+    def write(self, path, data):
+        self._pfs.write_file(path, data)  # clean: class owns no cache

@@ -1,0 +1,11 @@
+"""nonct-compare fixtures that must be flagged."""
+
+
+def check_tag(tag, expected_tag):
+    return tag == expected_tag  # flagged: short-circuiting MAC compare
+
+
+def check_digest(digest, other):
+    if digest != other:  # flagged
+        raise ValueError("bad digest")
+    return True

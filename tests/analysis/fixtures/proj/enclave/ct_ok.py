@@ -1,0 +1,21 @@
+"""nonct-compare fixtures that must stay clean."""
+
+import hmac
+
+DIGEST_SIZE = 32
+
+
+def check_tag(tag, expected_tag):
+    return hmac.compare_digest(tag, expected_tag)  # clean: constant time
+
+
+def check_size(digest):
+    return len(digest) == 32  # clean: integer-literal length check
+
+
+def check_len(acc):
+    return len(acc) != DIGEST_SIZE  # clean: len() operand
+
+
+def check_meta(digest_size, n):
+    return digest_size == n  # clean: *_size names are public metadata

@@ -1,0 +1,34 @@
+"""journal-batch fixtures: mutators must run under manager.batch()."""
+
+
+class Handler:
+    def __init__(self, manager, acs):
+        self._manager = manager
+        self._acs = acs
+        self.startup()
+
+    def startup(self):
+        self._manager.write_dir("/", None)  # flagged: exposed via __init__
+
+    def handle(self, op):
+        if op in ("PUT", "RM"):
+            with self._manager.batch(op):
+                return self._dispatch(op)
+        return self._dispatch(op)
+
+    def _dispatch(self, op):
+        if op == "PUT":
+            return self.put_dir(op)
+        return self.set_permission(op)
+
+    def put_dir(self, op):
+        self._manager.write_dir(op, None)  # clean: reached only via handle
+
+    def set_permission(self, op):
+        # The delegate shares this method's bare name — the cycle the
+        # exposure fixpoint must not wedge on.
+        self._acs.set_permission(op)
+        self._manager.write_acl(op, None)  # clean: covered through handle
+
+    def migrate(self):
+        self._manager.write_dir("/new", None)  # clean: exempt in boundary.toml

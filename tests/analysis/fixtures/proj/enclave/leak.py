@@ -1,0 +1,24 @@
+"""plaintext-escape fixtures: decrypt results flowing toward store.put."""
+
+
+class Store:
+    def save(self, pae, store, key, blob):
+        plain = pae.decrypt(blob)
+        store.put(key, plain)  # flagged: tainted value reaches the sink
+
+    def save_alias(self, pae, store, key, blob):
+        plain = pae.decrypt(blob)
+        tmp = plain
+        store.put(key, tmp)  # flagged: taint propagates through assignment
+
+    def save_ok(self, pae, store, key, blob):
+        plain = pae.decrypt(blob)
+        store.put(key, pae.encrypt(plain))  # clean: sanitizer cuts the taint
+
+    def save_digest_ok(self, pae, store, key, blob):
+        plain = pae.decrypt(blob)
+        store.put(key, sha256(plain))  # clean: digest is not plaintext
+
+    def save_waived(self, pae, store, key, blob):
+        plain = pae.decrypt(blob)
+        store.put(key, plain)  # seglint: ignore[plaintext-escape]

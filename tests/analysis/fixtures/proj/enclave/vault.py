@@ -1,0 +1,7 @@
+"""Enclave-internal fixture module the host must not import directly."""
+
+master_key = b"\x00" * 32
+
+
+class VaultOptions:
+    """The one name the fixture boundary map allow-lists for the host."""

@@ -1,0 +1,11 @@
+"""Clean untrusted fixture: allow-listed import plus the ECALL interface."""
+
+from proj.enclave.vault import VaultOptions  # clean: allow-listed name
+
+
+def fetch(handle, path):
+    return handle.call("get", path)  # clean: the declared ECALL gate
+
+
+def configure():
+    return VaultOptions()

@@ -1,0 +1,11 @@
+"""boundary-import fixtures: every statement here must be flagged."""
+
+import proj.enclave.vault  # flagged: plain import of an internal module
+
+from proj.enclave.vault import master_key  # flagged: name not allow-listed
+from proj.enclave import vault  # flagged: internal module via its package
+from ..enclave import vault as v2  # flagged: relative import resolves too
+
+
+def peek(handle):
+    return handle._enclave.root_key  # flagged: reach-through past the ECALLs

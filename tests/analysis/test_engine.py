@@ -1,0 +1,126 @@
+"""Engine mechanics: suppressions, module naming, and the shrink-only baseline."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Baseline, Finding
+from repro.analysis.boundary import BoundaryError, BoundaryMap
+from repro.analysis.engine import SourceModule, module_name_for
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def _module(source: str) -> SourceModule:
+    return SourceModule(Path("mem.py"), "mem.py", "mem", source)
+
+
+def _finding(rule="r1", path="a.py", symbol="a:f", line=1) -> Finding:
+    return Finding(rule=rule, path=path, line=line, symbol=symbol, message="m")
+
+
+# -- suppressions ------------------------------------------------------------
+
+
+def test_trailing_comment_suppresses_its_own_line():
+    mod = _module("x = 1  # seglint: ignore[r1]\ny = 2\n")
+    assert mod.is_suppressed("r1", 1)
+    assert not mod.is_suppressed("r1", 2)
+
+
+def test_comment_only_line_suppresses_the_line_below():
+    mod = _module("# seglint: ignore[r1]\nx = 1\n")
+    assert mod.is_suppressed("r1", 2)
+    assert not mod.is_suppressed("r1", 1)
+
+
+def test_bare_ignore_suppresses_every_rule():
+    mod = _module("x = 1  # seglint: ignore\n")
+    assert mod.is_suppressed("r1", 1)
+    assert mod.is_suppressed("anything-else", 1)
+
+
+def test_rule_list_suppresses_only_named_rules():
+    mod = _module("x = 1  # seglint: ignore[r1, r2]\n")
+    assert mod.is_suppressed("r1", 1)
+    assert mod.is_suppressed("r2", 1)
+    assert not mod.is_suppressed("r3", 1)
+
+
+# -- module naming -----------------------------------------------------------
+
+
+def test_module_name_walks_init_chain():
+    path = FIXTURES / "proj" / "enclave" / "leak.py"
+    assert module_name_for(path) == "proj.enclave.leak"
+
+
+def test_module_name_for_bare_file(tmp_path):
+    snippet = tmp_path / "snippet.py"
+    snippet.write_text("x = 1\n")
+    assert module_name_for(snippet) == "snippet"
+
+
+# -- baseline ----------------------------------------------------------------
+
+
+def test_baseline_waives_up_to_recorded_count():
+    baseline = Baseline.from_findings([_finding()])
+    new, stale = baseline.apply([_finding(line=1)])
+    assert not new and not stale
+
+
+def test_baseline_rejects_growth():
+    baseline = Baseline.from_findings([_finding()])
+    new, stale = baseline.apply([_finding(line=1), _finding(line=9)])
+    assert len(new) == 1 and not stale
+
+
+def test_baseline_reports_stale_entries():
+    baseline = Baseline.from_findings([_finding()])
+    new, stale = baseline.apply([])
+    assert not new
+    assert stale == ["r1:a.py:a:f (x1)"]
+
+
+def test_baseline_shrink_requires_rewrite_roundtrip(tmp_path):
+    path = tmp_path / "baseline.json"
+    Baseline.from_findings([_finding(), _finding(symbol="a:g")]).write(path)
+    reloaded = Baseline.load(path)
+    new, stale = reloaded.apply([_finding()])
+    assert not new and stale  # the fixed finding's entry is now stale
+    Baseline.from_findings([_finding()]).write(path)
+    new, stale = Baseline.load(path).apply([_finding()])
+    assert not new and not stale
+
+
+def test_baseline_missing_file_is_empty(tmp_path):
+    assert not Baseline.load(tmp_path / "absent.json").entries
+
+
+def test_baseline_malformed_file_is_config_error(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text('{"version": 1}')
+    with pytest.raises(BoundaryError):
+        Baseline.load(path)
+
+
+# -- boundary map ------------------------------------------------------------
+
+
+def test_boundary_rejects_overlapping_classification():
+    with pytest.raises(BoundaryError):
+        BoundaryMap.from_dict(
+            {"modules": {"trusted": ["a.*"], "untrusted": ["a.b"]}}
+        )
+
+
+def test_boundary_glob_classification():
+    boundary = BoundaryMap.load(FIXTURES / "boundary.toml")
+    assert boundary.is_trusted("proj.enclave.vault")
+    assert boundary.is_untrusted("proj.host.smuggler")
+    assert boundary.is_internal("proj.enclave.vault")
+    assert not boundary.is_trusted("proj.host.smuggler")
+    assert not boundary.is_internal("proj.enclave.leak")

@@ -1,0 +1,138 @@
+"""Each seglint rule against its fixture tree: flag the bad, pass the clean.
+
+The fixtures under ``fixtures/proj`` are a miniature enclave/host split
+with one deliberately violating and one clean variant per rule; the
+fixture ``boundary.toml`` classifies them.  These tests pin rule
+*behaviour* — symbols flagged and symbols left alone — so analyzer
+refactors cannot silently change what the repo gate enforces.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import BoundaryMap, analyze_paths
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+@pytest.fixture(scope="module")
+def findings():
+    boundary = BoundaryMap.load(FIXTURES / "boundary.toml")
+    return analyze_paths([FIXTURES / "proj"], boundary)
+
+
+def symbols(findings, rule):
+    return {f.symbol for f in findings if f.rule == rule}
+
+
+# -- plaintext-escape --------------------------------------------------------
+
+
+def test_plaintext_escape_flags_direct_and_aliased_flows(findings):
+    flagged = symbols(findings, "plaintext-escape")
+    assert "proj.enclave.leak:Store.save" in flagged
+    assert "proj.enclave.leak:Store.save_alias" in flagged
+
+
+def test_plaintext_escape_passes_sanitized_flows(findings):
+    flagged = symbols(findings, "plaintext-escape")
+    assert "proj.enclave.leak:Store.save_ok" not in flagged
+    assert "proj.enclave.leak:Store.save_digest_ok" not in flagged
+
+
+def test_plaintext_escape_respects_inline_suppression(findings):
+    assert "proj.enclave.leak:Store.save_waived" not in symbols(
+        findings, "plaintext-escape"
+    )
+
+
+# -- boundary-import ---------------------------------------------------------
+
+
+def test_boundary_import_flags_every_smuggling_route(findings):
+    smuggled = [
+        f
+        for f in findings
+        if f.rule == "boundary-import" and f.path.endswith("smuggler.py")
+    ]
+    # import, from-import of a name, via-package, relative, _enclave reach.
+    assert len(smuggled) == 5
+    flagged = {f.symbol for f in smuggled}
+    assert "proj.host.smuggler:proj.enclave.vault" in flagged
+    assert "proj.host.smuggler:proj.enclave.vault.master_key" in flagged
+    assert "proj.host.smuggler:_enclave" in flagged
+
+
+def test_boundary_import_passes_allowlisted_and_ecall_use(findings):
+    assert not [f for f in findings if f.path.endswith("frontend.py")]
+
+
+def test_boundary_import_ignores_trusted_modules(findings):
+    # Trusted code imports its own internals freely; only the host is bound.
+    assert not [
+        f
+        for f in findings
+        if f.rule == "boundary-import" and "proj.enclave" in f.path
+    ]
+
+
+# -- nonct-compare -----------------------------------------------------------
+
+
+def test_nonct_compare_flags_secret_equality(findings):
+    flagged = symbols(findings, "nonct-compare")
+    assert "proj.enclave.ct_bad:check_tag" in flagged
+    assert "proj.enclave.ct_bad:check_digest" in flagged
+
+
+def test_nonct_compare_passes_ct_and_length_checks(findings):
+    flagged = symbols(findings, "nonct-compare")
+    assert not {s for s in flagged if s.startswith("proj.enclave.ct_ok")}
+
+
+# -- cache-discard -----------------------------------------------------------
+
+
+def test_cache_discard_flags_write_without_discard(findings):
+    assert "proj.enclave.cachemgr:CachedStore.write_bad" in symbols(
+        findings, "cache-discard"
+    )
+
+
+def test_cache_discard_passes_protocol_and_cacheless_classes(findings):
+    flagged = symbols(findings, "cache-discard")
+    assert "proj.enclave.cachemgr:CachedStore.write_good" not in flagged
+    assert "proj.enclave.cachemgr:CachedStore.remove_waived" not in flagged
+    assert "proj.enclave.cachemgr:PlainStore.write" not in flagged
+
+
+# -- journal-batch -----------------------------------------------------------
+
+
+def test_journal_batch_flags_exposed_unbatched_mutation(findings):
+    assert "proj.enclave.journaled:Handler.startup" in symbols(
+        findings, "journal-batch"
+    )
+
+
+def test_journal_batch_covers_wrapper_and_delegate_cycle(findings):
+    flagged = symbols(findings, "journal-batch")
+    assert "proj.enclave.journaled:Handler.put_dir" not in flagged
+    # Self-named delegate (handler method -> acs method) must not wedge
+    # the exposure fixpoint into a false positive.
+    assert "proj.enclave.journaled:Handler.set_permission" not in flagged
+
+
+def test_journal_batch_honors_exempt_list(findings):
+    assert "proj.enclave.journaled:Handler.migrate" not in symbols(
+        findings, "journal-batch"
+    )
+
+
+def test_rule_selection_restricts_output():
+    boundary = BoundaryMap.load(FIXTURES / "boundary.toml")
+    only_ct = analyze_paths([FIXTURES / "proj"], boundary, rules=["nonct-compare"])
+    assert only_ct and all(f.rule == "nonct-compare" for f in only_ct)

@@ -1,0 +1,87 @@
+"""The seglint CLI end to end: exit codes, baselines, suppression, formats."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.seglint import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+BOUNDARY = str(FIXTURES / "boundary.toml")
+PROJ = str(FIXTURES / "proj")
+
+
+def run(*argv: str) -> int:
+    return main(list(argv))
+
+
+def test_violating_tree_exits_nonzero(capsys):
+    assert run("--boundary", BOUNDARY, "--no-baseline", PROJ) == 1
+    out = capsys.readouterr().out
+    assert "plaintext-escape" in out and "new finding(s)" in out
+
+
+def test_clean_subset_exits_zero(capsys):
+    clean = str(FIXTURES / "proj" / "host" / "frontend.py")
+    assert run("--boundary", BOUNDARY, "--no-baseline", clean) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_baseline_waives_known_findings(tmp_path, capsys):
+    baseline = str(tmp_path / "baseline.json")
+    assert run("--boundary", BOUNDARY, "--baseline", baseline, "--write-baseline", PROJ) == 0
+    capsys.readouterr()
+    assert run("--boundary", BOUNDARY, "--baseline", baseline, PROJ) == 0
+    assert "baselined" in capsys.readouterr().out
+
+
+def test_stale_baseline_fails_the_run(tmp_path, capsys):
+    baseline = str(tmp_path / "baseline.json")
+    assert run("--boundary", BOUNDARY, "--baseline", baseline, "--write-baseline", PROJ) == 0
+    capsys.readouterr()
+    # Analyze only the clean file: every baselined finding is now stale,
+    # so the run must fail until the baseline shrinks to match.
+    clean = str(FIXTURES / "proj" / "host" / "frontend.py")
+    assert run("--boundary", BOUNDARY, "--baseline", baseline, clean) == 1
+    assert "stale baseline" in capsys.readouterr().out
+
+
+def test_introduced_violation_fails_against_written_baseline(tmp_path, capsys):
+    # The acceptance-criteria scenario: baseline the tree, then add a file
+    # with a fresh violation — seglint must exit non-zero.
+    baseline = str(tmp_path / "baseline.json")
+    assert run("--boundary", BOUNDARY, "--baseline", baseline, "--write-baseline", PROJ) == 0
+    bad = tmp_path / "proj_extra.py"
+    bad.write_text(
+        "import proj.enclave.vault\n",
+        encoding="utf-8",
+    )
+    capsys.readouterr()
+    # A bare file is classified by stem; make it untrusted via its own map.
+    extra_boundary = tmp_path / "boundary.toml"
+    extra_boundary.write_text(
+        '[modules]\nuntrusted = ["proj_extra"]\ninternal = ["proj.enclave.vault"]\n',
+        encoding="utf-8",
+    )
+    assert run("--boundary", str(extra_boundary), "--no-baseline", str(bad)) == 1
+
+
+def test_unknown_rule_is_config_error(capsys):
+    assert run("--boundary", BOUNDARY, "--rules", "no-such-rule", PROJ) == 2
+    assert "unknown rule" in capsys.readouterr().err
+
+
+def test_missing_boundary_is_config_error(tmp_path, capsys):
+    assert run("--boundary", str(tmp_path / "absent.toml"), PROJ) == 2
+    assert "not found" in capsys.readouterr().err
+
+
+def test_json_format_lists_findings(capsys):
+    assert (
+        run("--boundary", BOUNDARY, "--no-baseline", "--format", "json", PROJ) == 1
+    )
+    payload = json.loads(capsys.readouterr().out)
+    rules = {f["rule"] for f in payload["findings"]}
+    assert {"plaintext-escape", "boundary-import", "nonct-compare"} <= rules
+    assert payload["stale_baseline"] == []

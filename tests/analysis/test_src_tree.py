@@ -1,0 +1,64 @@
+"""Repo-level gates: the real source tree satisfies every seglint invariant.
+
+These are the tests that make seglint's guarantees durable: the tree is
+clean under all five rules (so CI's ``python -m repro.analysis.seglint
+src/`` stays exit-0), no non-constant-time secret comparison survives in
+the crypto/SGX layers, and the boundary map can never drift from the
+enclave's measured module list.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import BoundaryMap, analyze_paths
+from repro.analysis.engine import Baseline
+from repro.core.enclave_app import SeGShareEnclave
+
+REPO = Path(__file__).resolve().parents[2]
+SRC = REPO / "src"
+BOUNDARY = REPO / "analysis" / "boundary.toml"
+BASELINE = REPO / "analysis" / "baseline.json"
+
+
+@pytest.fixture(scope="module")
+def boundary():
+    return BoundaryMap.load(BOUNDARY)
+
+
+def test_source_tree_is_seglint_clean(boundary):
+    findings = analyze_paths([SRC], boundary)
+    baseline = Baseline.load(BASELINE)
+    # Identity keys are path-relative to the CWD only in CLI output; the
+    # baseline is empty, so this holds regardless of where pytest runs.
+    assert not baseline.entries, "baseline must stay empty: fix findings instead"
+    assert findings == [], "\n".join(f.format() for f in findings)
+
+
+def test_no_nonct_compare_anywhere_in_crypto_or_sgx(boundary):
+    findings = analyze_paths(
+        [SRC / "repro" / "crypto", SRC / "repro" / "sgx"],
+        boundary,
+        rules=["nonct-compare"],
+    )
+    assert findings == [], "\n".join(f.format() for f in findings)
+
+
+def test_boundary_map_covers_measured_tcb(boundary):
+    missing = [
+        module
+        for module in SeGShareEnclave.TCB_MODULES
+        if not boundary.is_trusted(module)
+    ]
+    assert not missing, f"TCB modules absent from boundary.toml trusted: {missing}"
+
+
+def test_trusted_modules_never_classified_untrusted(boundary):
+    both = [
+        module
+        for module in SeGShareEnclave.TCB_MODULES
+        if boundary.is_untrusted(module)
+    ]
+    assert not both

@@ -2,10 +2,8 @@
 
 import pytest
 
-from repro.core.acl import AclFile
 from repro.core.model import Permission, default_group
 from repro.errors import RequestError
-from repro.fsmodel import DirectoryFile
 
 R = frozenset({Permission.READ})
 W = frozenset({Permission.WRITE})

@@ -1,7 +1,5 @@
 """Filename and directory-structure hiding (§V-C)."""
 
-import pytest
-
 from repro.core.hiding import HmacPathTransform, IdentityTransform
 
 

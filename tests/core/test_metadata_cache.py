@@ -16,7 +16,7 @@ import pytest
 
 from repro.core.cache import MetadataCache
 from repro.core.enclave_app import SeGShareOptions
-from repro.core.requests import Op, Request, Response, Status
+from repro.core.requests import Op, Request, Status
 from repro.core.server import SeGShareServer
 from repro.errors import EnclaveCrashed
 from repro.faults import FaultPlan, faulty_stores

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.rollback import FlatStoreGuard, RollbackGuard
+from repro.core.rollback import RollbackGuard
 from repro.errors import RollbackDetected
 from repro.storage.stores import StoreSet
 

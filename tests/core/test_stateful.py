@@ -9,11 +9,10 @@ the model on content, listings, and authorization decisions.
 import hypothesis.strategies as st
 import pytest
 from hypothesis import settings
-from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, precondition, rule
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
 
 from repro.core.access_control import AccessControl
 from repro.core.file_manager import TrustedFileManager
-from repro.core.model import Permission, default_group
 from repro.core.request_handler import RequestHandler
 from repro.core.requests import Status
 from repro.core.rollback import FlatStoreGuard, RollbackGuard

@@ -1,7 +1,5 @@
 """Seeded latency jitter and the CI helper."""
 
-import pytest
-
 from repro.bench.harness import mean_ci95
 from repro.netsim import LinkSpec, NetworkEnv, azure_wan_env
 

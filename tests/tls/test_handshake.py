@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.crypto import rsa
 from repro.errors import TlsError
 from repro.pki import CertificateAuthority, CertificateUsage
 from repro.pki.certificate import CertificateSigningRequest
