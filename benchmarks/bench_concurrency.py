@@ -1,0 +1,227 @@
+#!/usr/bin/env python
+"""Multi-client concurrency benchmark: throughput vs switchless workers.
+
+Drives N closed-loop clients through the server's switchless worker pool
+on the parallel virtual clock (docs/PERF.md §5) over two path sets:
+
+* ``disjoint_read``  — every client repeatedly GETs its own file.  Path
+  locks never conflict, so throughput should scale with the worker pool
+  until switchless overhead flattens it.
+* ``contended_write`` — every client repeatedly PUTs its own file inside
+  one shared directory.  Each upload write-locks the parent directory
+  (and the journal commit point and guard anchor serialize), so adding
+  workers buys ~nothing — the expected near-flat curve that proves the
+  lock model actually serializes conflicting requests instead of letting
+  them race.
+
+Latencies are virtual-clock seconds from the calibrated Azure cost
+model; results land in ``BENCH_concurrency.json`` with a per-account
+wait breakdown (lock-wait, worker-wait, commit-wait, ...) per cell.
+
+Exit status is non-zero if disjoint-path read throughput at 4 workers
+fails to reach 2x the 1-worker figure — the scaling gate CI runs on
+every push (``--quick``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.bench.concurrency import ConcurrentDriver, parallel_env  # noqa: E402
+from repro.bench.workloads import KB, unique_bytes  # noqa: E402
+from repro.core.enclave_app import SeGShareOptions  # noqa: E402
+from repro.core.requests import Op, Request, Status  # noqa: E402
+from repro.core.server import SeGShareServer  # noqa: E402
+from repro.pki import CertificateAuthority  # noqa: E402
+
+#: One CA for every server: RSA keygen dominates setup and is unmeasured.
+_CA = CertificateAuthority(key_bits=1024)
+
+CLIENTS = 8
+WORKER_SWEEP = (1, 2, 4, 8)
+FILE_KB = 4
+
+
+def build_server(workers: int) -> SeGShareServer:
+    options = SeGShareOptions(
+        rollback="whole_fs",
+        counter_kind="rote",
+        rollback_buckets=16,
+        journal=True,
+        metadata_cache_bytes=512 * KB,
+        guard_batching=True,
+        switchless_workers=workers,
+    )
+    return SeGShareServer(parallel_env(), _CA.public_key, options=options)
+
+
+def ok(response) -> None:
+    assert response.status is Status.OK, response
+
+
+def get_file(server: SeGShareServer, user: str, path: str) -> None:
+    response = server.enclave.handler.get(user, path)
+    assert b"".join(response.chunks)  # consuming the stream charges costs
+
+
+# -- workloads ----------------------------------------------------------------------
+
+
+def run_disjoint_read(workers: int, ops_per_client: int) -> dict:
+    """Each client GETs its own file: no lock conflicts, pure pool scaling."""
+    server = build_server(workers)
+    handler = server.enclave.handler
+    for c in range(CLIENTS):
+        ok(handler.handle(f"u{c}", Request(op=Op.PUT_DIR, args=(f"/c{c}/",))))
+        ok(
+            handler.put_file(
+                f"u{c}", f"/c{c}/doc", unique_bytes("conc/read", c, FILE_KB * KB)
+            )
+        )
+        get_file(server, f"u{c}", f"/c{c}/doc")  # warm the metadata cache
+    driver = ConcurrentDriver(server)
+    clients = [
+        [
+            (lambda c=c: get_file(server, f"u{c}", f"/c{c}/doc"))
+            for _ in range(ops_per_client)
+        ]
+        for c in range(CLIENTS)
+    ]
+    result = driver.run(clients)
+    out = result.summary()
+    out["switchless"] = {
+        "fast": server.switchless.stats.fast,
+        "fallback": server.switchless.stats.fallback,
+        "worker_wait_s": round(server.switchless.stats.worker_wait_s, 6),
+    }
+    out["locks"] = server.stats()["locks"]
+    return out
+
+
+def run_contended_write(workers: int, ops_per_client: int) -> dict:
+    """Each client PUTs under one shared directory: parent write locks,
+    the journal commit point, and the guard anchor serialize the batch —
+    worker count should barely matter."""
+    server = build_server(workers)
+    handler = server.enclave.handler
+    ok(handler.handle("u0", Request(op=Op.PUT_DIR, args=("/shared/",))))
+    for c in range(CLIENTS):
+        ok(
+            handler.put_file(
+                "u0", f"/shared/f{c}", unique_bytes("conc/write", c, 1 * KB)
+            )
+        )
+    driver = ConcurrentDriver(server)
+    clients = [
+        [
+            (
+                lambda c=c, i=i: ok(
+                    handler.put_file(
+                        "u0",
+                        f"/shared/f{c}",
+                        unique_bytes("conc/write", c * 1000 + i + 1, 1 * KB),
+                    )
+                )
+            )
+            for i in range(ops_per_client)
+        ]
+        for c in range(CLIENTS)
+    ]
+    result = driver.run(clients)
+    out = result.summary()
+    out["switchless"] = {
+        "fast": server.switchless.stats.fast,
+        "fallback": server.switchless.stats.fallback,
+        "worker_wait_s": round(server.switchless.stats.worker_wait_s, 6),
+    }
+    out["locks"] = server.stats()["locks"]
+    return out
+
+
+# -- driver -------------------------------------------------------------------------
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI-sized workloads (seconds, not minutes)",
+    )
+    parser.add_argument(
+        "--out",
+        default=str(Path(__file__).resolve().parents[1] / "BENCH_concurrency.json"),
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+
+    ops_per_client = 6 if args.quick else 25
+
+    workloads = {
+        "disjoint_read": run_disjoint_read,
+        "contended_write": run_contended_write,
+    }
+    results: dict = {}
+    for name, runner in workloads.items():
+        print(f"{name} ...", flush=True)
+        cells = {}
+        for workers in WORKER_SWEEP:
+            cell = runner(workers, ops_per_client)
+            cells[str(workers)] = cell
+            waits = cell["wait_breakdown_s"]
+            dominant = max(waits, key=waits.get) if any(waits.values()) else "-"
+            print(
+                f"  {workers} worker(s): {cell['throughput_ops_per_s']:>9.2f} ops/s   "
+                f"mean {cell['mean_latency_s'] * 1e3:7.3f} ms   "
+                f"dominant wait: {dominant}"
+            )
+        base = cells["1"]["throughput_ops_per_s"]
+        scaling = {
+            str(w): round(cells[str(w)]["throughput_ops_per_s"] / base, 3)
+            for w in WORKER_SWEEP
+        }
+        print(f"  scaling vs 1 worker: {scaling}")
+        results[name] = {"by_workers": cells, "scaling_vs_1_worker": scaling}
+
+    disjoint_4w = results["disjoint_read"]["scaling_vs_1_worker"]["4"]
+    contended_4w = results["contended_write"]["scaling_vs_1_worker"]["4"]
+    criteria = {
+        "disjoint_read_scaling_4w": disjoint_4w,
+        "disjoint_read_target_2x": disjoint_4w >= 2.0,
+        # Informational: contention should keep the write curve near-flat
+        # (docs/PERF.md §5.3 explains why this is the *correct* outcome).
+        "contended_write_scaling_4w": contended_4w,
+        "contended_write_near_flat": contended_4w < 1.5,
+    }
+    report = {
+        "meta": {
+            "quick": args.quick,
+            "clients": CLIENTS,
+            "ops_per_client": ops_per_client,
+            "worker_sweep": list(WORKER_SWEEP),
+            "clock": "parallel virtual (calibrated Azure cost model)",
+        },
+        "workloads": results,
+        "criteria": criteria,
+    }
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nwrote {args.out}")
+    print(f"criteria: {json.dumps(criteria)}")
+
+    if not criteria["disjoint_read_target_2x"]:
+        print(
+            "FAIL: disjoint-path read throughput at 4 workers is below 2x "
+            "the 1-worker figure",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -17,6 +17,7 @@ from repro.analysis.rules import (
     boundary_import,
     cache_discard,
     journal_batch,
+    lock_discipline,
     nonct_compare,
     plaintext_escape,
 )
@@ -29,6 +30,7 @@ REGISTRY: dict[str, RuleFn] = {
     nonct_compare.RULE: nonct_compare.check,
     cache_discard.RULE: cache_discard.check,
     journal_batch.RULE: journal_batch.check,
+    lock_discipline.RULE: lock_discipline.check,
 }
 
 __all__ = ["REGISTRY", "RuleFn"]

@@ -18,7 +18,15 @@ pytest-benchmark files under ``benchmarks/`` additionally measure real
 wall time of the same operations.
 """
 
+from repro.bench.concurrency import ConcurrentDriver, DriverResult, parallel_env
 from repro.bench.harness import ExperimentResult, format_rows
 from repro.bench import figures
 
-__all__ = ["ExperimentResult", "figures", "format_rows"]
+__all__ = [
+    "ConcurrentDriver",
+    "DriverResult",
+    "ExperimentResult",
+    "figures",
+    "format_rows",
+    "parallel_env",
+]

@@ -39,6 +39,7 @@ cache-coherence test suite and the crash matrix prove it).
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import asdict, dataclass
 from typing import TYPE_CHECKING
@@ -85,6 +86,15 @@ class MetadataCache:
     resident byte is a real enclave allocation there, so an oversized
     cache honestly pays paging costs instead of pretending memory is
     free.
+
+    Lock-ordering discipline: the cache's internal lock is a *leaf*
+    lock.  Request threads already hold their LockManager path locks
+    (and possibly guard shard locks) when they reach the cache; the
+    cache lock is always acquired after those and nothing is ever
+    acquired while holding it — no callback, store access, or
+    LockManager call happens inside a locked cache method body beyond
+    EPC accounting.  Taking a path lock while holding the cache lock
+    would invert the order and deadlock against a concurrent request.
     """
 
     def __init__(
@@ -104,12 +114,16 @@ class MetadataCache:
         )
         self._epc = epc
         self._entries: "OrderedDict[tuple[str, str], bytes]" = OrderedDict()
+        # Leaf lock (see class docstring): reentrant so EPC-charging
+        # helpers may be called from already-locked public methods.
+        self._lock = threading.RLock()
         self.stats = CacheStats()
 
     # -- queries -----------------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     @property
     def capacity_bytes(self) -> int:
@@ -117,26 +131,28 @@ class MetadataCache:
 
     def get(self, namespace: str, key: str) -> bytes | None:
         """The entry's plaintext, or None; a hit refreshes LRU order."""
-        entry = self._entries.get((namespace, key))
-        if entry is None:
-            self.stats.misses += 1
-            return None
-        self._entries.move_to_end((namespace, key))
-        self.stats.hits += 1
-        if self._epc is not None:
-            # A hit is not free: the bytes are copied out of (MEE-decrypted)
-            # EPC memory, and an oversized cache pays paging on top.
-            self._epc.touch(len(entry))
-            if self._epc.clock is not None:
-                self._epc.clock.charge(
-                    len(entry) / self._epc.costs.enclave_memcpy_bytes_per_second,
-                    account="metadata-cache",
-                )
-        return entry
+        with self._lock:
+            entry = self._entries.get((namespace, key))
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end((namespace, key))
+            self.stats.hits += 1
+            if self._epc is not None:
+                # A hit is not free: the bytes are copied out of (MEE-decrypted)
+                # EPC memory, and an oversized cache pays paging on top.
+                self._epc.touch(len(entry))
+                if self._epc.clock is not None:
+                    self._epc.clock.charge(
+                        len(entry) / self._epc.costs.enclave_memcpy_bytes_per_second,
+                        account="metadata-cache",
+                    )
+            return entry
 
     def contains(self, namespace: str, key: str) -> bool:
         """Membership without touching hit/miss counters or LRU order."""
-        return (namespace, key) in self._entries
+        with self._lock:
+            return (namespace, key) in self._entries
 
     # -- mutation ----------------------------------------------------------------
 
@@ -147,27 +163,29 @@ class MetadataCache:
         under the same key is dropped, so the cache can never serve an
         old version of a value that outgrew it.
         """
-        if len(value) > self._max_entry:
-            self.discard(namespace, key)
-            self.stats.oversize_skips += 1
-            return
-        full_key = (namespace, key)
-        old = self._entries.pop(full_key, None)
-        if old is not None:
-            self._release(len(old))
-        self._entries[full_key] = value
-        self._charge(len(value))
-        self.stats.insertions += 1
-        while self.stats.current_bytes > self._capacity and self._entries:
-            _, evicted = self._entries.popitem(last=False)
-            self._release(len(evicted))
-            self.stats.evictions += 1
+        with self._lock:
+            if len(value) > self._max_entry:
+                self.discard(namespace, key)
+                self.stats.oversize_skips += 1
+                return
+            full_key = (namespace, key)
+            old = self._entries.pop(full_key, None)
+            if old is not None:
+                self._release(len(old))
+            self._entries[full_key] = value
+            self._charge(len(value))
+            self.stats.insertions += 1
+            while self.stats.current_bytes > self._capacity and self._entries:
+                _, evicted = self._entries.popitem(last=False)
+                self._release(len(evicted))
+                self.stats.evictions += 1
 
     def discard(self, namespace: str, key: str) -> None:
         """Drop one entry (file deletions)."""
-        old = self._entries.pop((namespace, key), None)
-        if old is not None:
-            self._release(len(old))
+        with self._lock:
+            old = self._entries.pop((namespace, key), None)
+            if old is not None:
+                self._release(len(old))
 
     def clear(self) -> None:
         """Strict invalidation: journal rollback, restore, key transfer.
@@ -175,9 +193,10 @@ class MetadataCache:
         Releases every byte from the EPC accounting; the next reads
         repopulate from (verified) storage.
         """
-        self._release(self.stats.current_bytes)
-        self._entries.clear()
-        self.stats.invalidations += 1
+        with self._lock:
+            self._release(self.stats.current_bytes)
+            self._entries.clear()
+            self.stats.invalidations += 1
 
     # -- EPC accounting -----------------------------------------------------------
 

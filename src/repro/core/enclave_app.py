@@ -24,6 +24,7 @@ from repro.core.audit import AuditLog, export_message_bytes
 from repro.core.cache import MetadataCache
 from repro.core.file_manager import TrustedFileManager
 from repro.core.journal import WriteAheadJournal
+from repro.core.locks import LockManager
 from repro.core.request_handler import RequestHandler, UploadSink
 from repro.core.requests import Op, Request, Response
 from repro.core.rollback import FlatStoreGuard, RollbackGuard
@@ -104,6 +105,12 @@ class SeGShareOptions:
     #: (an abort must be able to discard the pending nodes); ``False``
     #: reproduces the per-leaf baseline for benchmarking.
     guard_batching: bool = True
+    #: Size of the switchless worker pool — the bound on concurrently
+    #: executing requests when the platform clock is a ``ParallelClock``
+    #: (mirrors the SDK's ``uworkers``/``tworkers`` setting).
+    switchless_workers: int = 4
+    #: Shard count for the rollback-guard / Merkle-bucket serial locks.
+    lock_shards: int = 16
 
     def __post_init__(self) -> None:
         if self.rollback not in ("off", "individual", "whole_fs"):
@@ -112,6 +119,10 @@ class SeGShareOptions:
             raise ValueError(f"bad counter kind {self.counter_kind!r}")
         if self.metadata_cache_bytes is not None and self.metadata_cache_bytes <= 0:
             raise ValueError("metadata_cache_bytes must be positive or None")
+        if self.switchless_workers < 1:
+            raise ValueError("switchless_workers must be at least 1")
+        if self.lock_shards < 1:
+            raise ValueError("lock_shards must be at least 1")
 
 
 class SeGShareEnclave(Enclave):
@@ -127,6 +138,7 @@ class SeGShareEnclave(Enclave):
         "repro.core.file_manager",
         "repro.core.hiding",
         "repro.core.journal",
+        "repro.core.locks",
         "repro.core.model",
         "repro.core.request_handler",
         "repro.core.requests",
@@ -172,6 +184,7 @@ class SeGShareEnclave(Enclave):
         self._tls_key: rsa.RsaPrivateKey | None = None
         self._pending_join: object | None = None
         self.handler: RequestHandler | None = None
+        self.locks: LockManager | None = None
         self.manager: TrustedFileManager | None = None
         self.guard: RollbackGuard | None = None
         self.group_guard: FlatStoreGuard | None = None
@@ -248,8 +261,15 @@ class SeGShareEnclave(Enclave):
             guard_batching=self._options.guard_batching and self._options.journal,
         )
         self.access = AccessControl(self.manager)
+        # Enclave-memory-only request locks: a fresh manager per build, so
+        # a crash/restart clears every held lock (journal replay is the
+        # sole recovery path for half-done mutations).
+        self.locks = LockManager(clock=self.platform.clock)
         self.handler = RequestHandler(
-            self.manager, self.access, quota_bytes=self._options.quota_bytes
+            self.manager,
+            self.access,
+            quota_bytes=self._options.quota_bytes,
+            locks=self.locks,
         )
         if self._options.rollback != "off":
             self.guard = RollbackGuard(
@@ -258,6 +278,8 @@ class SeGShareEnclave(Enclave):
                 buckets=self._options.rollback_buckets,
                 enclave=self,
                 counter=counter,
+                locks=self.locks,
+                lock_shards=self._options.lock_shards,
             )
             self.manager.guard = self.guard
             self.group_guard = FlatStoreGuard(
@@ -266,6 +288,7 @@ class SeGShareEnclave(Enclave):
                 buckets=self._options.rollback_buckets,
                 enclave=self,
                 counter=counter,
+                locks=self.locks,
             )
             self.manager.group_guard = self.group_guard
         if recovered:
@@ -639,6 +662,8 @@ class SeGShareEnclave(Enclave):
         }
         if self.cache is not None:
             stats["cache"] = self.cache.stats.snapshot()
+        if self.locks is not None:
+            stats["locks"] = self.locks.stats.snapshot()
         if self.guard is not None:
             stats["rollback_guard"] = self.guard.stats.snapshot()
         if self.group_guard is not None:

@@ -136,6 +136,22 @@ class TrustedFileManager:
     def cache(self) -> MetadataCache | None:
         return self._cache
 
+    def _commit_point(self) -> "contextlib.AbstractContextManager[None]":
+        """The journal's commit record is one serial resource.
+
+        Flushing the batched guard nodes, writing the anchor (with its
+        counter increment), and persisting the commit marker form the
+        batch's critical section: concurrent requests rendezvous here, so
+        on a parallel clock overlapping writers pay each other's commit
+        latency while readers stay unaffected.  On a serial clock this is
+        a no-op.
+        """
+        if self._enclave is None or self._enclave.platform.clock is None:
+            return contextlib.nullcontext()
+        return self._enclave.platform.clock.exclusive(
+            "journal-commit", account="commit-wait"
+        )
+
     # -- crash-consistent mutation batches ----------------------------------------
 
     @contextlib.contextmanager
@@ -157,7 +173,8 @@ class TrustedFileManager:
             yield
             # Flush inside the try: a fault while persisting the batched
             # guard nodes rolls the whole batch back like any other fault.
-            self._flush_guard_batches()
+            with self._commit_point():
+                self._flush_guard_batches()
         except EnclaveCrashed:
             # The enclave is gone; restart recovery replays the undo log.
             raise
@@ -175,7 +192,8 @@ class TrustedFileManager:
                 journal.poison(f"rollback of batch {label!r} failed: {rollback_exc}")
             raise
         else:
-            journal.commit()
+            with self._commit_point():
+                journal.commit()
 
     def _begin_guard_batches(self) -> None:
         """Defer guard node/anchor persistence until the batch commits.

@@ -27,6 +27,7 @@ from typing import Iterator
 from repro.core.access_control import AccessControl
 from repro.core.acl import AclFile
 from repro.core.file_manager import ContentUpload, TrustedFileManager
+from repro.core.locks import LockManager
 from repro.core.model import (
     Permission,
     default_group,
@@ -95,10 +96,14 @@ class RequestHandler:
         manager: TrustedFileManager,
         access: AccessControl,
         quota_bytes: int | None = None,
+        locks: LockManager | None = None,
     ) -> None:
         self._manager = manager
         self._access = access
         self._quota_bytes = quota_bytes
+        #: Path-granular request locks; a private manager when the caller
+        #: provides none, so the locking protocol is unconditional.
+        self.locks = locks if locks is not None else LockManager()
         self.ensure_root()
 
     def ensure_root(self) -> None:
@@ -113,10 +118,17 @@ class RequestHandler:
         """Process one non-streaming request; exceptions become responses."""
         try:
             request.validate()
-            if request.op in _MUTATING_OPS:
-                with self._manager.batch(request.op.name):
-                    return self._dispatch(user_id, request)
-            return self._dispatch(user_id, request)
+            # Locks come first, the journal batch second: a request holds
+            # its full lock set before reading any state it may mutate
+            # (two-phase locking), and the batch commit point is therefore
+            # inside the locked span.
+            with self.locks.for_request(
+                user_id, request, quota=self._quota_bytes is not None
+            ):
+                if request.op in _MUTATING_OPS:
+                    with self._manager.batch(request.op.name):
+                        return self._dispatch(user_id, request)
+                return self._dispatch(user_id, request)
         except EnclaveCrashed:
             # Not a request failure: the enclave itself is gone.  Restart
             # recovery (not a response) is the only way forward.
@@ -565,10 +577,15 @@ class UploadSink:
 
     def finish(self) -> bytes:
         try:
-            with self._handler._manager.batch("PUT_FILE"):
-                response = self._handler._commit_upload(
-                    self._user_id, self._path, self._upload
-                )
+            with self._handler.locks.for_upload(
+                self._user_id,
+                self._path,
+                quota=self._handler._quota_bytes is not None,
+            ):
+                with self._handler._manager.batch("PUT_FILE"):
+                    response = self._handler._commit_upload(
+                        self._user_id, self._path, self._upload
+                    )
         except EnclaveCrashed:
             raise
         except AccessDenied:

@@ -32,8 +32,11 @@ import hashlib
 import hmac
 from dataclasses import asdict, dataclass
 
+from contextlib import AbstractContextManager, nullcontext
+
 from repro.core.acl import acl_path
 from repro.core.file_manager import GROUP_GUARD_PREFIX, GUARD_PREFIX, TrustedFileManager
+from repro.core.locks import LockManager
 from repro.crypto import derive_key
 from repro.crypto.mset_hash import MSetXorHash
 from repro.errors import CounterError, RollbackDetected
@@ -107,6 +110,8 @@ class RollbackGuard:
         enclave: Enclave | None = None,
         counter: "MonotonicCounter | RoteCounterService | None" = None,
         counter_id: str = "segshare-fs",
+        locks: LockManager | None = None,
+        lock_shards: int = 16,
     ) -> None:
         self._manager = manager
         self._key = derive_key(root_key, "segshare/rollback")
@@ -114,6 +119,16 @@ class RollbackGuard:
         self._enclave = enclave
         self._counter = counter
         self._counter_id = counter_id
+        # Sharded node locks: concurrent requests updating disjoint files
+        # still meet at shared inner nodes (every write propagates to the
+        # root), so each node's load-modify-save runs under a serial shard
+        # keyed by the node's path.  Node *reads* on the verify path ride
+        # on the request-level path locks — a native implementation would
+        # use per-node reader-writer locks there, and exclusive read-side
+        # shards would serialize the disjoint-read fast path this model
+        # exists to exhibit.
+        self._locks = locks
+        self._lock_shards = lock_shards
         #: With the counter service unreachable (ROTE quorum lost), reads
         #: may proceed on the hash chain alone; writes still fail because
         #: the anchor cannot be re-counted.  Set False to fail reads too.
@@ -201,6 +216,24 @@ class RollbackGuard:
         digest = hashlib.sha256(child_path.encode("utf-8")).digest()
         return int.from_bytes(digest[:4], "big") % self._buckets
 
+    # -- sharded node locks ---------------------------------------------------
+
+    def _node_lock(self, dir_path: str) -> AbstractContextManager[None]:
+        """The serial shard guarding one inner node's load-modify-save."""
+        if self._locks is None:
+            return nullcontext()
+        digest = hashlib.sha256(dir_path.encode("utf-8")).digest()
+        return self._locks.shard(
+            "rb-node", int.from_bytes(digest[:4], "big"), shards=self._lock_shards
+        )
+
+    def _anchor_lock(self) -> AbstractContextManager[None]:
+        """The anchor write — and its counter increment — is one serial
+        resource for the whole file system."""
+        if self._locks is None:
+            return nullcontext()
+        return self._locks.serial("rb-anchor", account="anchor-wait")
+
     # -- node persistence --------------------------------------------------------------
 
     def _empty_node(self, dir_path: str, dir_hash: bytes) -> _Node:
@@ -244,11 +277,12 @@ class RollbackGuard:
         if self._batching:
             self._pending_root_main = root_main
             return
-        counter_value = 0
-        if self._counter is not None:
-            counter_value = self._counter.increment(self._enclave, self._counter_id)
-        blob = Writer().bytes(root_main).u64(counter_value).take()
-        self._manager.raw_write(_ANCHOR_PATH, blob)
+        with self._anchor_lock():
+            counter_value = 0
+            if self._counter is not None:
+                counter_value = self._counter.increment(self._enclave, self._counter_id)
+            blob = Writer().bytes(root_main).u64(counter_value).take()
+            self._manager.raw_write(_ANCHOR_PATH, blob)
         self.stats.anchor_writes += 1
 
     def _read_anchor(self) -> tuple[bytes, int]:
@@ -332,17 +366,18 @@ class RollbackGuard:
             self._propagate(parent(path), path, self._leaf_main(path, old_hash), None)
 
     def _on_dir_write(self, path: str, new_hash: bytes, old_hash: bytes | None) -> None:
-        if self._node_exists(path):
-            node = self._load_node(path)
-            old_main = self._node_main(node)
-            node.dir_hash = new_hash
-            self._save_node(node)
-            new_main = self._node_main(node)
-        else:
-            node = self._empty_node(path, new_hash)
-            old_main = None
-            self._save_node(node)
-            new_main = self._node_main(node)
+        with self._node_lock(path):
+            if self._node_exists(path):
+                node = self._load_node(path)
+                old_main = self._node_main(node)
+                node.dir_hash = new_hash
+                self._save_node(node)
+                new_main = self._node_main(node)
+            else:
+                node = self._empty_node(path, new_hash)
+                old_main = None
+                self._save_node(node)
+                new_main = self._node_main(node)
         if path == ROOT:
             self._write_anchor(new_main)
         else:
@@ -361,11 +396,12 @@ class RollbackGuard:
         subtract/add per level, no sibling access.
         """
         while True:
-            node = self._load_node(dir_path)
-            old_main = self._node_main(node)
-            node.buckets[self._bucket_of(child_path)].update(old_child_main, new_child_main)
-            self._save_node(node)
-            new_main = self._node_main(node)
+            with self._node_lock(dir_path):
+                node = self._load_node(dir_path)
+                old_main = self._node_main(node)
+                node.buckets[self._bucket_of(child_path)].update(old_child_main, new_child_main)
+                self._save_node(node)
+                new_main = self._node_main(node)
             if dir_path == ROOT:
                 self._write_anchor(new_main)
                 return
@@ -528,6 +564,7 @@ class FlatStoreGuard:
         enclave: Enclave | None = None,
         counter: "MonotonicCounter | RoteCounterService | None" = None,
         counter_id: str = "segshare-group",
+        locks: LockManager | None = None,
     ) -> None:
         self._manager = manager
         self._key = derive_key(root_key, "segshare/rollback-group")
@@ -535,6 +572,9 @@ class FlatStoreGuard:
         self._enclave = enclave
         self._counter = counter
         self._counter_id = counter_id
+        # The group store degenerates to one inner node, so its guard has
+        # a single serial lock instead of shards.
+        self._locks = locks
         self.allow_degraded_reads = True
         self.degraded_reads = 0
         self.stats = GuardStats()
@@ -616,16 +656,22 @@ class FlatStoreGuard:
         self._manager.raw_group_write(self._NODE_PATH, w.take())
         self.stats.node_saves += 1
 
+    def _node_lock(self) -> AbstractContextManager[None]:
+        if self._locks is None:
+            return nullcontext()
+        return self._locks.serial("rbg-node", account="guard-shard-wait")
+
     def _write_anchor(self, main: bytes) -> None:
         if self._batching:
             self._pending_main = main
             return
-        counter_value = 0
-        if self._counter is not None:
-            counter_value = self._counter.increment(self._enclave, self._counter_id)
-        self._manager.raw_group_write(
-            self._ANCHOR_PATH, Writer().bytes(main).u64(counter_value).take()
-        )
+        with self._locks.serial("rbg-anchor", account="anchor-wait") if self._locks else nullcontext():
+            counter_value = 0
+            if self._counter is not None:
+                counter_value = self._counter.increment(self._enclave, self._counter_id)
+            self._manager.raw_group_write(
+                self._ANCHOR_PATH, Writer().bytes(main).u64(counter_value).take()
+            )
         self.stats.anchor_writes += 1
 
     def _verify_anchor(self, main: bytes) -> None:
@@ -669,19 +715,21 @@ class FlatStoreGuard:
 
     def on_write(self, path: str, new_hash: bytes, old_hash: bytes | None) -> None:
         self.stats.updates += 1
-        buckets = self._load_node()
-        bucket = buckets[self._bucket_of(path)]
-        if old_hash is not None:
-            bucket.remove(self._leaf_main(path, old_hash))
-        bucket.add(self._leaf_main(path, new_hash))
-        self._save_node(buckets)
+        with self._node_lock():
+            buckets = self._load_node()
+            bucket = buckets[self._bucket_of(path)]
+            if old_hash is not None:
+                bucket.remove(self._leaf_main(path, old_hash))
+            bucket.add(self._leaf_main(path, new_hash))
+            self._save_node(buckets)
         self._write_anchor(self._node_main(buckets))
 
     def on_delete(self, path: str, old_hash: bytes) -> None:
         self.stats.updates += 1
-        buckets = self._load_node()
-        buckets[self._bucket_of(path)].remove(self._leaf_main(path, old_hash))
-        self._save_node(buckets)
+        with self._node_lock():
+            buckets = self._load_node()
+            buckets[self._bucket_of(path)].remove(self._leaf_main(path, old_hash))
+            self._save_node(buckets)
         self._write_anchor(self._node_main(buckets))
 
     def verify_read(self, path: str, content_hash: bytes) -> None:

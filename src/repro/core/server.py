@@ -23,7 +23,7 @@ from repro.errors import AttestationError, RetryPolicy
 from repro.netsim import Endpoint, Listener, NetworkEnv, azure_wan_env
 from repro.pki import CertificateAuthority, Certificate
 from repro.pki.certificate import CertificateSigningRequest
-from repro.sgx import AttestationService, QuotingEnclave, SgxPlatform
+from repro.sgx import AttestationService, QuotingEnclave, SgxPlatform, SwitchlessQueue
 from repro.storage.stores import StoreSet
 from repro.tls import TlsClient
 from repro.tls.channel import UntrustedTlsInterface
@@ -57,6 +57,15 @@ class SeGShareServer:
         self.handle = self.platform.load(self.enclave)
         # The paper uses switchless calls for all network and file traffic.
         self.handle.use_switchless(True)
+        # The server's worker pool: with a ParallelClock, drivers dispatch
+        # requests through it onto concurrent tracks (benchmarks and the
+        # concurrency tests); with a serial clock it degrades to the
+        # synchronous switchless model.
+        self.switchless = SwitchlessQueue(
+            env.clock,
+            self.platform.costs,
+            workers=self.enclave._options.switchless_workers,
+        )
         self.untrusted_tls = UntrustedTlsInterface(
             new_session=lambda: self.handle.call("new_session"),
             forward=lambda session_id, raw: self.handle.call("on_record", session_id, raw),

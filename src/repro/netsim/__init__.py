@@ -7,7 +7,7 @@ reproducible on any machine.  Real bytes still flow through real crypto;
 only *time* is simulated.
 """
 
-from repro.netsim.clock import SimClock
+from repro.netsim.clock import ParallelClock, SimClock, TrackClock
 from repro.netsim.network import Link, LinkSpec, NetworkEnv, azure_wan_env, lan_env
 from repro.netsim.transport import Connection, Endpoint, Listener
 
@@ -18,7 +18,9 @@ __all__ = [
     "LinkSpec",
     "Listener",
     "NetworkEnv",
+    "ParallelClock",
     "SimClock",
+    "TrackClock",
     "azure_wan_env",
     "lan_env",
 ]

@@ -19,6 +19,7 @@ to the enclave identity through the PSE).
 from __future__ import annotations
 
 import hmac
+from contextlib import AbstractContextManager, nullcontext
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -26,6 +27,18 @@ from repro.errors import CounterError
 from repro.netsim.clock import SimClock
 from repro.sgx.costmodel import SgxCostModel
 from repro.sgx.enclave import Enclave
+
+
+def _increment_rendezvous(
+    clock: SimClock | None, counter_id: str
+) -> AbstractContextManager[None]:
+    """Counter increments are inherently serial: the hardware (or ROTE
+    quorum) processes one at a time.  On a parallel clock, overlapping
+    requests incrementing the same counter rendezvous here; on a serial
+    clock this never waits."""
+    if clock is None:
+        return nullcontext()
+    return clock.exclusive(f"counter:{counter_id}", account="counter-wait")
 
 
 @dataclass
@@ -68,13 +81,14 @@ class MonotonicCounter:
     def increment(self, enclave: Enclave, counter_id: str) -> int:
         """Increment and return the new value.  Slow, and wears the counter."""
         state = self._state(enclave, counter_id)
-        if self._clock is not None:
-            self._clock.charge(self._costs.counter_increment, account="counter")
-        state.value += 1
-        state.increments += 1
-        if state.increments >= self._costs.counter_wear_limit:
-            state.dead = True
-        return state.value
+        with _increment_rendezvous(self._clock, counter_id):
+            if self._clock is not None:
+                self._clock.charge(self._costs.counter_increment, account="counter")
+            state.value += 1
+            state.increments += 1
+            if state.increments >= self._costs.counter_wear_limit:
+                state.dead = True
+            return state.value
 
     def exists(self, counter_id: str) -> bool:
         return counter_id in self._counters
@@ -168,12 +182,13 @@ class RoteCounterService:
         up = self._up_replicas()
         if len(up) < self.quorum:
             raise CounterError("cannot reach a write quorum of ROTE replicas")
-        if self._clock is not None:
-            self._clock.charge(self._costs.rote_increment, account="counter")
-        new_value = max(replica.values[counter_id] for replica in up) + 1
-        for replica in up:
-            replica.values[counter_id] = new_value
-        return new_value
+        with _increment_rendezvous(self._clock, counter_id):
+            if self._clock is not None:
+                self._clock.charge(self._costs.rote_increment, account="counter")
+            new_value = max(replica.values[counter_id] for replica in up) + 1
+            for replica in up:
+                replica.values[counter_id] = new_value
+            return new_value
 
     def exists(self, counter_id: str) -> bool:
         return counter_id in self._owners

@@ -5,19 +5,31 @@ SDK's switchless mode replaces the transition with a task written to a
 shared untrusted buffer that worker threads poll.  SeGShare uses
 switchless calls "for all network and file traffic".
 
-The model executes tasks synchronously (the simulation is single-flow)
-but charges the cheaper switchless cost per call, tracks queue statistics,
-and models *worker exhaustion*: when more concurrent tasks are submitted
-than workers exist, the surplus calls fall back to the regular transition
-cost, which is exactly the SDK's fallback behaviour.
+Two entry points:
+
+* :meth:`SwitchlessQueue.submit` runs a task synchronously on the
+  caller's timeline (the legacy single-flow model), charging the cheap
+  switchless cost while a worker is free and the regular transition cost
+  when the pool is exhausted — the SDK's fallback behaviour.
+* :meth:`SwitchlessQueue.dispatch` runs a task on its *own* parallel
+  track (requires a :class:`~repro.netsim.clock.ParallelClock`): up to
+  ``workers`` tasks execute concurrently, and a task arriving while the
+  pool is saturated pays the regular transition cost *and* queues until
+  the earliest worker frees — so the pool genuinely bounds request
+  parallelism rather than merely repricing calls.
+
+In-flight accounting reflects *actual overlap*: a task counts while its
+track spans the query time, which the legacy ``concurrency()`` shim tops
+up for call sites that model external load without real tracks.
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 from typing import Any, Callable
 
-from repro.netsim.clock import SimClock
+from repro.netsim.clock import ParallelClock, SimClock, TrackClock
 from repro.sgx.costmodel import SgxCostModel
 
 
@@ -26,29 +38,73 @@ class SwitchlessStats:
     submitted: int = 0
     fast: int = 0
     fallback: int = 0
+    #: Tasks run on their own parallel track via :meth:`dispatch`.
+    dispatched: int = 0
+    #: Virtual seconds dispatched tasks spent queued for a free worker.
+    worker_wait_s: float = 0.0
 
 
 class SwitchlessQueue:
     """A pool of untrusted (or trusted) worker threads serving calls.
 
     ``workers`` mirrors the SDK's ``uworkers``/``tworkers`` setting.  Use
-    :meth:`submit` to run a callable as a switchless call and
-    :meth:`concurrency` as a context manager to model concurrent load.
+    :meth:`submit` to run a callable as a switchless call on the current
+    timeline, :meth:`dispatch` to run it on a parallel track through the
+    worker pool, and :meth:`concurrency` as a context manager to model
+    concurrent load at legacy call sites.
     """
 
     def __init__(self, clock: SimClock | None, costs: SgxCostModel, workers: int = 4) -> None:
+        if workers < 1:
+            raise ValueError("the worker pool needs at least one worker")
         self._clock = clock
         self._costs = costs
         self.workers = workers
-        self._in_flight = 0
         self.stats = SwitchlessStats()
+        #: Extra load injected by the :meth:`concurrency` shim.
+        self._extra_load = 0
+        #: Tasks currently executing (their track or submit call is open).
+        self._open = 0
+        #: (start, end) spans of completed dispatched tracks, for overlap
+        #: queries at timestamps that fall inside already-finished tasks.
+        self._spans: list[tuple[float, float]] = []
+        #: Min-heap of worker release times; grows to ``workers`` entries.
+        self._worker_free: list[float] = []
+        #: The track of the most recent :meth:`dispatch` (schedulers read
+        #: its ``end`` to learn the completion time).
+        self.last_track: TrackClock | None = None
+
+    # -- load accounting ------------------------------------------------------
+
+    def load_at(self, timestamp: float) -> int:
+        """Tasks in flight at ``timestamp``: open tasks, finished tracks
+        whose span covers it, plus any :meth:`concurrency` shim load."""
+        overlapping = sum(1 for start, end in self._spans if start <= timestamp < end)
+        return self._extra_load + self._open + overlapping
+
+    @property
+    def in_flight(self) -> int:
+        """Tasks in flight right now (at the clock's current time)."""
+        return self.load_at(self._clock.now() if self._clock is not None else 0.0)
+
+    def _prune(self, horizon: float) -> None:
+        """Drop recorded spans that ended at or before ``horizon``.
+
+        Dispatch arrivals are non-decreasing in any real driver, so spans
+        older than the newest arrival can never overlap a later query.
+        """
+        if len(self._spans) > 4 * self.workers:
+            self._spans = [span for span in self._spans if span[1] > horizon]
+
+    # -- synchronous calls (legacy single-flow model) -------------------------
 
     def submit(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Any:
-        """Run ``fn`` as a switchless call, charging the appropriate cost."""
+        """Run ``fn`` as a switchless call on the caller's timeline."""
         self.stats.submitted += 1
-        self._in_flight += 1
+        now = self._clock.now() if self._clock is not None else 0.0
+        self._open += 1
         try:
-            if self._in_flight <= self.workers:
+            if self.load_at(now) <= self.workers:
                 self.stats.fast += 1
                 cost = self._costs.switchless_call
             else:
@@ -59,7 +115,61 @@ class SwitchlessQueue:
                 self._clock.charge(cost, account="transitions")
             return fn(*args, **kwargs)
         finally:
-            self._in_flight -= 1
+            self._open -= 1
+
+    # -- parallel dispatch ----------------------------------------------------
+
+    def dispatch(
+        self,
+        fn: Callable[..., Any],
+        *args: Any,
+        arrival: float | None = None,
+        label: str = "request",
+        **kwargs: Any,
+    ) -> Any:
+        """Run ``fn`` on its own track through the worker pool.
+
+        The task's track opens at ``arrival`` (default: the clock's
+        current time).  If a worker is free at arrival the task starts
+        immediately as a cheap switchless call; otherwise it pays the
+        regular transition cost (the SDK fallback) and waits for the
+        earliest worker, the wait charged to the ``worker-wait`` account.
+        Without a :class:`ParallelClock` this degrades to :meth:`submit`
+        — the serial model stays available everywhere.
+        """
+        clock = self._clock
+        if not isinstance(clock, ParallelClock):
+            return self.submit(fn, *args, **kwargs)
+        self.stats.submitted += 1
+        self.stats.dispatched += 1
+        when = clock.now() if arrival is None else arrival
+        self._prune(when)
+        if len(self._worker_free) < self.workers:
+            free = 0.0  # a worker slot has never been used: free since t=0
+        else:
+            free = heapq.heappop(self._worker_free)
+        track = clock.open_track(label, start=when)
+        self._open += 1
+        try:
+            if free > when:
+                self.stats.fallback += 1
+                self.stats.worker_wait_s += free - when
+                clock.advance_to(free, account="worker-wait")
+                cost = self._costs.ocall_transition
+            else:
+                self.stats.fast += 1
+                cost = self._costs.switchless_call
+            clock.charge(cost, account="transitions")
+            return fn(*args, **kwargs)
+        finally:
+            self._open -= 1
+            heapq.heappush(self._worker_free, track.now())
+            clock.close_track(track)
+            end = track.end if track.end is not None else track.now()
+            self._spans.append((track.start, end))
+            self.last_track = track
+
+    # -- legacy load shim -----------------------------------------------------
 
     class _Concurrency:
         def __init__(self, queue: "SwitchlessQueue", n: int) -> None:
@@ -67,10 +177,10 @@ class SwitchlessQueue:
             self._n = n
 
         def __enter__(self) -> None:
-            self._queue._in_flight += self._n
+            self._queue._extra_load += self._n
 
         def __exit__(self, *exc_info: object) -> None:
-            self._queue._in_flight -= self._n
+            self._queue._extra_load -= self._n
 
     def concurrency(self, n: int) -> "_Concurrency":
         """Model ``n`` other tasks being in flight for the duration."""

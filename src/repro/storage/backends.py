@@ -138,12 +138,20 @@ class DiskStore(TransactionalStore):
     Keys may contain characters that are not filesystem-safe (SeGShare
     paths contain ``/``), so each key is stored under the hex SHA-256 of
     the key with the original key recorded in a sidecar index file.
+
+    Thread-safe like :class:`InMemoryStore`: although each individual
+    file write is atomic (``os.replace``), operations that touch the
+    data file *and* its sidecar (put/delete/rename) span two syscalls,
+    and ``keys()`` walks the directory — one lock keeps a concurrent
+    reader from observing a data file whose sidecar is missing.  The
+    lock is a leaf: nothing is acquired while holding it.
     """
 
     _INDEX_SUFFIX = ".key"
 
     def __init__(self, root: str) -> None:
         self.root = root
+        self._lock = threading.RLock()
         os.makedirs(root, exist_ok=True)
 
     def _path(self, key: str) -> str:
@@ -162,50 +170,64 @@ class DiskStore(TransactionalStore):
             raise
 
     def put(self, key: str, value: bytes) -> None:
-        path = self._path(key)
-        self._write_atomic(path, value)
-        self._write_atomic(path + self._INDEX_SUFFIX, key.encode("utf-8"))
+        with self._lock:
+            path = self._path(key)
+            self._write_atomic(path, value)
+            self._write_atomic(path + self._INDEX_SUFFIX, key.encode("utf-8"))
 
     def get(self, key: str) -> bytes:
-        try:
-            with open(self._path(key), "rb") as fh:
-                return fh.read()
-        except FileNotFoundError:
-            raise StorageError(f"no object at key {key!r}") from None
+        with self._lock:
+            try:
+                with open(self._path(key), "rb") as fh:
+                    return fh.read()
+            except FileNotFoundError:
+                raise StorageError(f"no object at key {key!r}") from None
 
     def delete(self, key: str) -> None:
-        path = self._path(key)
-        try:
-            os.remove(path)
-        except FileNotFoundError:
-            raise StorageError(f"no object at key {key!r}") from None
-        try:
-            os.remove(path + self._INDEX_SUFFIX)
-        except FileNotFoundError:
-            pass
+        with self._lock:
+            path = self._path(key)
+            try:
+                os.remove(path)
+            except FileNotFoundError:
+                raise StorageError(f"no object at key {key!r}") from None
+            try:
+                os.remove(path + self._INDEX_SUFFIX)
+            except FileNotFoundError:
+                pass
 
     def exists(self, key: str) -> bool:
-        return os.path.exists(self._path(key))
+        with self._lock:
+            return os.path.exists(self._path(key))
 
     def keys(self) -> Iterator[str]:
-        for name in os.listdir(self.root):
-            if name.endswith(self._INDEX_SUFFIX):
-                with open(os.path.join(self.root, name), encoding="utf-8") as fh:
-                    yield fh.read()
+        with self._lock:
+            names = [
+                name for name in os.listdir(self.root) if name.endswith(self._INDEX_SUFFIX)
+            ]
+            keys = []
+            for name in names:
+                try:
+                    with open(os.path.join(self.root, name), encoding="utf-8") as fh:
+                        keys.append(fh.read())
+                except FileNotFoundError:  # deleted between listdir and open
+                    continue
+        return iter(keys)
 
     def size(self, key: str) -> int:
-        try:
-            return os.path.getsize(self._path(key))
-        except FileNotFoundError:
-            raise StorageError(f"no object at key {key!r}") from None
+        with self._lock:
+            try:
+                return os.path.getsize(self._path(key))
+            except FileNotFoundError:
+                raise StorageError(f"no object at key {key!r}") from None
 
     def rename(self, old: str, new: str) -> None:
         """Move an object with ``os.replace`` — atomic on POSIX filesystems."""
-        old_path, new_path = self._path(old), self._path(new)
-        try:
-            os.replace(old_path, new_path)
-        except FileNotFoundError:
-            raise StorageError(f"no object at key {old!r}") from None
-        self._write_atomic(new_path + self._INDEX_SUFFIX, new.encode("utf-8"))
-        with contextlib.suppress(FileNotFoundError):
-            os.remove(old_path + self._INDEX_SUFFIX)
+        with self._lock:
+            old_path, new_path = self._path(old), self._path(new)
+            try:
+                os.replace(old_path, new_path)
+            except FileNotFoundError:
+                raise StorageError(f"no object at key {old!r}") from None
+            self._write_atomic(new_path + self._INDEX_SUFFIX, new.encode("utf-8"))
+            with contextlib.suppress(FileNotFoundError):
+                os.remove(old_path + self._INDEX_SUFFIX)

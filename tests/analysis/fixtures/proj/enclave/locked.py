@@ -1,0 +1,44 @@
+"""lock-discipline fixtures: mutators must run under LockManager spans."""
+
+
+class Handler:
+    def __init__(self, manager, locks):
+        self._manager = manager
+        self.locks = locks
+        self.bootstrap()
+
+    def bootstrap(self):
+        self._manager.write_dir("/", None)  # flagged: exposed via __init__
+
+    def serve(self, user, request):
+        with self.locks.for_request(user, request):
+            return self._route(request)
+
+    def _route(self, request):
+        if request == "PUT":
+            return self.put_dir(request)
+        return self.set_acl(request)
+
+    def put_dir(self, request):
+        self._manager.write_dir(request, None)  # clean: reached via serve's lock
+
+    def set_acl(self, request):
+        self._manager.write_acl(request, None)  # clean: covered through serve
+
+    def finish_upload(self, user, path):
+        with self.locks.for_upload(user, path):
+            self._manager.write_content(path, b"")  # clean: lexical lock
+
+    def rebalance(self, path):
+        with self.locks.write(path, subtree=True):
+            self._manager.write_dir(path, None)  # clean: explicit write lock
+
+    def unlocked_delete(self, path):
+        self._manager.delete_content(path)  # flagged: entry point, no lock
+
+    def stream_out(self, path, sink):
+        with sink.write(path):  # not a lock: the receiver is not `locks`
+            self._manager.delete_acl(path)  # flagged
+
+    def exempt_tool(self):
+        self._manager.write_quota("u", 0)  # clean: exempt in boundary.toml

@@ -132,6 +132,42 @@ def test_journal_batch_honors_exempt_list(findings):
     )
 
 
+# -- lock-discipline ---------------------------------------------------------
+
+
+def test_lock_discipline_flags_unprotected_mutations(findings):
+    flagged = symbols(findings, "lock-discipline")
+    assert "proj.enclave.locked:Handler.bootstrap" in flagged
+    assert "proj.enclave.locked:Handler.unlocked_delete" in flagged
+
+
+def test_lock_discipline_requires_a_locks_receiver(findings):
+    # `with sink.write(...)` shares its bare name with the lock method but
+    # the receiver is not a LockManager — the mutation inside is flagged.
+    assert "proj.enclave.locked:Handler.stream_out" in symbols(
+        findings, "lock-discipline"
+    )
+
+
+def test_lock_discipline_covers_interprocedural_lock_spans(findings):
+    flagged = symbols(findings, "lock-discipline")
+    # Reached only through serve's `with self.locks.for_request(...)`.
+    assert "proj.enclave.locked:Handler.put_dir" not in flagged
+    assert "proj.enclave.locked:Handler.set_acl" not in flagged
+
+
+def test_lock_discipline_accepts_lexical_lock_spans(findings):
+    flagged = symbols(findings, "lock-discipline")
+    assert "proj.enclave.locked:Handler.finish_upload" not in flagged
+    assert "proj.enclave.locked:Handler.rebalance" not in flagged
+
+
+def test_lock_discipline_honors_exempt_list(findings):
+    assert "proj.enclave.locked:Handler.exempt_tool" not in symbols(
+        findings, "lock-discipline"
+    )
+
+
 def test_rule_selection_restricts_output():
     boundary = BoundaryMap.load(FIXTURES / "boundary.toml")
     only_ct = analyze_paths([FIXTURES / "proj"], boundary, rules=["nonct-compare"])

@@ -1,0 +1,231 @@
+"""Path-granular RW locks: conflict rules, virtual-time waits, lock plans."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.locks import (
+    GROUP_NS,
+    QUOTA_KEY,
+    LockManager,
+    LockSpec,
+    member_key,
+    plan_for_request,
+    plan_for_upload,
+)
+from repro.core.requests import Op, Request
+from repro.netsim import ParallelClock
+
+
+def overlap_wait(first_specs, second_specs, hold=1.0):
+    """Run two overlapping acquisitions and return the second's lock wait.
+
+    Both "requests" arrive at t=0; the first holds its locks for
+    ``hold`` virtual seconds.  A conflict shows up as the second track
+    waiting until the first's release.
+    """
+    clock = ParallelClock()
+    manager = LockManager(clock=clock)
+    with clock.track("first", start=0.0):
+        with manager.acquire(first_specs):
+            clock.charge(hold, "work")
+    with clock.track("second", start=0.0) as track:
+        with manager.acquire(second_specs):
+            clock.charge(0.1, "work")
+    return track.accounts.get("lock-wait", 0.0)
+
+
+class TestConflictRules:
+    def test_read_read_no_conflict(self):
+        assert overlap_wait([LockSpec("/a/f")], [LockSpec("/a/f")]) == 0.0
+
+    def test_write_write_same_path_conflicts(self):
+        wait = overlap_wait([LockSpec("/a/f", write=True)], [LockSpec("/a/f", write=True)])
+        assert wait == pytest.approx(1.0)
+
+    def test_read_blocks_writer(self):
+        wait = overlap_wait([LockSpec("/a/f")], [LockSpec("/a/f", write=True)])
+        assert wait == pytest.approx(1.0)
+
+    def test_writer_blocks_reader(self):
+        wait = overlap_wait([LockSpec("/a/f", write=True)], [LockSpec("/a/f")])
+        assert wait == pytest.approx(1.0)
+
+    def test_disjoint_paths_no_conflict(self):
+        assert (
+            overlap_wait([LockSpec("/a/f", write=True)], [LockSpec("/b/f", write=True)])
+            == 0.0
+        )
+
+    def test_subtree_write_blocks_descendant_read(self):
+        wait = overlap_wait([LockSpec("/a/", write=True, subtree=True)], [LockSpec("/a/d/f")])
+        assert wait == pytest.approx(1.0)
+
+    def test_descendant_write_blocks_subtree_writer(self):
+        wait = overlap_wait([LockSpec("/a/d/f", write=True)], [LockSpec("/a/", write=True, subtree=True)])
+        assert wait == pytest.approx(1.0)
+
+    def test_subtree_read_blocks_descendant_write(self):
+        wait = overlap_wait([LockSpec("/a/", subtree=True)], [LockSpec("/a/d/f", write=True)])
+        assert wait == pytest.approx(1.0)
+
+    def test_subtree_read_allows_descendant_read(self):
+        assert (
+            overlap_wait([LockSpec("/a/", subtree=True)], [LockSpec("/a/d/f")]) == 0.0
+        )
+
+    def test_sibling_subtrees_no_conflict(self):
+        wait = overlap_wait(
+            [LockSpec("/a/", write=True, subtree=True)],
+            [LockSpec("/b/", write=True, subtree=True)],
+        )
+        assert wait == 0.0
+
+    def test_prefix_is_segment_wise(self):
+        """"/ab" is not inside the subtree of "/a"."""
+        assert (
+            overlap_wait([LockSpec("/a", write=True, subtree=True)], [LockSpec("/ab", write=True)])
+            == 0.0
+        )
+
+
+class TestManagerBehaviour:
+    def test_unclocked_manager_never_waits(self):
+        manager = LockManager()
+        with manager.write("/a", subtree=True):
+            pass
+        with manager.read("/a"):
+            pass
+        assert manager.stats.contended == 0
+
+    def test_stats_counting(self):
+        clock = ParallelClock()
+        manager = LockManager(clock=clock)
+        with clock.track("a", start=0.0):
+            with manager.write("/f"):
+                clock.charge(2.0, "work")
+        with clock.track("b", start=0.0):
+            with manager.read("/f"):
+                pass
+        assert manager.stats.acquisitions == 2
+        assert manager.stats.write_locks == 1
+        assert manager.stats.read_locks == 1
+        assert manager.stats.contended == 1
+        assert manager.stats.wait_seconds == pytest.approx(2.0)
+
+    def test_whole_set_taken_atomically(self):
+        """2PL: the set's start is the max conflicting release, so a
+        request never observes state between two of its locks."""
+        clock = ParallelClock()
+        manager = LockManager(clock=clock)
+        with clock.track("holder", start=0.0):
+            with manager.write("/b"):
+                clock.charge(3.0, "work")
+        with clock.track("claimant", start=0.0) as track:
+            with manager.acquire([LockSpec("/a", write=True), LockSpec("/b", write=True)]):
+                clock.charge(0.1, "work")
+        # Waited for /b before touching *either* path.
+        assert track.accounts["lock-wait"] == pytest.approx(3.0)
+
+    def test_serial_resource_serializes(self):
+        clock = ParallelClock()
+        manager = LockManager(clock=clock)
+        with clock.track("a", start=0.0):
+            with manager.serial("journal-commit", account="commit-wait"):
+                clock.charge(1.0, "commit")
+        with clock.track("b", start=0.0) as track:
+            with manager.serial("journal-commit", account="commit-wait"):
+                clock.charge(1.0, "commit")
+        assert track.accounts["commit-wait"] == pytest.approx(1.0)
+
+    def test_shards_partition_contention(self):
+        clock = ParallelClock()
+        manager = LockManager(clock=clock)
+        with clock.track("a", start=0.0):
+            with manager.shard("rb-node", 3):
+                clock.charge(1.0, "guard")
+        with clock.track("b", start=0.0) as same:
+            with manager.shard("rb-node", 3 + 16):  # same bucket mod 16
+                clock.charge(1.0, "guard")
+        with clock.track("c", start=0.0) as other:
+            with manager.shard("rb-node", 4):
+                clock.charge(1.0, "guard")
+        assert same.accounts["guard-shard-wait"] == pytest.approx(1.0)
+        assert "guard-shard-wait" not in other.accounts
+
+
+class TestLockPlans:
+    def test_every_plan_reads_member_list(self):
+        for op in Op:
+            request = Request(op=op, args=("/p/f",))
+            specs = plan_for_request("alice", request)
+            assert LockSpec(member_key("alice")) in specs
+
+    def test_get_takes_read_lock(self):
+        specs = plan_for_request("alice", Request(op=Op.GET, args=("/p/f",)))
+        assert LockSpec("/p/f") in specs
+        assert not any(s.write for s in specs)
+
+    def test_put_dir_write_locks_path_and_parent(self):
+        specs = plan_for_request("alice", Request(op=Op.PUT_DIR, args=("/p/d/",)))
+        assert LockSpec("/p/d/", write=True) in specs
+        assert LockSpec("/p/", write=True) in specs
+
+    def test_remove_takes_subtree_and_quota(self):
+        specs = plan_for_request(
+            "alice", Request(op=Op.REMOVE, args=("/p/d/",)), quota=True
+        )
+        assert LockSpec("/p/d/", write=True, subtree=True) in specs
+        assert LockSpec("/p/", write=True) in specs
+        assert LockSpec(QUOTA_KEY, write=True) in specs
+
+    def test_move_locks_both_subtrees(self):
+        specs = plan_for_request("alice", Request(op=Op.MOVE, args=("/a/x", "/b/y")))
+        assert LockSpec("/a/x", write=True, subtree=True) in specs
+        assert LockSpec("/b/y", write=True, subtree=True) in specs
+        assert LockSpec("/a/", write=True) in specs
+        assert LockSpec("/b/", write=True) in specs
+
+    def test_acl_change_locks_subtree(self):
+        """Inheritance makes an ACL change visible below the path."""
+        specs = plan_for_request(
+            "alice", Request(op=Op.SET_PERM, args=("/p/", "eng", "r"))
+        )
+        assert LockSpec("/p/", write=True, subtree=True) in specs
+
+    def test_group_admin_locks_namespace(self):
+        specs = plan_for_request("alice", Request(op=Op.ADD_USER, args=("bob", "eng")))
+        assert LockSpec(GROUP_NS, write=True, subtree=True) in specs
+
+    def test_group_admin_conflicts_with_any_member_read(self):
+        """The namespace subtree write covers every member-list key."""
+        admin = plan_for_request("alice", Request(op=Op.RMV_USER, args=("bob", "eng")))
+        wait = overlap_wait(admin, [LockSpec(member_key("bob"))])
+        assert wait == pytest.approx(1.0)
+
+    def test_malformed_path_still_produces_a_plan(self):
+        specs = plan_for_request("alice", Request(op=Op.PUT_DIR, args=("not-a-path",)))
+        assert LockSpec("not-a-path", write=True) in specs  # validation fails later
+
+    def test_root_remove_has_no_parent_lock(self):
+        specs = plan_for_request("alice", Request(op=Op.REMOVE, args=("/",)))
+        assert LockSpec("/", write=True, subtree=True) in specs
+
+    def test_upload_plan(self):
+        specs = plan_for_upload("alice", "/p/f", quota=True)
+        assert LockSpec(member_key("alice")) in specs
+        assert LockSpec("/p/f", write=True) in specs
+        assert LockSpec("/p/", write=True) in specs
+        assert LockSpec(QUOTA_KEY, write=True) in specs
+
+    def test_disjoint_uploads_do_not_conflict(self):
+        wait = overlap_wait(
+            plan_for_upload("alice", "/a/f"), plan_for_upload("bob", "/b/f")
+        )
+        assert wait == 0.0
+
+    def test_same_parent_uploads_conflict(self):
+        wait = overlap_wait(
+            plan_for_upload("alice", "/shared/f1"), plan_for_upload("bob", "/shared/f2")
+        )
+        assert wait == pytest.approx(1.0)

@@ -1,0 +1,158 @@
+"""Thread-safety regression tests for the leaf-locked components.
+
+The concurrency pipeline (docs/PERF.md §5) models parallelism in virtual
+time, but real deployments may also run the untrusted host with worker
+threads — so the shared mutable leaves (the enclave metadata cache and
+the storage backends) must tolerate genuine OS-thread interleavings.
+Lock-ordering discipline: these are *leaf* locks, acquired after any
+LockManager path lock and never the other way around (see the class
+docstrings); these tests hammer the leaves directly.
+
+The scenario the cache lock exists for: one thread serving read-hits
+(get refreshes LRU order and charges EPC) while another invalidates
+(clear / put / discard).  Unlocked, the OrderedDict mutates under
+move_to_end and the byte accounting drifts; locked, every interleaving
+ends with accounting that matches the surviving entries exactly.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.cache import MetadataCache
+from repro.errors import StorageError
+from repro.storage import DiskStore, InMemoryStore
+
+THREADS = 4
+ROUNDS = 400
+
+
+def _run_threads(workers):
+    """Start, join, and re-raise the first exception from any worker."""
+    errors = []
+
+    def wrap(fn):
+        def run():
+            try:
+                fn()
+            except BaseException as exc:  # noqa: BLE001 - propagate to the test
+                errors.append(exc)
+
+        return run
+
+    threads = [threading.Thread(target=wrap(fn)) for fn in workers]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if errors:
+        raise errors[0]
+
+
+class TestMetadataCacheThreading:
+    def test_read_hit_vs_invalidation(self):
+        """Readers hammer get() while writers put() and clear() underneath."""
+        cache = MetadataCache(capacity_bytes=64 * 1024, max_entry_bytes=4096)
+        keys = [f"/f{i}" for i in range(32)]
+        for key in keys:
+            cache.put("content", key, key.encode() * 8)
+        barrier = threading.Barrier(THREADS)
+
+        def reader():
+            barrier.wait()
+            for i in range(ROUNDS):
+                value = cache.get("content", keys[i % len(keys)])
+                # A hit must return the full value the writer put, never
+                # a torn or stale-length one.
+                if value is not None:
+                    assert len(value) % len(keys[i % len(keys)].encode()) == 0
+
+        def writer():
+            barrier.wait()
+            for i in range(ROUNDS):
+                key = keys[i % len(keys)]
+                if i % 37 == 0:
+                    cache.clear()
+                elif i % 11 == 0:
+                    cache.discard("content", key)
+                else:
+                    cache.put("content", key, key.encode() * (1 + i % 16))
+
+        _run_threads([reader, reader, writer, writer])
+
+        # Accounting must match the surviving entries exactly — drift here
+        # is the classic symptom of an unlocked eviction racing a hit.
+        expected = sum(len(v) for v in cache._entries.values())
+        assert cache.stats.current_bytes == expected
+        assert len(cache) == len(cache._entries)
+        assert cache.stats.hits + cache.stats.misses >= 2 * ROUNDS
+
+    def test_eviction_race_keeps_capacity_bound(self):
+        """Concurrent inserts never leave the cache over capacity."""
+        cache = MetadataCache(capacity_bytes=8 * 1024, max_entry_bytes=1024)
+        barrier = threading.Barrier(THREADS)
+
+        def writer(seed):
+            def run():
+                barrier.wait()
+                for i in range(ROUNDS):
+                    cache.put("node", f"/n{(seed * ROUNDS + i) % 64}", b"x" * 512)
+
+            return run
+
+        _run_threads([writer(s) for s in range(THREADS)])
+        assert cache.stats.current_bytes <= cache.capacity_bytes
+        assert cache.stats.current_bytes == sum(
+            len(v) for v in cache._entries.values()
+        )
+
+
+@pytest.fixture(params=["memory", "disk"])
+def store(request, tmp_path):
+    if request.param == "memory":
+        return InMemoryStore()
+    return DiskStore(str(tmp_path / "store"))
+
+
+class TestBackendThreading:
+    def test_put_delete_keys_interleaving(self, store):
+        """Writers churn keys while a scanner iterates keys()/get().
+
+        The DiskStore case is the interesting one: put/delete touch a
+        data file plus a sidecar, and an unlocked scanner can observe
+        the gap between them.
+        """
+        stable = [f"stable/{i}" for i in range(8)]
+        for key in stable:
+            store.put(key, b"pinned")
+        barrier = threading.Barrier(THREADS)
+
+        def churner(seed):
+            def run():
+                barrier.wait()
+                for i in range(ROUNDS // 4):
+                    key = f"churn/{seed}/{i % 8}"
+                    store.put(key, b"v%d" % i)
+                    if i % 3 == 0:
+                        try:
+                            store.delete(key)
+                        except StorageError:
+                            pass
+
+            return run
+
+        def scanner():
+            barrier.wait()
+            for _ in range(ROUNDS // 8):
+                seen = list(store.keys())
+                # The pinned keys are never deleted: every scan sees them
+                # all, and every one resolves through get().
+                for key in stable:
+                    assert key in seen
+                    assert store.get(key) == b"pinned"
+
+        _run_threads([churner(0), churner(1), scanner, scanner])
+        for key in stable:
+            assert store.get(key) == b"pinned"
