@@ -14,6 +14,11 @@ on the parallel virtual clock (docs/PERF.md §5) over two path sets:
   lock model actually serializes conflicting requests instead of letting
   them race.
 
+Servers run over an 8-way :class:`repro.store.ShardedStore` router, so
+every cell also reports the storage-engine transaction counters (puts
+per commit, flush group sizes) and the per-shard op distribution —
+demonstrating the multi-backend deployment under concurrent load.
+
 Latencies are virtual-clock seconds from the calibrated Azure cost
 model; results land in ``BENCH_concurrency.json`` with a per-account
 wait breakdown (lock-wait, worker-wait, commit-wait, ...) per cell.
@@ -38,6 +43,7 @@ from repro.core.enclave_app import SeGShareOptions  # noqa: E402
 from repro.core.requests import Op, Request, Status  # noqa: E402
 from repro.core.server import SeGShareServer  # noqa: E402
 from repro.pki import CertificateAuthority  # noqa: E402
+from repro.storage import InMemoryStore, StoreSet  # noqa: E402
 
 #: One CA for every server: RSA keygen dominates setup and is unmeasured.
 _CA = CertificateAuthority(key_bits=1024)
@@ -45,6 +51,7 @@ _CA = CertificateAuthority(key_bits=1024)
 CLIENTS = 8
 WORKER_SWEEP = (1, 2, 4, 8)
 FILE_KB = 4
+SHARDS = 8
 
 
 def build_server(workers: int) -> SeGShareServer:
@@ -57,7 +64,23 @@ def build_server(workers: int) -> SeGShareServer:
         guard_batching=True,
         switchless_workers=workers,
     )
-    return SeGShareServer(parallel_env(), _CA.public_key, options=options)
+    stores = StoreSet.sharded([InMemoryStore() for _ in range(SHARDS)])
+    return SeGShareServer(parallel_env(), _CA.public_key, stores=stores, options=options)
+
+
+def cell_counters(server: SeGShareServer) -> dict:
+    """Switchless, lock, engine, and shard counters for one cell."""
+    stats = server.stats()
+    return {
+        "switchless": {
+            "fast": server.switchless.stats.fast,
+            "fallback": server.switchless.stats.fallback,
+            "worker_wait_s": round(server.switchless.stats.worker_wait_s, 6),
+        },
+        "locks": stats["locks"],
+        "engine": stats["engine"],
+        "shards": stats["shards"],
+    }
 
 
 def ok(response) -> None:
@@ -94,12 +117,7 @@ def run_disjoint_read(workers: int, ops_per_client: int) -> dict:
     ]
     result = driver.run(clients)
     out = result.summary()
-    out["switchless"] = {
-        "fast": server.switchless.stats.fast,
-        "fallback": server.switchless.stats.fallback,
-        "worker_wait_s": round(server.switchless.stats.worker_wait_s, 6),
-    }
-    out["locks"] = server.stats()["locks"]
+    out.update(cell_counters(server))
     return out
 
 
@@ -134,12 +152,7 @@ def run_contended_write(workers: int, ops_per_client: int) -> dict:
     ]
     result = driver.run(clients)
     out = result.summary()
-    out["switchless"] = {
-        "fast": server.switchless.stats.fast,
-        "fallback": server.switchless.stats.fallback,
-        "worker_wait_s": round(server.switchless.stats.worker_wait_s, 6),
-    }
-    out["locks"] = server.stats()["locks"]
+    out.update(cell_counters(server))
     return out
 
 
@@ -204,6 +217,7 @@ def main(argv: list[str] | None = None) -> int:
             "clients": CLIENTS,
             "ops_per_client": ops_per_client,
             "worker_sweep": list(WORKER_SWEEP),
+            "shards": SHARDS,
             "clock": "parallel virtual (calibrated Azure cost model)",
         },
         "workloads": results,

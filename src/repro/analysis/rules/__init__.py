@@ -3,7 +3,7 @@
 Each rule module exposes ``RULE`` (its id) and
 ``check(modules, boundary) -> Iterator[Finding]``.  Rules receive the
 whole module list because some checks are interprocedural across
-modules (``journal-batch``) or need the global classification
+modules (``txn-discipline``) or need the global classification
 (``boundary-import``).
 """
 
@@ -15,11 +15,10 @@ from repro.analysis.boundary import BoundaryMap
 from repro.analysis.engine import Finding, SourceModule
 from repro.analysis.rules import (
     boundary_import,
-    cache_discard,
-    journal_batch,
     lock_discipline,
     nonct_compare,
     plaintext_escape,
+    txn_discipline,
 )
 
 RuleFn = Callable[[list[SourceModule], BoundaryMap], Iterator[Finding]]
@@ -28,8 +27,7 @@ REGISTRY: dict[str, RuleFn] = {
     plaintext_escape.RULE: plaintext_escape.check,
     boundary_import.RULE: boundary_import.check,
     nonct_compare.RULE: nonct_compare.check,
-    cache_discard.RULE: cache_discard.check,
-    journal_batch.RULE: journal_batch.check,
+    txn_discipline.RULE: txn_discipline.check,
     lock_discipline.RULE: lock_discipline.check,
 }
 

@@ -9,7 +9,7 @@ point runs inside a :class:`~repro.core.locks.LockManager` acquisition
 no caller protects would silently bypass the two-phase-locking protocol
 the linearizability tests rely on.
 
-Same interprocedural skeleton as ``journal-batch``: exposure propagates
+Same interprocedural skeleton as ``txn-discipline``: exposure propagates
 as a least fixpoint from entry points (functions with no observed call
 sites that are not declared wrappers), along call edges that are not
 inside a lexical lock-establishing ``with`` block and do not originate
@@ -129,7 +129,7 @@ def check(modules: list[SourceModule], boundary: BoundaryMap) -> Iterator[Findin
         for callee, in_lock in info.calls:
             sites[callee].append((info.key, in_lock))
 
-    # Least fixpoint on exposure, exactly as in journal-batch: entry
+    # Least fixpoint on exposure, exactly as in txn-discipline: entry
     # points seed it; it flows along unlocked call edges from non-wrapper
     # bodies.
     exposed: set[tuple[str, str]] = set()

@@ -1,26 +1,33 @@
-"""Rule ``journal-batch``: trusted-flow mutations run under the undo journal.
+"""Rule ``txn-discipline``: trusted-flow mutations run inside a transaction.
 
 One SeGShare request mutates many untrusted keys; a crash between two of
 them leaves storage inconsistent with the rollback-guard anchors, which
 is indistinguishable from a rollback attack (``repro.core.journal``
-docstring, PR 1).  The discipline is therefore: every file-manager
-mutation reachable from a request entry point happens inside a
-``manager.batch(...)`` span.
+docstring, PR 1).  Since the storage-engine refactor all of that
+choreography — journal batch, guard-batch accumulation, deferred ocall
+flush, cache write-through on commit / discard on abort — lives behind
+one span: ``StorageEngine.transaction()``.  The discipline is therefore:
+every file-manager mutation reachable from a request entry point happens
+inside a ``manager.transaction(...)`` span.  (This rule subsumes the old
+``cache-discard`` rule: cache coherence is now enforced by construction
+inside the engine facade, so only the transaction bracketing is left to
+lint.)
 
 The check is interprocedural over the modules the boundary map puts in
-scope (the request handler and access control).  Exposure propagates
-from entry points: a function with no observed call sites is *exposed*
-(unless it is a declared batch wrapper such as ``RequestHandler.handle``,
-which brackets every mutating opcode before dispatching), and exposure
-flows along call edges that are not inside a lexical
-``with *.batch(...)`` block and do not originate in a wrapper.  A
-function is a violation if it is exposed and calls a mutator
-(``write_dir``, ``write_acl``, …) outside a batch block.  Propagating
-exposure (a least fixpoint from entry points) rather than "covered-ness"
-keeps recursion and delegate cycles — ``RequestHandler.set_permission``
-calling ``AccessControl.set_permission``, which shares its bare name —
-from wedging the analysis.  Call edges resolve by bare method name,
-which is deliberately coarse for a codebase this size.
+scope (the request handler, access control, and rotation replay).
+Exposure propagates from entry points: a function with no observed call
+sites is *exposed* (unless it is a declared transaction wrapper such as
+``RequestHandler.handle``, which brackets every mutating opcode before
+dispatching), and exposure flows along call edges that are not inside a
+lexical ``with *.transaction(...)`` block and do not originate in a
+wrapper.  A function is a violation if it is exposed and calls a mutator
+(``write_dir``, ``write_acl``, …) outside a transaction block.
+Propagating exposure (a least fixpoint from entry points) rather than
+"covered-ness" keeps recursion and delegate cycles —
+``RequestHandler.set_permission`` calling
+``AccessControl.set_permission``, which shares its bare name — from
+wedging the analysis.  Call edges resolve by bare method name, which is
+deliberately coarse for a codebase this size.
 """
 
 from __future__ import annotations
@@ -33,9 +40,13 @@ from repro.analysis.boundary import BoundaryMap
 from repro.analysis.engine import Finding, SourceModule
 from repro.analysis.rules.base import call_name, iter_functions
 
-RULE = "journal-batch"
+RULE = "txn-discipline"
 
-_DEFAULT_MODULES = ("repro.core.request_handler", "repro.core.access_control")
+_DEFAULT_MODULES = (
+    "repro.core.request_handler",
+    "repro.core.access_control",
+    "repro.core.rotation",
+)
 _DEFAULT_MUTATORS = (
     "write_dir",
     "write_acl",
@@ -54,41 +65,41 @@ class _FuncInfo:
     def __init__(self, key: tuple[str, str], name: str) -> None:
         self.key = key
         self.name = name
-        #: (line, mutator name) for mutator calls outside any with-batch.
+        #: (line, mutator name) for mutator calls outside any with-transaction.
         self.mutators_outside: list[tuple[int, str]] = []
-        #: (callee bare name, inside_batch) for every call in the body.
+        #: (callee bare name, inside_txn) for every call in the body.
         self.calls: list[tuple[str, bool]] = []
 
 
-def _is_batch_with(node: ast.With) -> bool:
+def _is_txn_with(node: ast.With) -> bool:
     for item in node.items:
         expr = item.context_expr
-        if isinstance(expr, ast.Call) and call_name(expr) == "batch":
+        if isinstance(expr, ast.Call) and call_name(expr) == "transaction":
             return True
     return False
 
 
-def _scan(fn: ast.AST, info: _FuncInfo, mutators: frozenset[str], in_batch: bool) -> None:
+def _scan(fn: ast.AST, info: _FuncInfo, mutators: frozenset[str], in_txn: bool) -> None:
     for child in ast.iter_child_nodes(fn):
         if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
             continue  # nested definitions are scanned as their own functions
-        child_in_batch = in_batch
-        if isinstance(child, ast.With) and _is_batch_with(child):
-            child_in_batch = True
+        child_in_txn = in_txn
+        if isinstance(child, ast.With) and _is_txn_with(child):
+            child_in_txn = True
         if isinstance(child, ast.Call):
             name = call_name(child)
             if name is not None:
-                info.calls.append((name, in_batch))
-                if name in mutators and not in_batch:
+                info.calls.append((name, in_txn))
+                if name in mutators and not in_txn:
                     info.mutators_outside.append((child.lineno, name))
-        _scan(child, info, mutators, child_in_batch)
+        _scan(child, info, mutators, child_in_txn)
 
 
 def check(modules: list[SourceModule], boundary: BoundaryMap) -> Iterator[Finding]:
     cfg = boundary.rule(RULE)
     scope = boundary.rule_modules(RULE, _DEFAULT_MODULES)
     mutators = frozenset(cfg.get("mutators", _DEFAULT_MUTATORS))
-    wrappers = frozenset(cfg.get("batch_wrappers", ()))
+    wrappers = frozenset(cfg.get("txn_wrappers", ()))
     exempt = frozenset(cfg.get("exempt", ()))
 
     import fnmatch
@@ -103,21 +114,22 @@ def check(modules: list[SourceModule], boundary: BoundaryMap) -> Iterator[Findin
         for qualname, fn in iter_functions(module.tree):
             key = (module.name, qualname)
             info = _FuncInfo(key, fn.name)
-            _scan(fn, info, mutators, in_batch=False)
+            _scan(fn, info, mutators, in_txn=False)
             funcs[key] = info
             positions[key] = (module, qualname)
 
     # Call sites per bare callee name.
     sites: dict[str, list[tuple[tuple[str, str], bool]]] = defaultdict(list)
     for info in funcs.values():
-        for callee, in_batch in info.calls:
-            sites[callee].append((info.key, in_batch))
+        for callee, in_txn in info.calls:
+            sites[callee].append((info.key, in_txn))
 
     # Least fixpoint on *exposure*: seed with entry points (no observed
     # call sites, not a wrapper), then flow along call edges that are
-    # neither lexically batched nor made from a wrapper body.  Cycles —
-    # recursion, or a delegate sharing its caller's bare name — stay
-    # unexposed unless something genuinely exposed reaches them.
+    # neither lexically inside a transaction nor made from a wrapper
+    # body.  Cycles — recursion, or a delegate sharing its caller's bare
+    # name — stay unexposed unless something genuinely exposed reaches
+    # them.
     exposed: set[tuple[str, str]] = set()
     changed = True
     while changed:
@@ -132,10 +144,10 @@ def check(modules: list[SourceModule], boundary: BoundaryMap) -> Iterator[Findin
                     changed = True
                 continue
             if any(
-                not in_batch
+                not in_txn
                 and caller in exposed
                 and funcs[caller].name not in wrappers
-                for caller, in_batch in call_sites
+                for caller, in_txn in call_sites
             ):
                 exposed.add(info.key)
                 changed = True
@@ -153,8 +165,8 @@ def check(modules: list[SourceModule], boundary: BoundaryMap) -> Iterator[Findin
             line=line,
             symbol=f"{module.name}:{qualname}",
             message=(
-                f"{mutator}() runs outside any journaled batch and no caller "
-                f"establishes one; wrap the mutation in manager.batch(...) or "
-                f"baseline it with a justification"
+                f"{mutator}() runs outside any storage transaction and no "
+                f"caller establishes one; wrap the mutation in "
+                f"manager.transaction(...) or baseline it with a justification"
             ),
         )

@@ -149,7 +149,7 @@ class AccessControl:
         member list from enclave memory, so the scan's per-user cost
         drops to one decrypt per cold list.
         """
-        with self._manager.batch("delete_group"):
+        with self._manager.transaction("delete_group"):
             group_list = self._manager.read_group_list()
             group_list.delete(group_id)
             self._manager.write_group_list(group_list)

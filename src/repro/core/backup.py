@@ -22,27 +22,41 @@ import secrets
 from repro.core.server import SeGShareServer
 from repro.errors import BackupError, EnclaveCrashed
 from repro.pki import CertificateAuthority
-from repro.storage.backends import InMemoryStore
 
 
-def take_backup(server: SeGShareServer) -> dict[str, dict[str, bytes]]:
-    """Snapshot all three stores — a plain provider-side disk copy."""
-    snapshot = {}
-    for name in ("content", "group", "dedup"):
-        store = getattr(server.stores, name)
-        if not isinstance(store, InMemoryStore):
-            raise BackupError("take_backup supports in-memory stores only")
-        snapshot[name] = store.snapshot()
+def _backup_stores(server: SeGShareServer) -> dict[str, object]:
+    """The physical stores a provider-side backup copies.
+
+    A sharded (routed) :class:`~repro.storage.stores.StoreSet` is one
+    physical backend fanned out under three prefixes, so the provider
+    copies it once; a plain set is three independent backends.
+    """
+    router = server.stores.router
+    if router is not None:
+        return {"__backend__": router}
+    return {name: getattr(server.stores, name) for name in ("content", "group", "dedup")}
+
+
+def take_backup(server: SeGShareServer) -> dict[str, object]:
+    """Snapshot the physical stores — a plain provider-side disk copy."""
+    snapshot: dict[str, object] = {}
+    for name, store in _backup_stores(server).items():
+        take = getattr(store, "snapshot", None)
+        if take is None:
+            raise BackupError(f"store {name!r} does not support snapshots")
+        snapshot[name] = take()
     return snapshot
 
 
-def restore_backup(server: SeGShareServer, snapshot: dict[str, dict[str, bytes]]) -> None:
+def restore_backup(server: SeGShareServer, snapshot: dict[str, object]) -> None:
     """Overwrite the stores with ``snapshot`` (the provider restores disks)."""
+    stores = _backup_stores(server)
     for name, objects in snapshot.items():
-        store = getattr(server.stores, name)
-        if not isinstance(store, InMemoryStore):
-            raise BackupError("restore_backup supports in-memory stores only")
-        store.restore(objects)
+        store = stores.get(name)
+        restore = getattr(store, "restore", None)
+        if store is None or restore is None:
+            raise BackupError(f"store {name!r} does not support restore")
+        restore(objects)
     # A live enclave's metadata cache now describes the pre-restore world;
     # invalidate it immediately rather than waiting for the CA-signed
     # reset (reads between restore and reset must not see stale entries).

@@ -42,7 +42,7 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import asdict, dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Iterable
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sgx.epc import EpcModel
@@ -179,6 +179,17 @@ class MetadataCache:
                 _, evicted = self._entries.popitem(last=False)
                 self._release(len(evicted))
                 self.stats.evictions += 1
+
+    def apply(self, entries: "Iterable[tuple[str, str, bytes]]") -> None:
+        """Batched write-through: insert committed values in one locked pass.
+
+        The storage engine calls this at transaction commit with the
+        span's deferred write-backs (already coalesced to one value per
+        key), so a concurrent reader sees the whole batch or none of it.
+        """
+        with self._lock:
+            for namespace, key, value in entries:
+                self.put(namespace, key, value)
 
     def discard(self, namespace: str, key: str) -> None:
         """Drop one entry (file deletions)."""

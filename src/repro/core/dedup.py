@@ -22,26 +22,55 @@ from __future__ import annotations
 import hashlib
 import hmac
 import secrets
+from typing import TYPE_CHECKING
 
 from repro.crypto import derive_key
 from repro.errors import StorageError
 from repro.sgx.protected_fs import ProtectedFs
 from repro.util.serialization import Reader, Writer
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.store.engine import StorageEngine
+
 _INDEX_PATH = "dedup-index"
 _OBJECT_PREFIX = "obj:"
+
+#: Metadata-cache namespace for the serialized index.
+_NS_DEDUP = "dedup"
+
+
+class _NullEngine:
+    """Cache facade stub for standalone DedupStore use (tests, tools)."""
+
+    @staticmethod
+    def lookup(namespace: str, key: str) -> bytes | None:
+        return None
+
+    @staticmethod
+    def fill(namespace: str, key: str, value: bytes) -> None:
+        pass
+
+    @staticmethod
+    def invalidate(namespace: str, key: str) -> None:
+        pass
+
+    @staticmethod
+    def write_back(namespace: str, key: str, value: bytes) -> None:
+        pass
 
 
 class DedupStore:
     """The deduplication store: content-addressed objects plus an index."""
 
-    def __init__(self, pfs: ProtectedFs, root_key: bytes, cache=None) -> None:
+    def __init__(
+        self, pfs: ProtectedFs, root_key: bytes, engine: "StorageEngine | None" = None
+    ) -> None:
         self._pfs = pfs
         self._hmac_key = derive_key(root_key, "segshare/dedup-hmac")
-        # Optional repro.core.cache.MetadataCache holding the serialized
-        # index under the "dedup" namespace, so a rebuild of this store
-        # object (reload, enclave component rebuild) skips the PFS decrypt.
-        self._cache = cache
+        # The storage engine's cache facade holds the serialized index
+        # under the "dedup" namespace, so a rebuild of this store object
+        # (reload, enclave component rebuild) skips the PFS decrypt.
+        self._engine = engine if engine is not None else _NullEngine()
         # hName -> (object id, reference count)
         self._index: dict[str, tuple[str, int]] = {}
         if self._pfs.exists(_INDEX_PATH):
@@ -50,11 +79,10 @@ class DedupStore:
     # -- index persistence -----------------------------------------------------
 
     def _load_index(self) -> None:
-        data = self._cache.get("dedup", _INDEX_PATH) if self._cache is not None else None
+        data = self._engine.lookup(_NS_DEDUP, _INDEX_PATH)
         if data is None:
             data = self._pfs.read_file(_INDEX_PATH)
-            if self._cache is not None:
-                self._cache.put("dedup", _INDEX_PATH, data)
+            self._engine.fill(_NS_DEDUP, _INDEX_PATH, data)
         r = Reader(data)
         count = r.u32()
         self._index = {}
@@ -74,11 +102,9 @@ class DedupStore:
             w.str(object_id)
             w.u32(refcount)
         blob = w.take()
-        if self._cache is not None:
-            self._cache.discard("dedup", _INDEX_PATH)
+        self._engine.invalidate(_NS_DEDUP, _INDEX_PATH)
         self._pfs.write_file(_INDEX_PATH, blob)
-        if self._cache is not None:
-            self._cache.put("dedup", _INDEX_PATH, blob)
+        self._engine.write_back(_NS_DEDUP, _INDEX_PATH, blob)
 
     # -- content hashing -----------------------------------------------------
 
@@ -102,8 +128,8 @@ class DedupStore:
         existing = self._index.get(h_name)
         if existing is not None:
             # `obj:*` blobs are never metadata-cached; only the index file
-            # is, and _store_index() below discards it before writing.
-            self._pfs.remove(object_id)  # seglint: ignore[cache-discard]
+            # is, and _store_index() below invalidates it before writing.
+            self._pfs.remove(object_id)
             self._index[h_name] = (existing[0], existing[1] + 1)
         else:
             self._index[h_name] = (object_id, 1)
@@ -161,7 +187,7 @@ class DedupStore:
         if refcount <= 1:
             del self._index[h_name]
             # Object blobs bypass the metadata cache (see _commit).
-            self._pfs.remove(object_id)  # seglint: ignore[cache-discard]
+            self._pfs.remove(object_id)
         else:
             self._index[h_name] = (object_id, refcount - 1)
         self._store_index()
@@ -177,9 +203,8 @@ class DedupStore:
         underneath this cache; the in-memory copy must follow or later
         refcounts act on the aborted batch's state.
         """
-        if self._cache is not None:
-            # Re-read storage, not a cached copy of the aborted state.
-            self._cache.discard("dedup", _INDEX_PATH)
+        # Re-read storage, not a cached copy of the aborted state.
+        self._engine.invalidate(_NS_DEDUP, _INDEX_PATH)
         if self._pfs.exists(_INDEX_PATH):
             self._load_index()
         else:
@@ -200,7 +225,7 @@ class DedupStore:
         for path in list(self._pfs.list_paths()):
             if path.startswith(_OBJECT_PREFIX) and path not in referenced:
                 # Orphaned object blobs were never cached (see _commit).
-                self._pfs.remove(path)  # seglint: ignore[cache-discard]
+                self._pfs.remove(path)
                 removed += 1
         return removed
 

@@ -52,6 +52,7 @@ from repro.sgx.counters import MonotonicCounter, RoteCounterService
 from repro.sgx.enclave import Enclave, TcbReport, ecall
 from repro.sgx.sealing import seal, unseal
 from repro.storage.stores import StoreSet
+from repro.store.engine import StorageEngine
 from repro.tls.channel import StreamingResponse, TrustedTlsInterface
 from repro.tls.handshake import ServerIdentity
 from repro.tls.session import CryptoCostProfile
@@ -158,6 +159,7 @@ class SeGShareEnclave(Enclave):
         "repro.pki.certificate",
         "repro.sgx.protected_fs",
         "repro.sgx.sealing",
+        "repro.store.engine",
         "repro.tls.channel",
         "repro.tls.handshake",
         "repro.tls.records",
@@ -185,6 +187,7 @@ class SeGShareEnclave(Enclave):
         self._pending_join: object | None = None
         self.handler: RequestHandler | None = None
         self.locks: LockManager | None = None
+        self.engine: StorageEngine | None = None
         self.manager: TrustedFileManager | None = None
         self.guard: RollbackGuard | None = None
         self.group_guard: FlatStoreGuard | None = None
@@ -250,15 +253,20 @@ class SeGShareEnclave(Enclave):
             # trusted components read storage, so the dedup index, guard
             # nodes, and directory files all come back pre-batch.
             recovered = journal.recover_restore()
+        self.engine = StorageEngine(
+            self._stores,
+            journal=journal,
+            cache=self.cache,
+            guard_batching=self._options.guard_batching and self._options.journal,
+            enclave=self,
+        )
         self.manager = TrustedFileManager(
             self._stores,
             self._root_key,
             enclave=self,
             hide_paths=self._options.hide_paths,
             enable_dedup=self._options.enable_dedup,
-            journal=journal,
-            cache=self.cache,
-            guard_batching=self._options.guard_batching and self._options.journal,
+            engine=self.engine,
         )
         self.access = AccessControl(self.manager)
         # Enclave-memory-only request locks: a fresh manager per build, so
@@ -662,6 +670,8 @@ class SeGShareEnclave(Enclave):
         }
         if self.cache is not None:
             stats["cache"] = self.cache.stats.snapshot()
+        if self.engine is not None:
+            stats["engine"] = self.engine.stats.snapshot()
         if self.locks is not None:
             stats["locks"] = self.locks.stats.snapshot()
         if self.guard is not None:

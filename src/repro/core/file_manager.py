@@ -7,6 +7,12 @@ root key SK_r, optionally hides paths (Section V-C), deduplicates content
 through the Protected File System Library clone, whose 4 KiB chunking and
 Merkle integrity mirror Intel's library.
 
+Persistence itself — the undo journal, the guard batches, the metadata
+cache, and the deferred write buffers — is owned by the
+:class:`repro.store.engine.StorageEngine`; the manager expresses reads
+and writes against the engine's facade and brackets multi-key mutations
+in :meth:`TrustedFileManager.transaction`.
+
 The **untrusted file manager** is the raw object store — here the
 :class:`repro.storage.StoreSet` handed in from the host.  The trusted
 side reaches it only through the ProtectedFs OCALL accounting, never with
@@ -37,30 +43,20 @@ from repro.core.acl import (
     member_list_path,
     quota_path,
 )
-from repro.core.cache import MetadataCache
 from repro.core.dedup import DedupStore
 from repro.core.hiding import HmacPathTransform, IdentityTransform
-from repro.core.journal import (
-    TAG_CONTENT,
-    TAG_DEDUP,
-    TAG_GROUP,
-    JournaledStore,
-    WriteAheadJournal,
-)
 from repro.crypto import derive_key
-from repro.errors import (
-    EnclaveCrashed,
-    FileSystemError,
-    ProtectedFsError,
-    ReproError,
-)
+from repro.errors import FileSystemError, ProtectedFsError
 from repro.fsmodel import DirectoryFile
 from repro.sgx.enclave import Enclave
 from repro.sgx.protected_fs import ProtectedFs
 from repro.storage.stores import StoreSet
+from repro.store.engine import StorageEngine
 from repro.util.serialization import Reader, Writer
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.cache import MetadataCache
+    from repro.core.journal import WriteAheadJournal
     from repro.core.rollback import FlatStoreGuard, RollbackGuard
 
 _KIND_INLINE = 0
@@ -88,30 +84,23 @@ class TrustedFileManager:
         enclave: Enclave | None = None,
         hide_paths: bool = False,
         enable_dedup: bool = False,
-        journal: WriteAheadJournal | None = None,
-        cache: MetadataCache | None = None,
+        journal: "WriteAheadJournal | None" = None,
+        cache: "MetadataCache | None" = None,
         guard_batching: bool = True,
+        engine: StorageEngine | None = None,
     ) -> None:
         self._root_key = root_key
         self._enclave = enclave
-        self.journal = journal
-        self._cache = cache
-        self._guard_batching = guard_batching
-        if journal is not None and cache is not None:
-            # Belt and braces: ANY undo-log restore — including paths that
-            # bypass batch() — drops the cache before restored bytes can
-            # coexist with stale entries.
-            journal.on_restore = cache.clear
-        # With journaling on, the ProtectedFs instances write through undo-
-        # recording wrappers; the raw stores stay on self._stores (stats,
-        # sealed slots, and the journal's own keys bypass the wrappers).
-        backends = stores
-        if journal is not None:
-            backends = StoreSet(
-                content=JournaledStore(stores.content, journal, TAG_CONTENT),
-                group=JournaledStore(stores.group, journal, TAG_GROUP),
-                dedup=JournaledStore(stores.dedup, journal, TAG_DEDUP),
+        if engine is None:
+            engine = StorageEngine(
+                stores,
+                journal=journal,
+                cache=cache,
+                guard_batching=guard_batching,
+                enclave=enclave,
             )
+        self._engine = engine
+        backends = engine.backends
         self._content = ProtectedFs(
             backends.content, master_key=derive_key(root_key, "segshare/store/content", length=16),
             enclave=enclave,
@@ -126,124 +115,48 @@ class TrustedFileManager:
         )
         self._transform = HmacPathTransform(root_key) if hide_paths else IdentityTransform()
         self.dedup: DedupStore | None = (
-            DedupStore(self._dedup_pfs, root_key, cache=cache) if enable_dedup else None
+            DedupStore(self._dedup_pfs, root_key, engine=engine) if enable_dedup else None
         )
-        self.guard: "RollbackGuard | None" = None
-        self.group_guard: "FlatStoreGuard | None" = None
-        self._stores = stores
+        engine.attach_dedup(self.dedup)
+        self._stores = engine.raw
+
+    # -- engine facade -------------------------------------------------------------
 
     @property
-    def cache(self) -> MetadataCache | None:
-        return self._cache
+    def engine(self) -> StorageEngine:
+        return self._engine
 
-    def _commit_point(self) -> "contextlib.AbstractContextManager[None]":
-        """The journal's commit record is one serial resource.
+    @property
+    def cache(self) -> "MetadataCache | None":
+        return self._engine.cache
 
-        Flushing the batched guard nodes, writing the anchor (with its
-        counter increment), and persisting the commit marker form the
-        batch's critical section: concurrent requests rendezvous here, so
-        on a parallel clock overlapping writers pay each other's commit
-        latency while readers stay unaffected.  On a serial clock this is
-        a no-op.
+    @property
+    def journal(self) -> "WriteAheadJournal | None":
+        return self._engine.journal
+
+    @property
+    def guard(self) -> "RollbackGuard | None":
+        return self._engine.guard
+
+    @guard.setter
+    def guard(self, guard: "RollbackGuard | None") -> None:
+        self._engine.guard = guard
+
+    @property
+    def group_guard(self) -> "FlatStoreGuard | None":
+        return self._engine.group_guard
+
+    @group_guard.setter
+    def group_guard(self, guard: "FlatStoreGuard | None") -> None:
+        self._engine.group_guard = guard
+
+    def transaction(self, label: str) -> "contextlib.AbstractContextManager[None]":
+        """Run a multi-key mutation as one all-or-nothing engine span.
+
+        See :meth:`repro.store.engine.StorageEngine.transaction` for the
+        crash/abort semantics; nested spans join the outer one.
         """
-        if self._enclave is None or self._enclave.platform.clock is None:
-            return contextlib.nullcontext()
-        return self._enclave.platform.clock.exclusive(
-            "journal-commit", account="commit-wait"
-        )
-
-    # -- crash-consistent mutation batches ----------------------------------------
-
-    @contextlib.contextmanager
-    def batch(self, label: str) -> Iterator[None]:
-        """Run a multi-key mutation as one all-or-nothing unit.
-
-        Without a journal this is free.  With one, the span is bracketed
-        by the undo journal: a crash inside it is rolled back on restart;
-        a non-crash failure is rolled back immediately (pre-images
-        restored, guards re-anchored).  Nested batches join the outer one.
-        """
-        journal = self.journal
-        if journal is None or journal.active:
-            yield
-            return
-        journal.begin(label)
-        self._begin_guard_batches()
-        try:
-            yield
-            # Flush inside the try: a fault while persisting the batched
-            # guard nodes rolls the whole batch back like any other fault.
-            with self._commit_point():
-                self._flush_guard_batches()
-        except EnclaveCrashed:
-            # The enclave is gone; restart recovery replays the undo log.
-            raise
-        except BaseException:
-            self._abort_guard_batches()
-            try:
-                journal.rollback()
-                self._reanchor_guards()
-                journal.clear()
-            except EnclaveCrashed:
-                raise
-            except ReproError as rollback_exc:
-                # State may be inconsistent; refuse further mutations until
-                # a restart re-runs the (still persisted) undo log.
-                journal.poison(f"rollback of batch {label!r} failed: {rollback_exc}")
-            raise
-        else:
-            with self._commit_point():
-                journal.commit()
-
-    def _begin_guard_batches(self) -> None:
-        """Defer guard node/anchor persistence until the batch commits.
-
-        Only safe under an open undo-journal batch: an abort rolls back
-        the data writes the pending nodes describe, so dropping them is
-        consistent.  Disabled entirely with ``guard_batching=False`` (the
-        benchmark baseline).
-        """
-        if not self._guard_batching:
-            return
-        if self.guard is not None:
-            self.guard.begin_batch()
-        if self.group_guard is not None:
-            self.group_guard.begin_batch()
-
-    def _flush_guard_batches(self) -> None:
-        if self.guard is not None:
-            self.guard.commit_batch()
-        if self.group_guard is not None:
-            self.group_guard.commit_batch()
-
-    def _abort_guard_batches(self) -> None:
-        if self.guard is not None:
-            self.guard.abort_batch()
-        if self.group_guard is not None:
-            self.group_guard.abort_batch()
-
-    def _reanchor_guards(self) -> None:
-        """Resync in-memory state after an undo-log restore.
-
-        The restore brought back the pre-batch anchors byte-for-byte, but
-        the monotonic counter kept the increments the aborted batch made —
-        the anchors must be rewritten against the current counter value.
-        The dedup index cache likewise still holds the aborted batch's
-        refcounts and must follow the restored bytes.
-
-        Ordering matters: pending guard batches are dropped and the
-        metadata cache cleared FIRST — re-anchoring reads storage, and a
-        stale cached entry must never feed the new anchor.
-        """
-        self._abort_guard_batches()
-        if self._cache is not None:
-            self._cache.clear()
-        if self.dedup is not None:
-            self.dedup.reload_index()
-        if self.guard is not None:
-            self.guard.accept_current_state()
-        if self.group_guard is not None:
-            self.group_guard.accept_current_state()
+        return self._engine.transaction(label)
 
     # -- helpers -----------------------------------------------------------------
 
@@ -265,7 +178,7 @@ class TrustedFileManager:
 
     def exists(self, path: str) -> bool:
         """Table IV ``exists_f``: is there a stored file at ``path``?"""
-        if self._cache is not None and self._cache.contains(_NS_CONTENT, path):
+        if self._engine.cached(_NS_CONTENT, path):
             return True
         return self._content.exists(self._sp(path))
 
@@ -315,7 +228,7 @@ class TrustedFileManager:
 
     def _pointer_target(self, path: str) -> str | None:
         """The dedup hName the current record points to, if any."""
-        record = self._cache.get(_NS_CONTENT, path) if self._cache is not None else None
+        record = self._engine.lookup(_NS_CONTENT, path)
         if record is None:
             if not self.exists(path):
                 return None
@@ -384,35 +297,31 @@ class TrustedFileManager:
     # -- group store -------------------------------------------------------------------
 
     def _group_read_guarded(self, logical_path: str) -> bytes:
-        if self._cache is not None:
-            cached = self._cache.get(_NS_GROUP, logical_path)
-            if cached is not None:
-                return cached
+        cached = self._engine.lookup(_NS_GROUP, logical_path)
+        if cached is not None:
+            return cached
         data = self._group.read_file(self._sp(logical_path))
         if self.group_guard is not None:
             self.group_guard.verify_read(logical_path, self._content_hash(data))
-        if self._cache is not None:
-            self._cache.put(_NS_GROUP, logical_path, data)
+        self._engine.fill(_NS_GROUP, logical_path, data)
         return data
 
     def _group_write_guarded(self, logical_path: str, data: bytes) -> None:
         sp = self._sp(logical_path)
         old_hash = None
         if self.group_guard is not None and self._group.exists(sp):
-            old = self._cache.get(_NS_GROUP, logical_path) if self._cache is not None else None
+            old = self._engine.lookup(_NS_GROUP, logical_path)
             if old is None:
                 old = self._group.read_file(sp)
             old_hash = self._content_hash(old)
-        if self._cache is not None:
-            self._cache.discard(_NS_GROUP, logical_path)
+        self._engine.invalidate(_NS_GROUP, logical_path)
         self._group.write_file(sp, data)
         if self.group_guard is not None:
             self.group_guard.on_write(logical_path, self._content_hash(data), old_hash)
-        if self._cache is not None:
-            self._cache.put(_NS_GROUP, logical_path, data)
+        self._engine.write_back(_NS_GROUP, logical_path, data)
 
     def read_group_list(self) -> GroupListFile:
-        if self._cache is None or not self._cache.contains(_NS_GROUP, GROUP_LIST_PATH):
+        if not self._engine.cached(_NS_GROUP, GROUP_LIST_PATH):
             if not self._group.exists(self._sp(GROUP_LIST_PATH)):
                 return GroupListFile()
         return GroupListFile.deserialize(self._group_read_guarded(GROUP_LIST_PATH))
@@ -421,9 +330,7 @@ class TrustedFileManager:
         self._group_write_guarded(GROUP_LIST_PATH, group_list.serialize())
 
     def member_list_exists(self, user_id: str) -> bool:
-        if self._cache is not None and self._cache.contains(
-            _NS_GROUP, member_list_path(user_id)
-        ):
+        if self._engine.cached(_NS_GROUP, member_list_path(user_id)):
             return True
         return self._group.exists(self._sp(member_list_path(user_id)))
 
@@ -443,17 +350,16 @@ class TrustedFileManager:
     def read_quota(self, user_id: str) -> int:
         """Bytes currently accounted to ``user_id``."""
         key = quota_path(user_id)
-        data = self._cache.get(_NS_GROUP, key) if self._cache is not None else None
+        data = self._engine.lookup(_NS_GROUP, key)
         if data is None:
             sp = self._sp(key)
             if not self._group.exists(sp):
                 return 0
             data = self._group.read_file(sp)
-            if self._cache is not None:
-                # Quota records are unguarded in the baseline too: the PFS
-                # Merkle check is all the integrity either path provides,
-                # so caching the decrypted record loses nothing.
-                self._cache.put(_NS_GROUP, key, data)
+            # Quota records are unguarded in the baseline too: the PFS
+            # Merkle check is all the integrity either path provides,
+            # so caching the decrypted record loses nothing.
+            self._engine.fill(_NS_GROUP, key, data)
         r = Reader(data)
         used = r.u64()
         r.expect_end()
@@ -462,34 +368,29 @@ class TrustedFileManager:
     def write_quota(self, user_id: str, used: int) -> None:
         key = quota_path(user_id)
         blob = Writer().u64(used).take()
-        if self._cache is not None:
-            self._cache.discard(_NS_GROUP, key)
+        self._engine.invalidate(_NS_GROUP, key)
         self._group.write_file(self._sp(key), blob)
-        if self._cache is not None:
-            self._cache.put(_NS_GROUP, key, blob)
+        self._engine.write_back(_NS_GROUP, key, blob)
 
     # -- unverified group access for the flat rollback guard -------------------------
 
     def raw_group_read(self, logical_path: str) -> bytes:
         # Same policy as raw_read: consult always, fill guard objects only.
-        if self._cache is not None:
-            cached = self._cache.get(_NS_GROUP, logical_path)
-            if cached is not None:
-                return cached
+        cached = self._engine.lookup(_NS_GROUP, logical_path)
+        if cached is not None:
+            return cached
         data = self._group.read_file(self._sp(logical_path))
-        if self._cache is not None and logical_path.startswith(GROUP_GUARD_PREFIX):
-            self._cache.put(_NS_GROUP, logical_path, data)
+        if logical_path.startswith(GROUP_GUARD_PREFIX):
+            self._engine.fill(_NS_GROUP, logical_path, data)
         return data
 
     def raw_group_write(self, logical_path: str, data: bytes) -> None:
-        if self._cache is not None:
-            self._cache.discard(_NS_GROUP, logical_path)
+        self._engine.invalidate(_NS_GROUP, logical_path)
         self._group.write_file(self._sp(logical_path), data)
-        if self._cache is not None:
-            self._cache.put(_NS_GROUP, logical_path, data)
+        self._engine.write_back(_NS_GROUP, logical_path, data)
 
     def raw_group_exists(self, logical_path: str) -> bool:
-        if self._cache is not None and self._cache.contains(_NS_GROUP, logical_path):
+        if self._engine.cached(_NS_GROUP, logical_path):
             return True
         return self._group.exists(self._sp(logical_path))
 
@@ -518,48 +419,40 @@ class TrustedFileManager:
         # Cache hit: the plaintext was verified when it entered the cache
         # (or written by this enclave); serving it from enclave memory
         # skips the PFS decrypt AND the per-level guard recomputation.
-        if self._cache is not None:
-            cached = self._cache.get(_NS_CONTENT, path)
-            if cached is not None:
-                return cached
+        cached = self._engine.lookup(_NS_CONTENT, path)
+        if cached is not None:
+            return cached
         if not self.exists(path):
             raise FileSystemError(f"no file at {path!r}")
         data = self._content.read_file(self._sp(path))
         if self.guard is not None:
             self.guard.verify_read(path, self._content_hash(data))
-        if self._cache is not None:
-            self._cache.put(_NS_CONTENT, path, data)
+        self._engine.fill(_NS_CONTENT, path, data)
         return data
 
     def _write_guarded(self, path: str, data: bytes) -> None:
         old_hash = None
         if self.guard is not None and self.exists(path):
-            old = self._cache.get(_NS_CONTENT, path) if self._cache is not None else None
+            old = self._engine.lookup(_NS_CONTENT, path)
             if old is None:
                 old = self._content.read_file(self._sp(path))
             old_hash = self._content_hash(old)
-        # Drop the entry before mutating: if the write or guard update
-        # faults part-way, the cache must not keep serving the old value
-        # over now-divergent storage.
-        if self._cache is not None:
-            self._cache.discard(_NS_CONTENT, path)
+        self._engine.invalidate(_NS_CONTENT, path)
         self._content.write_file(self._sp(path), data)
         if self.guard is not None:
             self.guard.on_write(path, self._content_hash(data), old_hash)
-        if self._cache is not None:
-            self._cache.put(_NS_CONTENT, path, data)
+        self._engine.write_back(_NS_CONTENT, path, data)
 
     def _delete_guarded(self, path: str) -> None:
         if not self.exists(path):
             raise FileSystemError(f"no file at {path!r}")
         old_hash = None
         if self.guard is not None:
-            old = self._cache.get(_NS_CONTENT, path) if self._cache is not None else None
+            old = self._engine.lookup(_NS_CONTENT, path)
             if old is None:
                 old = self._content.read_file(self._sp(path))
             old_hash = self._content_hash(old)
-        if self._cache is not None:
-            self._cache.discard(_NS_CONTENT, path)
+        self._engine.invalidate(_NS_CONTENT, path)
         self._content.remove(self._sp(path))
         if self.guard is not None:
             self.guard.on_delete(path, old_hash)
@@ -577,31 +470,27 @@ class TrustedFileManager:
         never individually verified and must not be laundered into the
         cache.
         """
-        if self._cache is not None:
-            cached = self._cache.get(_NS_CONTENT, path)
-            if cached is not None:
-                return cached
+        cached = self._engine.lookup(_NS_CONTENT, path)
+        if cached is not None:
+            return cached
         data = self._content.read_file(self._sp(path))
-        if self._cache is not None and path.startswith(GUARD_PREFIX):
-            self._cache.put(_NS_CONTENT, path, data)
+        if path.startswith(GUARD_PREFIX):
+            self._engine.fill(_NS_CONTENT, path, data)
         return data
 
     def raw_exists(self, path: str) -> bool:
-        if self._cache is not None and self._cache.contains(_NS_CONTENT, path):
+        if self._engine.cached(_NS_CONTENT, path):
             return True
         return self._content.exists(self._sp(path))
 
     def raw_write(self, path: str, data: bytes) -> None:
         """Write without guard hooks (guard node persistence)."""
-        if self._cache is not None:
-            self._cache.discard(_NS_CONTENT, path)
+        self._engine.invalidate(_NS_CONTENT, path)
         self._content.write_file(self._sp(path), data)
-        if self._cache is not None:
-            self._cache.put(_NS_CONTENT, path, data)
+        self._engine.write_back(_NS_CONTENT, path, data)
 
     def raw_delete(self, path: str) -> None:
-        if self._cache is not None:
-            self._cache.discard(_NS_CONTENT, path)
+        self._engine.invalidate(_NS_CONTENT, path)
         self._content.remove(self._sp(path))
 
     # -- statistics -------------------------------------------------------------------------

@@ -101,7 +101,7 @@ class WriteAheadJournal:
         self._recorded: set[tuple[int, str]] = set()
         self._poisoned: Optional[str] = None
         #: Invoked after every undo restore (in-process rollback AND crash
-        #: recovery).  The trusted file manager hangs the metadata cache's
+        #: recovery).  The storage engine hangs the metadata cache's
         #: ``clear`` here so restored pre-images can never coexist with
         #: cache entries from the aborted batch.
         self.on_restore: Optional[Callable[[], None]] = None
@@ -184,6 +184,20 @@ class WriteAheadJournal:
         self._active = False
         self._restore_entries()
 
+    def resume_recording(self) -> None:
+        """Re-open pre-image recording on the still-persisted batch.
+
+        Called between :meth:`rollback` and :meth:`clear` so the re-anchor
+        writes that repair guard state are themselves journaled: the
+        anchor is a multi-key protected file, and an unjournaled rewrite
+        torn by a crash would be unrepairable (no pre-image anywhere).
+        With recording open, restart recovery rewinds to the restored
+        state and re-runs the re-anchor.  Keys the batch already recorded
+        keep their original pre-images (:meth:`record` skips them), so the
+        restore target stays the pre-batch state.
+        """
+        self._active = True
+
     def clear(self) -> None:
         """Drop the marker and all entries (after rollback + re-anchor)."""
         self._active = False
@@ -207,8 +221,11 @@ class WriteAheadJournal:
 
         Runs before the trusted components are built so they observe the
         restored bytes.  The caller re-anchors the guards and then calls
-        :meth:`recover_finish`; until then the journal keys survive, so a
-        crash *during* recovery just re-runs it.
+        :meth:`recover_finish`; until then the journal keys survive *and
+        recording stays open* — the invariant is that whenever the marker
+        is persisted, every mutation records its pre-image, so a crash
+        anywhere during recovery (including mid-re-anchor, a torn
+        multi-key anchor write) rewinds and re-runs it.
         """
         if not self._backend.exists(_MARKER_KEY):
             # Entries without a marker are garbage from a commit that
@@ -234,7 +251,13 @@ class WriteAheadJournal:
                     f"stale write-ahead journal for batch {label!r}: recorded "
                     f"counter {counter_start}, TEE counter {current}"
                 )
-        self._restore_entries()
+        restored = self._restore_entries()
+        # Keep recording while the caller verifies and re-anchors: new
+        # slots continue the batch's numbering and already-recorded keys
+        # keep their original pre-images.
+        self._seq = len(restored)
+        self._recorded = set(restored)
+        self._active = True
         return True
 
     def recover_finish(self) -> None:
@@ -244,15 +267,14 @@ class WriteAheadJournal:
     # -- internals ---------------------------------------------------------------
 
     def _entry_keys(self) -> list[str]:
-        return sorted(
-            key for key in self._backend.keys() if key.startswith(_ENTRY_PREFIX)
-        )
+        return sorted(self._backend.scan(_ENTRY_PREFIX))
 
     def _sweep_entries(self) -> None:
         for key in self._entry_keys():
             self._backend.delete(key)
 
-    def _restore_entries(self) -> None:
+    def _restore_entries(self) -> list[tuple[int, str]]:
+        restored: list[tuple[int, str]] = []
         restore = (
             self._backend.batch()
             if isinstance(self._backend, TransactionalStore)
@@ -285,8 +307,10 @@ class WriteAheadJournal:
                     store.put(key, pre_image)  # seglint: ignore[plaintext-escape]
                 elif store.exists(key):
                     store.delete(key)
+                restored.append((tag, key))
         if self.on_restore is not None:
             self.on_restore()
+        return restored
 
 
 class JournaledStore(UntrustedStore):
@@ -328,6 +352,9 @@ class JournaledStore(UntrustedStore):
 
     def keys(self) -> Iterator[str]:
         return self.inner.keys()
+
+    def scan(self, prefix: str) -> Iterator[str]:
+        return self.inner.scan(prefix)
 
     def size(self, key: str) -> int:
         return self.inner.size(key)

@@ -109,7 +109,7 @@ class RequestHandler:
     def ensure_root(self) -> None:
         """Create the root directory file on first start."""
         if not self._manager.exists(ROOT):
-            with self._manager.batch("ensure_root"):
+            with self._manager.transaction("ensure_root"):
                 self._manager.write_dir(ROOT, DirectoryFile())
 
     # -- dispatch ------------------------------------------------------------------
@@ -126,7 +126,7 @@ class RequestHandler:
                 user_id, request, quota=self._quota_bytes is not None
             ):
                 if request.op in _MUTATING_OPS:
-                    with self._manager.batch(request.op.name):
+                    with self._manager.transaction(request.op.name):
                         return self._dispatch(user_id, request)
                 return self._dispatch(user_id, request)
         except EnclaveCrashed:
@@ -582,7 +582,7 @@ class UploadSink:
                 self._path,
                 quota=self._handler._quota_bytes is not None,
             ):
-                with self._handler._manager.batch("PUT_FILE"):
+                with self._handler._manager.transaction("PUT_FILE"):
                     response = self._handler._commit_upload(
                         self._user_id, self._path, self._upload
                     )

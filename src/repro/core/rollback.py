@@ -150,7 +150,7 @@ class RollbackGuard:
 
     # -- batched updates ------------------------------------------------------------
     #
-    # Within a TrustedFileManager.batch(), every on_write/on_delete still
+    # Within a StorageEngine transaction, every on_write/on_delete still
     # updates the tree — but the updated nodes accumulate in enclave
     # memory and the anchor write (with its monotonic-counter increment)
     # is deferred.  commit_batch() then persists each dirty node once and
@@ -579,7 +579,7 @@ class FlatStoreGuard:
         self.degraded_reads = 0
         self.stats = GuardStats()
         # Batch mode mirrors RollbackGuard: the single node and anchor
-        # are flushed once per TrustedFileManager.batch().
+        # are flushed once per StorageEngine transaction.
         self._batching = False
         self._pending_buckets: list[MSetXorHash] | None = None
         self._pending_main: bytes | None = None

@@ -111,28 +111,32 @@ def replay_state(
     from repro.core.acl import AclFile, GroupListFile, MemberListFile
 
     stats = RotationStats()
-    # Directories in depth order (the root was created by ensure_root).
-    for dir_path, children in snapshot.dirs:
-        manager.write_dir(dir_path, DirectoryFile(children))
-        stats.directories += 1
-    for path, acl_blob in snapshot.acls.items():
-        manager.write_acl(path, AclFile.deserialize(acl_blob))
-        stats.acls += 1
-    for path, content in snapshot.files.items():
-        manager.write_content(path, content)
-        stats.files += 1
-        stats.plaintext_bytes += len(content)
-    if snapshot.group_list is not None:
-        manager.write_group_list(GroupListFile.deserialize(snapshot.group_list))
-    for user_id, member_blob in snapshot.member_lists.items():
-        manager.write_member_list(user_id, MemberListFile.deserialize(member_blob))
-        stats.member_lists += 1
-    if audit_log is not None:
-        for record in snapshot.audit_records:
-            audit_log.append(
-                record.timestamp, record.user_id, record.op, record.args, record.outcome
-            )
-            stats.audit_records += 1
+    # One engine transaction for the whole replay: a fault while
+    # re-encrypting leaves either the complete new state or (after undo
+    # restore) the empty post-wipe state — never half a tree.
+    with manager.transaction("rotation-replay"):
+        # Directories in depth order (the root was created by ensure_root).
+        for dir_path, children in snapshot.dirs:
+            manager.write_dir(dir_path, DirectoryFile(children))
+            stats.directories += 1
+        for path, acl_blob in snapshot.acls.items():
+            manager.write_acl(path, AclFile.deserialize(acl_blob))
+            stats.acls += 1
+        for path, content in snapshot.files.items():
+            manager.write_content(path, content)
+            stats.files += 1
+            stats.plaintext_bytes += len(content)
+        if snapshot.group_list is not None:
+            manager.write_group_list(GroupListFile.deserialize(snapshot.group_list))
+        for user_id, member_blob in snapshot.member_lists.items():
+            manager.write_member_list(user_id, MemberListFile.deserialize(member_blob))
+            stats.member_lists += 1
+        if audit_log is not None:
+            for record in snapshot.audit_records:
+                audit_log.append(
+                    record.timestamp, record.user_id, record.op, record.args, record.outcome
+                )
+                stats.audit_records += 1
     return stats
 
 

@@ -78,8 +78,14 @@ class SeGShareServer:
         return Endpoint(self.listener)
 
     def stats(self) -> dict:
-        """Cache, rollback-guard, and EPC counters from the enclave."""
-        return self.handle.call("runtime_stats")
+        """Cache, rollback-guard, engine, and EPC counters from the enclave."""
+        stats = self.handle.call("runtime_stats")
+        # Shard routing happens in the untrusted provider layer, so its
+        # counters live on the store object, not inside the enclave.
+        router = self.stores.router
+        if router is not None and hasattr(router, "stats"):
+            stats["shards"] = router.stats()
+        return stats
 
     # -- untrusted certification component ---------------------------------------------
 

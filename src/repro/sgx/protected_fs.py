@@ -109,8 +109,14 @@ class ProtectedFs:
             )
 
     def _charge_ocall(self) -> None:
-        if self._enclave is not None:
-            self._enclave.ocall(account="pfs-io")
+        if self._enclave is None:
+            return
+        if getattr(self._store, "owns_ocall_accounting", False):
+            # The storage engine's deferred stores charge per actual
+            # round-trip themselves — buffered ops are charged once per
+            # flushed group at transaction commit.
+            return
+        self._enclave.ocall(account="pfs-io")
 
     # -- keys -----------------------------------------------------------------
 

@@ -11,6 +11,9 @@ Two implementations:
 * :class:`InMemoryStore` — a dict; the default for tests and benchmarks.
 * :class:`DiskStore` — a directory of files, for the examples that persist
   a share across process runs.
+
+:class:`repro.store.ShardedStore` adds a deterministic N-way router over
+several of these for multi-backend deployments.
 """
 
 from __future__ import annotations
@@ -21,7 +24,7 @@ import os
 import tempfile
 import threading
 from abc import ABC, abstractmethod
-from typing import Iterator
+from typing import Callable, Iterator
 
 from repro.errors import StorageError
 
@@ -52,6 +55,15 @@ class UntrustedStore(ABC):
     @abstractmethod
     def size(self, key: str) -> int:
         """Stored size in bytes of the object at ``key``."""
+
+    def scan(self, prefix: str) -> Iterator[str]:
+        """Iterate over the keys starting with ``prefix``.
+
+        The default filters :meth:`keys`; backends with an index override
+        it so namespaced views (:class:`~repro.storage.stores.PrefixedStore`,
+        the shard router) don't pay a full scan per prefix.
+        """
+        return (key for key in self.keys() if key.startswith(prefix))
 
     def total_bytes(self) -> int:
         """Total stored bytes across all objects (for storage-overhead benches)."""
@@ -111,6 +123,10 @@ class InMemoryStore(TransactionalStore):
         with self._lock:
             return iter(list(self._objects))
 
+    def scan(self, prefix: str) -> Iterator[str]:
+        with self._lock:
+            return iter([key for key in self._objects if key.startswith(prefix)])
+
     def size(self, key: str) -> int:
         return len(self.get(key))
 
@@ -137,14 +153,24 @@ class DiskStore(TransactionalStore):
 
     Keys may contain characters that are not filesystem-safe (SeGShare
     paths contain ``/``), so each key is stored under the hex SHA-256 of
-    the key with the original key recorded in a sidecar index file.
+    the key with the original key recorded in a sidecar index file.  The
+    sidecars are read once at construction into an in-memory key index,
+    which backs :meth:`keys` and :meth:`scan` without directory walks.
+
+    Crash consistency: ``os.replace`` makes each file write atomic, but
+    the *directory entry* produced by the rename is not durable until the
+    containing directory is fsynced — a power loss after the rename can
+    resurface the old file contents (or lose a delete).  Every mutation
+    therefore fsyncs the data before the rename and the directory after
+    it.  ``crash_hook`` is called with a site name between the rename (or
+    unlink) and the directory fsync, exactly the window a fault plan
+    wants to die in; the hook simulates the crash by raising.
 
     Thread-safe like :class:`InMemoryStore`: although each individual
-    file write is atomic (``os.replace``), operations that touch the
-    data file *and* its sidecar (put/delete/rename) span two syscalls,
-    and ``keys()`` walks the directory — one lock keeps a concurrent
-    reader from observing a data file whose sidecar is missing.  The
-    lock is a leaf: nothing is acquired while holding it.
+    file write is atomic, operations that touch the data file *and* its
+    sidecar (put/delete/rename) span two syscalls — one lock keeps a
+    concurrent reader from observing a data file whose sidecar is
+    missing.  The lock is a leaf: nothing is acquired while holding it.
     """
 
     _INDEX_SUFFIX = ".key"
@@ -152,18 +178,43 @@ class DiskStore(TransactionalStore):
     def __init__(self, root: str) -> None:
         self.root = root
         self._lock = threading.RLock()
+        self.crash_hook: "Callable[[str], None] | None" = None
         os.makedirs(root, exist_ok=True)
+        self._keys: set[str] = set()
+        for name in os.listdir(root):
+            if not name.endswith(self._INDEX_SUFFIX):
+                continue
+            try:
+                with open(os.path.join(root, name), encoding="utf-8") as fh:
+                    self._keys.add(fh.read())
+            except FileNotFoundError:  # pragma: no cover - racing cleanup
+                continue
 
     def _path(self, key: str) -> str:
         digest = hashlib.sha256(key.encode("utf-8")).hexdigest()
         return os.path.join(self.root, digest)
+
+    def _crashpoint(self, site: str) -> None:
+        if self.crash_hook is not None:
+            self.crash_hook(site)
+
+    def _fsync_dir(self) -> None:
+        fd = os.open(self.root, os.O_RDONLY | getattr(os, "O_DIRECTORY", 0))
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
 
     def _write_atomic(self, path: str, data: bytes) -> None:
         fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as fh:
                 fh.write(data)
+                fh.flush()
+                os.fsync(fh.fileno())
             os.replace(tmp, path)
+            self._crashpoint("diskstore:replace")
+            self._fsync_dir()
         except BaseException:
             with contextlib.suppress(FileNotFoundError):
                 os.remove(tmp)
@@ -174,6 +225,7 @@ class DiskStore(TransactionalStore):
             path = self._path(key)
             self._write_atomic(path, value)
             self._write_atomic(path + self._INDEX_SUFFIX, key.encode("utf-8"))
+            self._keys.add(key)
 
     def get(self, key: str) -> bytes:
         with self._lock:
@@ -194,6 +246,9 @@ class DiskStore(TransactionalStore):
                 os.remove(path + self._INDEX_SUFFIX)
             except FileNotFoundError:
                 pass
+            self._keys.discard(key)
+            self._crashpoint("diskstore:delete")
+            self._fsync_dir()
 
     def exists(self, key: str) -> bool:
         with self._lock:
@@ -201,17 +256,11 @@ class DiskStore(TransactionalStore):
 
     def keys(self) -> Iterator[str]:
         with self._lock:
-            names = [
-                name for name in os.listdir(self.root) if name.endswith(self._INDEX_SUFFIX)
-            ]
-            keys = []
-            for name in names:
-                try:
-                    with open(os.path.join(self.root, name), encoding="utf-8") as fh:
-                        keys.append(fh.read())
-                except FileNotFoundError:  # deleted between listdir and open
-                    continue
-        return iter(keys)
+            return iter(list(self._keys))
+
+    def scan(self, prefix: str) -> Iterator[str]:
+        with self._lock:
+            return iter([key for key in self._keys if key.startswith(prefix)])
 
     def size(self, key: str) -> int:
         with self._lock:
@@ -228,6 +277,11 @@ class DiskStore(TransactionalStore):
                 os.replace(old_path, new_path)
             except FileNotFoundError:
                 raise StorageError(f"no object at key {old!r}") from None
+            self._crashpoint("diskstore:replace")
+            self._fsync_dir()
             self._write_atomic(new_path + self._INDEX_SUFFIX, new.encode("utf-8"))
             with contextlib.suppress(FileNotFoundError):
                 os.remove(old_path + self._INDEX_SUFFIX)
+            self._keys.discard(old)
+            self._keys.add(new)
+            self._fsync_dir()

@@ -7,13 +7,14 @@ separation "adds an extra layer of security and improves performance as
 file, directory, and permission operations are independent of group
 operations" — here it is realized as three key prefixes over one
 untrusted backend, each of which can also be given its own backend (the
-replication setup does that with a shared central repository).
+replication setup does that with a shared central repository), or spread
+across N backends through :class:`repro.store.ShardedStore`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterator
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
 
 from repro.storage.backends import InMemoryStore, UntrustedStore
 
@@ -41,21 +42,35 @@ class PrefixedStore(UntrustedStore):
         return self._inner.exists(self._k(key))
 
     def keys(self) -> Iterator[str]:
-        for key in self._inner.keys():
-            if key.startswith(self._prefix):
-                yield key[len(self._prefix) :]
+        # scan() lets an indexed backend answer from its key index instead
+        # of filtering every other namespace's keys through this view.
+        for key in self._inner.scan(self._prefix):
+            yield key[len(self._prefix) :]
+
+    def scan(self, prefix: str) -> Iterator[str]:
+        for key in self._inner.scan(self._prefix + prefix):
+            yield key[len(self._prefix) :]
 
     def size(self, key: str) -> int:
         return self._inner.size(self._k(key))
 
+    def rename(self, old: str, new: str) -> None:
+        self._inner.rename(self._k(old), self._k(new))
+
 
 @dataclass
 class StoreSet:
-    """The three stores a SeGShare deployment uses."""
+    """The three stores a SeGShare deployment uses.
+
+    ``router`` is set when all three are views over one shared physical
+    store (a central repository or a shard fan-out); backup and stats
+    code then addresses that store once instead of per member.
+    """
 
     content: UntrustedStore
     group: UntrustedStore
     dedup: UntrustedStore
+    router: UntrustedStore | None = field(default=None, compare=False)
 
     @classmethod
     def in_memory(cls) -> "StoreSet":
@@ -69,4 +84,12 @@ class StoreSet:
             content=PrefixedStore(backend, "content/"),
             group=PrefixedStore(backend, "group/"),
             dedup=PrefixedStore(backend, "dedup/"),
+            router=backend,
         )
+
+    @classmethod
+    def sharded(cls, backends: Sequence[UntrustedStore]) -> "StoreSet":
+        """Three prefixed views over an N-way shard router."""
+        from repro.store import ShardedStore
+
+        return cls.over(ShardedStore(backends))

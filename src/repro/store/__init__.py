@@ -1,0 +1,13 @@
+"""repro.store — sharded multi-backend routing and the storage engine.
+
+The host-visible half is :class:`ShardedStore`, an
+:class:`~repro.storage.backends.UntrustedStore` that spreads objects over
+N backends with deterministic placement.  The trusted half — the
+transactional :class:`~repro.store.engine.StorageEngine` — lives in
+:mod:`repro.store.engine` and is imported by enclave code only (it is
+part of the measured TCB; see ``analysis/boundary.toml``).
+"""
+
+from repro.store.sharded import ShardedStore
+
+__all__ = ["ShardedStore"]

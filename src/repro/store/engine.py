@@ -1,0 +1,541 @@
+"""The transactional storage engine — persistence owned end-to-end.
+
+Every paper invariant behind "a mutation is a small metadata write"
+(Section IV-B's store split, Section V-E's per-batch rollback guards)
+used to be re-assembled by hand at each call site: open a journal batch,
+begin guard batches, discard cache entries before writes, flush guard
+nodes, commit, re-anchor on abort.  The engine makes the whole protocol
+one object.  A :class:`StorageEngine` is the only component that touches
+untrusted state, and its :meth:`StorageEngine.transaction` span is the
+only way to mutate it::
+
+    Transaction span (engine API)
+      |- write-ahead journal batch          repro.core.journal
+      |- rollback-guard node/anchor batch   repro.core.rollback
+      |- metadata-cache write-through       repro.core.cache
+      `- DeferredStore write buffers        this module
+    ProtectedFs mounts                      repro.sgx.protected_fs
+      `- DeferredStore -> JournaledStore -> raw backend
+                                            (InMemoryStore / DiskStore /
+                                             repro.store.ShardedStore)
+
+On commit the engine flushes each store's buffered puts as one batched
+group — one simulated ocall round-trip per store instead of one per
+object — under the same ``clock.exclusive("journal-commit")`` critical
+section that already serializes the anchor and commit-marker writes.  On
+abort the buffers are discarded, the undo log restores pre-images, and
+the cache is cleared before the guards re-anchor.  The seglint
+``txn-discipline`` rule enforces at lint time what this module enforces
+by construction.
+
+This module is enclave code (``TCB_MODULES``); the host-side half of
+``repro.store`` is the shard router in :mod:`repro.store.sharded`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from collections import OrderedDict
+from dataclasses import asdict, dataclass
+from typing import TYPE_CHECKING, Iterator
+
+from repro.core.journal import (
+    TAG_CONTENT,
+    TAG_DEDUP,
+    TAG_GROUP,
+    JournaledStore,
+    WriteAheadJournal,
+)
+from repro.errors import EnclaveCrashed, ReproError, StorageError
+from repro.storage.backends import UntrustedStore
+from repro.storage.stores import StoreSet
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.cache import MetadataCache
+    from repro.core.dedup import DedupStore
+    from repro.core.rollback import FlatStoreGuard, RollbackGuard
+    from repro.sgx.enclave import Enclave
+
+#: Values above this are never buffered: the enclave streams large
+#: content chunk-by-chunk precisely to keep memory constant, and the
+#: buffer must not undo that.  4 KiB chunk ciphertexts, PFS metadata,
+#: guard nodes, and ACLs all fit.
+MAX_BUFFERED_VALUE = 8192
+
+#: Total buffered bytes per store before further puts write through.
+BUFFER_BUDGET = 256 * 1024
+
+
+@dataclass
+class TransactionStats:
+    """Counters over the engine's transaction lifecycle."""
+
+    commits: int = 0
+    aborts: int = 0
+    puts: int = 0  # store-level puts issued inside transactions
+    flush_groups: int = 0  # non-empty buffered groups applied at commits
+    flushed_ops: int = 0  # buffered ops those groups carried
+    last_commit_puts: int = 0
+    last_flush_ops: int = 0
+    bypass_writes: int = 0  # oversize/over-budget writes applied immediately
+    write_backs: int = 0  # cache entries applied at commit
+    pending_bytes_peak: int = 0  # high-water mark of one store's buffer
+
+    def snapshot(self) -> dict:
+        return asdict(self)
+
+
+class DeferredStore(UntrustedStore):
+    """Write-buffering store view, armed for the span of one transaction.
+
+    While armed, puts and deletes land in an ordered in-enclave overlay
+    (EPC-charged) and reads consult the overlay first; ``flush()``
+    applies the whole overlay to the inner store as one group.  Unarmed,
+    every operation passes straight through.
+
+    The class owns its own ocall accounting (``owns_ocall_accounting``
+    makes :class:`~repro.sgx.protected_fs.ProtectedFs` skip its per-call
+    charge): unarmed operations cost one round-trip each, exactly like
+    the un-deferred stack did, while an armed flush charges one
+    round-trip for the entire group — the batching the transaction pays
+    for.
+    """
+
+    owns_ocall_accounting = True
+
+    def __init__(
+        self,
+        inner: UntrustedStore,
+        enclave: "Enclave | None" = None,
+        stats: TransactionStats | None = None,
+        max_value_bytes: int = MAX_BUFFERED_VALUE,
+        buffer_bytes: int = BUFFER_BUDGET,
+    ) -> None:
+        self.inner = inner
+        self._enclave = enclave
+        self._stats = stats
+        self._max_value = max_value_bytes
+        self._budget = buffer_bytes
+        self._armed = False
+        #: key -> value, or None for a buffered delete (tombstone).
+        self._pending: "OrderedDict[str, bytes | None]" = OrderedDict()
+        self._pending_bytes = 0
+
+    # -- accounting ----------------------------------------------------------
+
+    def _charge(self) -> None:
+        if self._enclave is not None:
+            self._enclave.ocall(account="pfs-io")
+
+    def _entry_bytes(self, key: str) -> int:
+        value = self._pending.get(key)
+        return len(value) if value is not None else 0
+
+    def _set_pending(self, key: str, value: bytes | None) -> None:
+        delta = (len(value) if value is not None else 0) - self._entry_bytes(key)
+        self._pending.pop(key, None)
+        self._pending[key] = value
+        self._account(delta)
+
+    def _drop_pending(self, key: str) -> None:
+        if key in self._pending:
+            self._account(-self._entry_bytes(key))
+            del self._pending[key]
+
+    def _account(self, delta: int) -> None:
+        self._pending_bytes += delta
+        if self._enclave is not None:
+            epc = self._enclave.platform.epc
+            if delta > 0:
+                epc.alloc(delta)
+            elif delta < 0:
+                epc.free(-delta)
+        if self._stats is not None and self._pending_bytes > self._stats.pending_bytes_peak:
+            self._stats.pending_bytes_peak = self._pending_bytes
+
+    # -- transaction hooks ---------------------------------------------------
+
+    def arm(self) -> None:
+        self._armed = True
+
+    def flush(self) -> int:
+        """Apply the overlay to the inner store as one group; return op count.
+
+        A fault part-way leaves the inner store partially updated — the
+        journal's pre-images (recorded by the JournaledStore underneath
+        as each op lands) are what repair it, exactly as for un-deferred
+        writes.
+        """
+        pending = self._pending
+        try:
+            for key, value in pending.items():
+                if value is None:
+                    # The key may have existed only in the overlay.
+                    if self.inner.exists(key):
+                        self.inner.delete(key)
+                else:
+                    self.inner.put(key, value)
+        finally:
+            self._account(-self._pending_bytes)
+            self._pending = OrderedDict()
+            self._armed = False
+        if pending:
+            self._charge()  # the whole group is one round-trip
+        return len(pending)
+
+    def discard(self) -> None:
+        """Drop the overlay without applying it (transaction abort)."""
+        self._account(-self._pending_bytes)
+        self._pending = OrderedDict()
+        self._armed = False
+
+    # -- UntrustedStore ------------------------------------------------------
+
+    def put(self, key: str, value: bytes) -> None:
+        if self._stats is not None and self._armed:
+            self._stats.puts += 1
+        if not self._armed:
+            self.inner.put(key, value)
+            self._charge()
+            return
+        fits = len(value) <= self._max_value and (
+            self._pending_bytes - self._entry_bytes(key) + len(value) <= self._budget
+        )
+        if fits:
+            self._set_pending(key, bytes(value))
+            return
+        # Oversize or over budget: write through now — the enclave never
+        # buffers unbounded bytes (the constant-memory claim).  Any
+        # overlay entry for the key is dropped first so it cannot shadow
+        # the newer stored value.
+        self._drop_pending(key)
+        self.inner.put(key, value)
+        self._charge()
+        if self._stats is not None:
+            self._stats.bypass_writes += 1
+
+    def get(self, key: str) -> bytes:
+        if self._armed and key in self._pending:
+            value = self._pending[key]
+            if value is None:
+                raise StorageError(f"no object at key {key!r}")
+            return value
+        value = self.inner.get(key)
+        self._charge()
+        return value
+
+    def delete(self, key: str) -> None:
+        if not self._armed:
+            self.inner.delete(key)
+            self._charge()
+            return
+        if key in self._pending:
+            if self._pending[key] is None:
+                raise StorageError(f"no object at key {key!r}")
+            self._set_pending(key, None)
+            return
+        if not self.inner.exists(key):
+            raise StorageError(f"no object at key {key!r}")
+        self._set_pending(key, None)
+
+    def rename(self, old: str, new: str) -> None:
+        if not self._armed:
+            self.inner.rename(old, new)
+            self._charge()
+            return
+        self.put(new, self.get(old))
+        self.delete(old)
+
+    def exists(self, key: str) -> bool:
+        if self._armed and key in self._pending:
+            return self._pending[key] is not None
+        return self.inner.exists(key)
+
+    def keys(self) -> Iterator[str]:
+        if not self._armed or not self._pending:
+            return self.inner.keys()
+        merged = set(self.inner.keys())
+        for key, value in self._pending.items():
+            if value is None:
+                merged.discard(key)
+            else:
+                merged.add(key)
+        return iter(merged)
+
+    def scan(self, prefix: str) -> Iterator[str]:
+        if not self._armed or not self._pending:
+            return self.inner.scan(prefix)
+        merged = set(self.inner.scan(prefix))
+        for key, value in self._pending.items():
+            if not key.startswith(prefix):
+                continue
+            if value is None:
+                merged.discard(key)
+            else:
+                merged.add(key)
+        return iter(merged)
+
+    def size(self, key: str) -> int:
+        if self._armed and key in self._pending:
+            value = self._pending[key]
+            if value is None:
+                raise StorageError(f"no object at key {key!r}")
+            return len(value)
+        return self.inner.size(key)
+
+    def total_bytes(self) -> int:
+        if not self._armed or not self._pending:
+            return self.inner.total_bytes()
+        return sum(self.size(key) for key in self.keys())
+
+
+class StorageEngine:
+    """Owns the journal, guards, cache, and deferred stores of one enclave.
+
+    ``backends`` is what the ProtectedFs mounts sit on: with a journal,
+    each store is wrapped ``DeferredStore -> JournaledStore -> raw``;
+    without one (the bench baseline), the raw stores pass through and
+    :meth:`transaction` is free.  ``raw`` keeps the unwrapped stores for
+    stats, sealed slots, and the journal's own marker/entry keys.
+    """
+
+    def __init__(
+        self,
+        stores: StoreSet,
+        journal: WriteAheadJournal | None = None,
+        cache: "MetadataCache | None" = None,
+        guard_batching: bool = True,
+        enclave: "Enclave | None" = None,
+    ) -> None:
+        self.raw = stores
+        self.journal = journal
+        self.cache = cache
+        self._enclave = enclave
+        self._guard_batching = guard_batching and journal is not None
+        self.guard: "RollbackGuard | None" = None
+        self.group_guard: "FlatStoreGuard | None" = None
+        self.dedup: "DedupStore | None" = None
+        self.stats = TransactionStats()
+        #: (namespace, key) -> value; deferred cache write-through,
+        #: last write per key wins.
+        self._write_backs: "OrderedDict[tuple[str, str], bytes]" = OrderedDict()
+        if journal is not None and cache is not None:
+            # Belt and braces: ANY undo-log restore — including recovery
+            # paths that bypass transaction() — drops the cache before
+            # restored bytes can coexist with stale entries.
+            journal.on_restore = cache.clear
+        self._deferred: tuple[DeferredStore, ...] = ()
+        if journal is not None:
+            self._deferred = tuple(
+                DeferredStore(
+                    JournaledStore(store, journal, tag), enclave=enclave, stats=self.stats
+                )
+                for store, tag in (
+                    (stores.content, TAG_CONTENT),
+                    (stores.group, TAG_GROUP),
+                    (stores.dedup, TAG_DEDUP),
+                )
+            )
+            self.backends = StoreSet(*self._deferred)
+        else:
+            self.backends = stores
+
+    def attach_dedup(self, dedup: "DedupStore | None") -> None:
+        """The dedup index must be re-read after an undo-log restore."""
+        self.dedup = dedup
+
+    # -- the transaction span ------------------------------------------------
+
+    @contextlib.contextmanager
+    def transaction(self, label: str) -> Iterator[None]:
+        """Run a multi-key mutation as one all-or-nothing unit.
+
+        Without a journal this is free.  With one, the span carries the
+        undo-journal batch, the guard node/anchor batches, the deferred
+        write buffers, and the cache write-backs: a crash inside it is
+        rolled back on restart; a non-crash failure is rolled back
+        immediately (pre-images restored, cache cleared, guards
+        re-anchored).  Nested transactions join the outer one.
+        """
+        journal = self.journal
+        if journal is None or journal.active:
+            yield
+            return
+        journal.begin(label)
+        self._begin_guard_batches()
+        for store in self._deferred:
+            store.arm()
+        puts_before = self.stats.puts
+        try:
+            yield
+            # Commit inside the try: a fault while persisting the batched
+            # guard nodes or flushing the buffers rolls the whole
+            # transaction back like any other fault.  Guard batches commit
+            # first so their node/anchor writes join the buffered group.
+            with self._commit_point():
+                self._commit_guard_batches()
+                self._flush_deferred()
+        except EnclaveCrashed:
+            # The enclave is gone; restart recovery replays the undo log.
+            raise
+        except BaseException:
+            self._abort_guard_batches()
+            for store in self._deferred:
+                store.discard()
+            self._write_backs.clear()
+            try:
+                journal.rollback()
+                # Re-anchor under the journal's recording: the anchor is a
+                # multi-key protected file, and a crash tearing its rewrite
+                # must rewind to the restored state on restart.
+                journal.resume_recording()
+                self._reanchor_guards()
+                journal.clear()
+            except EnclaveCrashed:
+                raise
+            except ReproError as rollback_exc:
+                # State may be inconsistent; refuse further mutations until
+                # a restart re-runs the (still persisted) undo log.
+                journal.poison(
+                    f"rollback of transaction {label!r} failed: {rollback_exc}"
+                )
+            self.stats.aborts += 1
+            raise
+        else:
+            with self._commit_point():
+                journal.commit()
+            self._apply_write_backs()
+            self.stats.commits += 1
+            self.stats.last_commit_puts = self.stats.puts - puts_before
+
+    def _commit_point(self) -> "contextlib.AbstractContextManager[None]":
+        """The journal's commit record is one serial resource.
+
+        Committing the batched guard nodes, flushing the write buffers
+        (with their counter-incrementing anchor), and persisting the
+        commit marker form the transaction's critical section: concurrent
+        requests rendezvous here, so on a parallel clock overlapping
+        writers pay each other's commit latency while readers stay
+        unaffected.  On a serial clock this is a no-op.
+        """
+        if self._enclave is None or self._enclave.platform.clock is None:
+            return contextlib.nullcontext()
+        return self._enclave.platform.clock.exclusive(
+            "journal-commit", account="commit-wait"
+        )
+
+    def _begin_guard_batches(self) -> None:
+        """Defer guard node/anchor persistence until the transaction commits.
+
+        Only safe under an open undo-journal batch: an abort rolls back
+        the data writes the pending nodes describe, so dropping them is
+        consistent.  Disabled entirely with ``guard_batching=False`` (the
+        benchmark baseline).
+        """
+        if not self._guard_batching:
+            return
+        if self.guard is not None:
+            self.guard.begin_batch()
+        if self.group_guard is not None:
+            self.group_guard.begin_batch()
+
+    def _commit_guard_batches(self) -> None:
+        if self.guard is not None:
+            self.guard.commit_batch()
+        if self.group_guard is not None:
+            self.group_guard.commit_batch()
+
+    def _abort_guard_batches(self) -> None:
+        if self.guard is not None:
+            self.guard.abort_batch()
+        if self.group_guard is not None:
+            self.group_guard.abort_batch()
+
+    def _reanchor_guards(self) -> None:
+        """Resync in-memory state after an undo-log restore.
+
+        The restore brought back the pre-batch anchors byte-for-byte, but
+        the monotonic counter kept the increments the aborted transaction
+        made — the anchors must be rewritten against the current counter
+        value.  The dedup index cache likewise still holds the aborted
+        transaction's refcounts and must follow the restored bytes.
+
+        Ordering matters: pending guard batches are dropped and the
+        metadata cache cleared FIRST — re-anchoring reads storage, and a
+        stale cached entry must never feed the new anchor.
+        """
+        self._abort_guard_batches()
+        if self.cache is not None:
+            self.cache.clear()
+        if self.dedup is not None:
+            self.dedup.reload_index()
+        if self.guard is not None:
+            self.guard.accept_current_state()
+        if self.group_guard is not None:
+            self.group_guard.accept_current_state()
+
+    def _flush_deferred(self) -> None:
+        total = 0
+        for store in self._deferred:
+            ops = store.flush()
+            if ops:
+                self.stats.flush_groups += 1
+                self.stats.flushed_ops += ops
+            total += ops
+        self.stats.last_flush_ops = total
+
+    def _apply_write_backs(self) -> None:
+        if not self._write_backs:
+            return
+        pending, self._write_backs = self._write_backs, OrderedDict()
+        if self.cache is not None:
+            self.cache.apply(
+                (namespace, key, value)
+                for (namespace, key), value in pending.items()
+            )
+            self.stats.write_backs += len(pending)
+
+    # -- cache facade --------------------------------------------------------
+    #
+    # Callers never talk to the MetadataCache directly: reads go through
+    # lookup/cached/fill, writers pair invalidate (before the store
+    # mutation) with write_back (after it).  Inside a transaction the
+    # write-through is deferred to commit; an abort clears the whole cache
+    # via journal.on_restore, so read-path fills stay safe mid-span.
+
+    def lookup(self, namespace: str, key: str) -> bytes | None:
+        if self.cache is None:
+            return None
+        return self.cache.get(namespace, key)
+
+    def cached(self, namespace: str, key: str) -> bool:
+        return self.cache is not None and self.cache.contains(namespace, key)
+
+    def fill(self, namespace: str, key: str, value: bytes) -> None:
+        """Read-path insertion of a just-verified value."""
+        if self.cache is not None:
+            self.cache.put(namespace, key, value)
+
+    def invalidate(self, namespace: str, key: str) -> None:
+        """Drop the entry before mutating: if the write or guard update
+        faults part-way, the cache must not keep serving the old value
+        over now-divergent storage.  A deferred write-back for the key is
+        dropped too — a write-then-delete inside one transaction must not
+        resurrect the entry at commit."""
+        self._write_backs.pop((namespace, key), None)
+        if self.cache is not None:
+            self.cache.discard(namespace, key)
+
+    def write_back(self, namespace: str, key: str, value: bytes) -> None:
+        """Write-through of a value just persisted by the caller.
+
+        Deferred to commit while a transaction is open (the store write
+        it mirrors is itself buffered); immediate otherwise.
+        """
+        if self.cache is None:
+            return
+        if self.journal is not None and self.journal.active:
+            self._write_backs.pop((namespace, key), None)
+            self._write_backs[(namespace, key)] = value
+        else:
+            self.cache.put(namespace, key, value)

@@ -1,4 +1,4 @@
-"""journal-batch fixtures: mutators must run under manager.batch()."""
+"""txn-discipline fixtures: mutators must run under manager.transaction()."""
 
 
 class Handler:
@@ -12,7 +12,7 @@ class Handler:
 
     def handle(self, op):
         if op in ("PUT", "RM"):
-            with self._manager.batch(op):
+            with self._manager.transaction(op):
                 return self._dispatch(op)
         return self._dispatch(op)
 

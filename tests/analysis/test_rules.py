@@ -93,42 +93,26 @@ def test_nonct_compare_passes_ct_and_length_checks(findings):
     assert not {s for s in flagged if s.startswith("proj.enclave.ct_ok")}
 
 
-# -- cache-discard -----------------------------------------------------------
+# -- txn-discipline ----------------------------------------------------------
 
 
-def test_cache_discard_flags_write_without_discard(findings):
-    assert "proj.enclave.cachemgr:CachedStore.write_bad" in symbols(
-        findings, "cache-discard"
-    )
-
-
-def test_cache_discard_passes_protocol_and_cacheless_classes(findings):
-    flagged = symbols(findings, "cache-discard")
-    assert "proj.enclave.cachemgr:CachedStore.write_good" not in flagged
-    assert "proj.enclave.cachemgr:CachedStore.remove_waived" not in flagged
-    assert "proj.enclave.cachemgr:PlainStore.write" not in flagged
-
-
-# -- journal-batch -----------------------------------------------------------
-
-
-def test_journal_batch_flags_exposed_unbatched_mutation(findings):
+def test_txn_discipline_flags_exposed_untransacted_mutation(findings):
     assert "proj.enclave.journaled:Handler.startup" in symbols(
-        findings, "journal-batch"
+        findings, "txn-discipline"
     )
 
 
-def test_journal_batch_covers_wrapper_and_delegate_cycle(findings):
-    flagged = symbols(findings, "journal-batch")
+def test_txn_discipline_covers_wrapper_and_delegate_cycle(findings):
+    flagged = symbols(findings, "txn-discipline")
     assert "proj.enclave.journaled:Handler.put_dir" not in flagged
     # Self-named delegate (handler method -> acs method) must not wedge
     # the exposure fixpoint into a false positive.
     assert "proj.enclave.journaled:Handler.set_permission" not in flagged
 
 
-def test_journal_batch_honors_exempt_list(findings):
+def test_txn_discipline_honors_exempt_list(findings):
     assert "proj.enclave.journaled:Handler.migrate" not in symbols(
-        findings, "journal-batch"
+        findings, "txn-discipline"
     )
 
 

@@ -1,10 +1,11 @@
-"""Store sets and prefixed views."""
+"""Store sets, prefixed views, and the shard router."""
 
 import pytest
 
 from repro.errors import StorageError
-from repro.storage import InMemoryStore, StoreSet
+from repro.storage import DiskStore, InMemoryStore, StoreSet
 from repro.storage.stores import PrefixedStore
+from repro.store import ShardedStore
 
 
 class TestPrefixedStore:
@@ -33,6 +34,25 @@ class TestPrefixedStore:
         with pytest.raises(StorageError):
             view.get("x")
 
+    def test_scan_composes_prefixes(self):
+        backend = InMemoryStore()
+        view = PrefixedStore(backend, "p/")
+        view.put("a/1", b"1")
+        view.put("a/2", b"2")
+        view.put("b/1", b"3")
+        backend.put("other/a/9", b"4")
+        assert sorted(view.scan("a/")) == ["a/1", "a/2"]
+        assert sorted(view.scan("")) == ["a/1", "a/2", "b/1"]
+
+    def test_rename_stays_in_namespace(self):
+        backend = InMemoryStore()
+        view = PrefixedStore(backend, "p/")
+        view.put("old", b"v")
+        view.rename("old", "new")
+        assert view.get("new") == b"v"
+        assert not view.exists("old")
+        assert sorted(backend.keys()) == ["p/new"]
+
 
 class TestStoreSet:
     def test_in_memory_are_independent(self):
@@ -52,3 +72,111 @@ class TestStoreSet:
         # the replication deployment model.
         other = StoreSet.over(backend)
         assert other.group.get("k") == b"g"
+
+    def test_over_records_the_router(self):
+        backend = InMemoryStore()
+        assert StoreSet.over(backend).router is backend
+        assert StoreSet.in_memory().router is None
+
+    def test_sharded_routes_all_members(self):
+        shards = [InMemoryStore() for _ in range(3)]
+        stores = StoreSet.sharded(shards)
+        assert isinstance(stores.router, ShardedStore)
+        stores.content.put("k", b"c")
+        stores.group.put("k", b"g")
+        stores.dedup.put("k", b"d")
+        spread = {key for shard in shards for key in shard.keys()}
+        assert spread == {"content/k", "group/k", "dedup/k"}
+        assert stores.content.get("k") == b"c"
+
+
+class TestShardedStore:
+    def test_requires_a_backend(self):
+        with pytest.raises(ValueError):
+            ShardedStore([])
+
+    def test_placement_is_deterministic_and_content_independent(self):
+        keys = [f"key-{i}" for i in range(64)]
+        a = ShardedStore([InMemoryStore() for _ in range(4)])
+        b = ShardedStore([InMemoryStore() for _ in range(4)])
+        assert [a.shard_index(k) for k in keys] == [b.shard_index(k) for k in keys]
+        for k in keys:
+            a.put(k, k.encode())
+        # Every key is readable through the router and lives on exactly
+        # the shard placement names.
+        for k in keys:
+            assert a.get(k) == k.encode()
+            holders = [i for i, s in enumerate(a._backends) if s.exists(k)]
+            assert holders == [a.shard_index(k)]
+        # 64 HMAC-placed keys over 4 shards leave no shard empty.
+        assert all(a.stats()["objects"])
+
+    def test_store_contract_across_shards(self):
+        store = ShardedStore([InMemoryStore() for _ in range(3)])
+        store.put("a", b"1")
+        store.put("b", b"22")
+        assert store.exists("a") and not store.exists("ghost")
+        assert sorted(store.keys()) == ["a", "b"]
+        assert store.size("b") == 2
+        assert store.total_bytes() == 3
+        store.delete("a")
+        with pytest.raises(StorageError):
+            store.get("a")
+
+    def test_scan_chains_shards(self):
+        store = ShardedStore([InMemoryStore() for _ in range(4)])
+        for i in range(16):
+            store.put(f"p/{i}", b"x")
+        store.put("q/0", b"y")
+        assert sorted(store.scan("p/")) == sorted(f"p/{i}" for i in range(16))
+
+    def test_rename_within_and_across_shards(self):
+        store = ShardedStore([InMemoryStore() for _ in range(4)])
+        # Find one same-shard and one cross-shard pair deterministically.
+        names = [f"n{i}" for i in range(32)]
+        same = next(
+            (a, b)
+            for a in names
+            for b in names
+            if a != b and store.shard_index(a) == store.shard_index(b)
+        )
+        cross = next(
+            (a, b)
+            for a in names
+            for b in names
+            if store.shard_index(a) != store.shard_index(b)
+        )
+        for old, new in (same, cross):
+            store.put(old, b"moved")
+            store.rename(old, new)
+            assert store.get(new) == b"moved"
+            assert not store.exists(old)
+            store.delete(new)
+
+    def test_snapshot_restore_round_trip(self):
+        store = ShardedStore([InMemoryStore() for _ in range(3)])
+        store.put("a", b"1")
+        snapshot = store.snapshot()
+        store.put("a", b"2")
+        store.put("b", b"3")
+        store.restore(snapshot)
+        assert store.get("a") == b"1"
+        assert not store.exists("b")
+        with pytest.raises(StorageError):
+            store.restore(snapshot[:1])  # shard-count mismatch
+
+    def test_snapshot_requires_capable_shards(self, tmp_path):
+        store = ShardedStore([InMemoryStore(), DiskStore(str(tmp_path / "d"))])
+        with pytest.raises(StorageError):
+            store.snapshot()
+
+    def test_stats_counts_per_shard_ops(self):
+        store = ShardedStore([InMemoryStore() for _ in range(2)])
+        store.put("k", b"abc")
+        store.get("k")
+        store.delete("k")
+        stats = store.stats()
+        assert stats["shards"] == 2
+        hot = stats["ops"][store.shard_index("k")]
+        assert (hot["puts"], hot["gets"], hot["deletes"], hot["put_bytes"]) == (1, 1, 1, 3)
+        assert stats["objects"] == [0, 0]
