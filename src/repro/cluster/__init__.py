@@ -1,0 +1,149 @@
+"""Replicated multi-enclave cluster serving one shared repository.
+
+The paper's replication section (V-F) makes N enclaves share SK_r over
+one central repository; this package turns that primitive into an
+operable cluster: a front door that routes requests by group affinity
+(:mod:`repro.cluster.placement`), detects replica failure via
+heartbeats, fails over mid-request through the shared undo journal
+(:mod:`repro.cluster.router`), and runs an attested join/evict
+membership protocol (:mod:`repro.cluster.membership`).  See
+docs/CLUSTER.md for the topology and the failover sequence.
+
+:func:`build_cluster` wires the whole thing: one shared backend, one
+virtual clock, one counter quorum, N platforms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict
+
+from repro.cluster.driver import ClusterDriver
+from repro.cluster.membership import ClusterMembership
+from repro.cluster.placement import PlacementRing, path_affinity, request_affinity
+from repro.cluster.router import SeGShareCluster
+from repro.core.enclave_app import SeGShareOptions
+from repro.core.server import SeGShareServer
+from repro.netsim import Link, NetworkEnv, ParallelClock, SimClock
+from repro.netsim.network import AZURE_WAN
+from repro.pki import CertificateAuthority
+from repro.sgx import AttestationService, SgxPlatform
+from repro.sgx.attestation import QuotingEnclave
+from repro.storage.backends import InMemoryStore
+from repro.storage.stores import StoreSet
+
+__all__ = [
+    "ClusterDeployment",
+    "ClusterDriver",
+    "ClusterMembership",
+    "PlacementRing",
+    "SeGShareCluster",
+    "build_cluster",
+    "cluster_options",
+    "path_affinity",
+    "request_affinity",
+]
+
+
+def cluster_options(base: SeGShareOptions | None = None) -> SeGShareOptions:
+    """Force the invariants replicated serving depends on.
+
+    * ``journal=True`` + ``rollback="whole_fs"`` + ``counter_kind="rote"``
+      — failover recovers in-flight batches through the shared journal
+      and verifies freshness against the shared quorum.
+    * ``metadata_cache_bytes=None`` and ``enable_dedup=False`` — replicas
+      mutate the repository behind each other's backs, so enclave-
+      resident caches and the in-memory dedup index would go stale
+      (cross-replica coherence is out of scope; see docs/PERF.md).
+    * ``quota_bytes=None`` — a quota refusal is the one handler path
+      that *commits* its transaction yet answers with an error, which
+      would break the stamp's "committed iff OK" failover contract.
+    """
+    base = base or SeGShareOptions(rollback_buckets=8)
+    return replace(
+        base,
+        journal=True,
+        rollback="whole_fs",
+        counter_kind="rote",
+        metadata_cache_bytes=None,
+        enable_dedup=False,
+        quota_bytes=None,
+    )
+
+
+@dataclass
+class ClusterDeployment:
+    """A wired cluster: front door, named servers, shared substrate."""
+
+    cluster: SeGShareCluster
+    servers: Dict[str, SeGShareServer]
+    backend: InMemoryStore
+    env: NetworkEnv
+    ca: CertificateAuthority
+    attestation: AttestationService
+
+    def server(self, name: str) -> SeGShareServer:
+        return self.servers[name]
+
+
+def build_cluster(
+    replicas: int = 3,
+    parallel: bool = False,
+    options: SeGShareOptions | None = None,
+    ca: CertificateAuthority | None = None,
+    qe_key_bits: int = 1024,
+    seed: int = 0,
+) -> ClusterDeployment:
+    """Stand up ``replicas`` SeGShare servers behind one front door.
+
+    Everything that must be shared is shared exactly once: the backend
+    (all stores are prefixed views over it), the virtual clock (one
+    timeline, parallel tracks when ``parallel=True``), and the ROTE
+    counter quorum (the root's service is installed on every platform
+    *before* its join, so ``cluster_verify_anchors`` checks against the
+    same quorum the anchors were counted on — a mis-wired quorum fails
+    the join instead of corrupting freshness).  ``qe_key_bits`` trims
+    quoting-enclave RSA keygen for test builds.
+    """
+    if replicas < 1:
+        raise ValueError("a cluster needs at least one replica")
+    base = cluster_options(options)
+    ca = ca or CertificateAuthority(key_bits=1024)
+    service = AttestationService()
+    backend = InMemoryStore()
+    clock: SimClock = ParallelClock() if parallel else SimClock()
+    cluster = SeGShareCluster(clock, ClusterMembership(service))
+    servers: Dict[str, SeGShareServer] = {}
+    rote = None
+    for i in range(replicas):
+        name = f"r{i}"
+        platform = SgxPlatform(clock=clock)
+        platform.quoting_enclave = QuotingEnclave(platform, key_bits=qe_key_bits)
+        if i > 0:
+            platform._segshare_counter_rote = rote
+        env = NetworkEnv(clock=clock, link=Link(clock, AZURE_WAN, seed=seed * 101 + i))
+        server = SeGShareServer(
+            env,
+            ca.public_key,
+            stores=StoreSet.over(backend),
+            options=replace(base, replica=(i > 0)),
+            attestation_service=service,
+            platform=platform,
+        )
+        if i == 0:
+            # Created lazily while the root built its guards; every later
+            # platform gets the same service installed above.
+            rote = platform._segshare_counter_rote
+        service.register_platform(
+            platform.platform_id, platform.quoting_enclave.attestation_public_key
+        )
+        servers[name] = server
+        cluster.admit(name, server)
+    return ClusterDeployment(
+        cluster=cluster,
+        servers=servers,
+        backend=backend,
+        env=servers["r0"].env,
+        ca=ca,
+        attestation=service,
+    )

@@ -1,0 +1,214 @@
+"""The cluster front door: affinity routing and mid-request failover.
+
+``SeGShareCluster`` stands in front of N :class:`SeGShareServer`
+replicas serving one shared repository.  Each request is routed to the
+replica owning its affinity (see :mod:`repro.cluster.placement`) and
+executed through that replica's switchless worker pool — the same
+driver model the concurrency benchmarks use, with TLS-into-enclave
+fronting unchanged for real clients.
+
+Failover is exactly-once.  Before every routed request the front door
+arms the target enclave with a request token (``cluster_begin_request``);
+the storage engine commits the PAE-sealed token atomically with the
+request's journal batch.  When a replica dies mid-request:
+
+1. the heartbeat monitor confirms the failure (charging the detection
+   timeout to the virtual clock),
+2. the dead member is evicted from the placement ring,
+3. a successor runs ``cluster_takeover_recover`` — the crashed peer's
+   uncommitted batch rolls back through the shared undo journal, and
+4. the successor reads the last *committed* stamp: if it equals the
+   in-flight token the request took effect and an OK response is
+   synthesized; otherwise the batch rolled back and the request is
+   transparently re-routed and re-executed on the survivors.
+
+Either way the client sees exactly one execution.  The front door is
+untrusted: it never holds keys, and misrouting or spurious eviction
+costs availability, never integrity (any replica can serve any request,
+and the guards catch stale state).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict
+
+from repro.cluster.membership import ClusterMembership
+from repro.cluster.placement import path_affinity, request_affinity
+from repro.core.requests import Request, Response
+from repro.core.server import SeGShareServer
+from repro.errors import EnclaveCrashed, MembershipError, RetryPolicy
+from repro.netsim import HeartbeatMonitor
+from repro.netsim.clock import SimClock
+
+
+class SeGShareCluster:
+    """Group-affinity router with replica failover over one repository."""
+
+    def __init__(
+        self,
+        clock: SimClock | None,
+        membership: ClusterMembership,
+        heartbeat_interval: float = 0.025,
+        miss_threshold: int = 3,
+    ) -> None:
+        self._clock = clock
+        self.membership = membership
+        self.heartbeats = HeartbeatMonitor(
+            clock, interval=heartbeat_interval, miss_threshold=miss_threshold
+        )
+        self._seq = 0
+        #: Virtual completion time of the most recent routed request
+        #: (closed-loop drivers schedule the client's next arrival here).
+        self.last_completion = 0.0
+        # Routing/failover counters, merged into SeGShareServer.stats().
+        self.requests_routed = 0
+        self.routed_by_member: Dict[str, int] = {}
+        self.joins = 0
+        self.evictions = 0
+        self.failovers = 0
+        self.takeovers_recovered = 0
+        self.completed_by_takeover = 0
+
+    # -- membership ----------------------------------------------------------
+
+    def admit(
+        self,
+        name: str,
+        server: SeGShareServer,
+        retry: RetryPolicy | None = None,
+        retry_seed: int = 0,
+    ) -> bool:
+        """Join ``server`` (idempotent) and start monitoring it."""
+        joined = self.membership.join(name, server, retry=retry, retry_seed=retry_seed)
+        if joined:
+            self.heartbeats.register(name, lambda s=server: s.enclave.alive)
+            server.cluster = self
+            self.joins += 1
+        return joined
+
+    def evict(self, name: str) -> None:
+        """Administratively remove a member (its groups rebalance)."""
+        server = self.membership.evict(name)
+        if server is not None:
+            self.heartbeats.unregister(name)
+            server.cluster = None
+            self.evictions += 1
+
+    # -- request routing -----------------------------------------------------
+
+    def handle(
+        self, user_id: str, request: Request, arrival: float | None = None
+    ) -> Any:
+        """Route one request by its affinity; fails over transparently."""
+        affinity = request_affinity(user_id, request)
+        return self._route(
+            affinity,
+            lambda server: server.enclave.handler.handle(user_id, request),
+            label=request.op.name,
+            arrival=arrival,
+        )
+
+    def put_file(
+        self, user_id: str, path: str, content: bytes, arrival: float | None = None
+    ) -> Response:
+        """Route a streaming upload by the path's affinity."""
+        return self._route(
+            path_affinity(path),
+            lambda server: server.enclave.handler.put_file(user_id, path, content),
+            label="PUT_FILE",
+            arrival=arrival,
+        )
+
+    def _route(
+        self,
+        affinity: str,
+        apply: Callable[[SeGShareServer], Any],
+        label: str,
+        arrival: float | None = None,
+    ) -> Any:
+        token = f"req:{self._seq:08d}"
+        self._seq += 1
+        attempts = 0
+        while True:
+            name = self.membership.ring.owner(affinity)
+            server = self.membership.members[name]
+            self.requests_routed += 1
+            self.routed_by_member[name] = self.routed_by_member.get(name, 0) + 1
+            # Re-executions arrive *after* failover detection, never at
+            # the original arrival time.
+            when = arrival if (arrival is not None and attempts == 0) else (
+                self._clock.now() if self._clock is not None else None
+            )
+
+            def run(target: SeGShareServer = server) -> Any:
+                target.handle.call("cluster_begin_request", token)
+                return apply(target)
+
+            try:
+                response = server.switchless.dispatch(
+                    run, arrival=when, label=f"{label}@{name}"
+                )
+            except EnclaveCrashed:
+                attempts += 1
+                if attempts > len(self.membership.members) + 1:
+                    raise
+                synthesized = self._failover(name, token)
+                if synthesized is not None:
+                    self.last_completion = (
+                        self._clock.now() if self._clock is not None else 0.0
+                    )
+                    return synthesized
+                continue
+            track = server.switchless.last_track
+            self.last_completion = (
+                track.end
+                if track is not None and track.end is not None
+                else (self._clock.now() if self._clock is not None else 0.0)
+            )
+            return response
+
+    def _failover(self, crashed: str, token: str) -> Response | None:
+        """Evict ``crashed``, recover its batch, decide re-execution.
+
+        Returns a synthesized OK response when the stamp proves the
+        in-flight request committed before the crash (the original
+        response text died with the enclave; the stamp proves only the
+        *commit*), or ``None`` when the batch rolled back and the caller
+        must re-route.
+        """
+        self.heartbeats.poll()
+        self.heartbeats.confirm_failure(crashed)
+        self.heartbeats.unregister(crashed)
+        server = self.membership.evict(crashed)
+        if server is not None:
+            server.cluster = None
+        self.failovers += 1
+        self.evictions += 1
+        successor = self.membership.donor()
+        if successor is None:
+            raise MembershipError(
+                f"replica {crashed!r} failed and no serving member survives"
+            )
+        if successor.handle.call("cluster_takeover_recover"):
+            self.takeovers_recovered += 1
+        committed = successor.handle.call("cluster_last_committed_stamp")
+        if committed == token:
+            self.completed_by_takeover += 1
+            return Response.ok("request committed before replica failure (failover)")
+        return None
+
+    # -- introspection -------------------------------------------------------
+
+    def stats(self) -> dict:
+        return {
+            "members": self.membership.ring.members,
+            "epoch": self.membership.epoch,
+            "requests_routed": self.requests_routed,
+            "routed_by_member": dict(sorted(self.routed_by_member.items())),
+            "joins": self.joins,
+            "evictions": self.evictions,
+            "failovers": self.failovers,
+            "takeovers_recovered": self.takeovers_recovered,
+            "completed_by_takeover": self.completed_by_takeover,
+            "heartbeat": self.heartbeats.stats.snapshot(),
+        }

@@ -655,6 +655,82 @@ class SeGShareEnclave(Enclave):
         if self.manager is not None and self.manager.dedup is not None:
             self.manager.dedup.reload_index()
 
+    # -- cluster support (replica failover and membership; docs/CLUSTER.md) -------
+
+    @ecall
+    def cluster_begin_request(self, token: str) -> None:
+        """Arm the next transaction with the front door's request token.
+
+        The token is PAE-sealed and committed atomically with the
+        request's journal batch, so after a mid-request crash a successor
+        replica can distinguish "committed — do not re-execute" from
+        "rolled back — safe to retry" by reading the last committed
+        stamp.  The front door re-arms before *every* routed request, so
+        a stale token can never outlive the request it names.
+        """
+        self._check_alive()
+        if self.engine is None:
+            raise EnclaveError("enclave is not ready")
+        self.engine.pending_stamp = token
+
+    @ecall
+    def cluster_last_committed_stamp(self) -> str | None:
+        """The token of the last request whose transaction committed."""
+        self._check_alive()
+        if self.engine is None or self.engine.journal is None:
+            raise EnclaveError("cluster stamps require the write-ahead journal")
+        return self.engine.journal.read_committed_stamp()
+
+    @ecall
+    def cluster_takeover_recover(self) -> bool:
+        """Successor side of failover: recover the crashed peer's batch.
+
+        Replicas share one repository and one journal key, so the
+        successor's journal instance reads the crashed enclave's marker
+        directly.  The sequence mirrors a crash-restart of our own
+        enclave (``_build_components``): roll the batch back, drop any
+        enclave-resident plaintext describing the pre-rollback world,
+        then consistency-check and re-anchor the restored state.
+        Returns True when an uncommitted batch was rolled back.
+        """
+        self._check_alive()
+        if self.engine is None or self.engine.journal is None:
+            raise EnclaveError("takeover recovery requires the write-ahead journal")
+        journal = self.engine.journal
+        if journal.active:
+            raise EnclaveError("cannot take over with our own transaction in flight")
+        recovered = journal.recover_restore()
+        if recovered:
+            if self.cache is not None:
+                self.cache.clear()
+            if self.manager is not None and self.manager.dedup is not None:
+                self.manager.dedup.reload_index()
+            if self.guard is not None:
+                self.guard.verify_restored_state()
+                self.guard.accept_current_state()
+            if self.group_guard is not None:
+                self.group_guard.accept_current_state()
+            if self.manager is not None and self.manager.dedup is not None:
+                self.manager.dedup.sweep_orphans()
+        journal.recover_finish()
+        return recovered
+
+    @ecall
+    def cluster_verify_anchors(self) -> dict:
+        """Join catch-up: prove both anchors are fresh against the quorum.
+
+        A replica is admitted to the placement ring only after this
+        passes — it refuses the degraded-read escape hatch, so a joining
+        replica wired to the wrong (or an empty) counter quorum is
+        rejected instead of silently serving a rolled-back snapshot.
+        """
+        self._check_alive()
+        if self.guard is None or self.group_guard is None:
+            raise EnclaveError("cluster catch-up requires whole-FS rollback protection")
+        self.guard.verify_anchor_fresh()
+        self.group_guard.verify_anchor_fresh()
+        return {"fs": True, "group": True}
+
     @ecall
     def runtime_stats(self) -> dict:
         """Cache/guard/EPC counters for operators and the benchmark harness."""

@@ -67,8 +67,10 @@ MAX_COUNTER_LAG = 4096
 
 _MARKER_KEY = "\x00journal:batch"
 _ENTRY_PREFIX = "\x00journal:entry:"
+_STAMP_KEY = "\x00journal:stamp"
 _MARKER_AAD = b"segshare-journal:marker"
 _ENTRY_AAD = b"segshare-journal:"
+_STAMP_AAD = b"segshare-journal:stamp"
 
 
 class WriteAheadJournal:
@@ -263,6 +265,37 @@ class WriteAheadJournal:
     def recover_finish(self) -> None:
         """Finish recovery after the guards re-anchored."""
         self.clear()
+
+    # -- request stamps (cluster exactly-once) ----------------------------------
+
+    def seal_stamp(self, token: str) -> tuple[str, bytes]:
+        """(key, ciphertext) of the request-stamp object for ``token``.
+
+        The cluster front door tags each routed request with a token; the
+        storage engine persists the sealed stamp *through the journaled,
+        deferred stack* so it commits or rolls back atomically with the
+        request's batch.  Because the stamp key is derived from SK_r, any
+        replica holding the root key — in particular a failover successor
+        — can read which request last committed and suppress a duplicate
+        re-execution.  PAE under the journal key with a distinct AAD: the
+        host can neither forge a stamp nor transplant a journal record
+        into the stamp slot.
+        """
+        return _STAMP_KEY, self._pae.encrypt(
+            self._key, token.encode("utf-8"), aad=_STAMP_AAD
+        )
+
+    def read_committed_stamp(self) -> Optional[str]:
+        """Token of the last *committed* stamped request, or ``None``."""
+        if not self._backend.exists(_STAMP_KEY):
+            return None
+        try:
+            plaintext = self._pae.decrypt(
+                self._key, self._backend.get(_STAMP_KEY), aad=_STAMP_AAD
+            )
+        except IntegrityError:
+            raise RollbackDetected("request stamp is corrupt or not ours") from None
+        return plaintext.decode("utf-8")
 
     # -- internals ---------------------------------------------------------------
 

@@ -21,11 +21,20 @@ sealed blob would otherwise be the only copy).
 
 from __future__ import annotations
 
+import hashlib
 import random
 from typing import Callable
 
 from repro.core.server import SeGShareServer
-from repro.errors import NetworkError, ReplicationError, RetryPolicy, StorageError
+from repro.errors import (
+    EnclaveError,
+    MembershipError,
+    NetworkError,
+    ReplicationError,
+    RetryPolicy,
+    StorageError,
+)
+from repro.sgx import AttestationService
 
 
 def _with_retry(
@@ -98,21 +107,83 @@ def transfer_root_key(
     root.handle.call("invalidate_metadata_cache")
 
 
+#: Report data of a membership pre-admission quote (no DH value to bind).
+_MEMBERSHIP_REPORT = hashlib.sha256(b"segshare-membership\x00").digest()
+
+
+def verify_replica_attestation(
+    service: AttestationService | None,
+    replica: SeGShareServer,
+    expected_measurement: bytes,
+) -> None:
+    """Attest ``replica`` against the membership measurement, or raise.
+
+    The membership layer's gate: a quote is taken over the candidate
+    enclave and verified *before* the join protocol runs, so a replica
+    that would fail attestation is rejected with a typed
+    :class:`MembershipError` instead of failing (and possibly leaving a
+    half-open pending join) deep inside the key-transfer ECALLs.
+    """
+    if service is None:
+        raise MembershipError("no attestation service configured for admission")
+    qe = getattr(replica.platform, "quoting_enclave", None)
+    if qe is None:
+        raise MembershipError("candidate platform has no quoting enclave")
+    try:
+        quote = qe.quote(replica.enclave, report_data=_MEMBERSHIP_REPORT)
+        service.verify(quote, expected_measurement=expected_measurement)
+    except EnclaveError as exc:
+        raise MembershipError(f"replica failed admission attestation: {exc}") from exc
+
+
 class ReplicaSet:
     """A root server plus joined replicas over one shared repository.
 
     Lock management and storage replication are out of the paper's scope
     (and this class's): all replicas here serve the same backend, and the
-    synchronous simulation serializes their operations.
+    synchronous simulation serializes their operations.  (The cluster
+    front door in :mod:`repro.cluster` builds failover and routing on
+    top of this layer.)
     """
 
-    def __init__(self, root: SeGShareServer) -> None:
+    def __init__(
+        self,
+        root: SeGShareServer,
+        attestation_service: AttestationService | None = None,
+    ) -> None:
         self.root = root
         self.replicas: list[SeGShareServer] = []
+        #: Service used to pre-attest candidates; falls back to the root
+        #: enclave's own service when not given explicitly.
+        self.attestation_service = (
+            attestation_service
+            if attestation_service is not None
+            else root.enclave._attestation_service
+        )
 
-    def join(self, replica: SeGShareServer) -> None:
-        transfer_root_key(self.root, replica)
+    def join(
+        self,
+        replica: SeGShareServer,
+        retry: RetryPolicy | None = None,
+        retry_seed: int = 0,
+    ) -> bool:
+        """Admit ``replica``: attest it, transfer SK_r, record membership.
+
+        Idempotent — re-joining a current member is a no-op returning
+        False.  A candidate failing attestation is rejected with
+        :class:`MembershipError` before any protocol state is created.
+        """
+        if replica is self.root or replica.enclave is self.root.enclave:
+            raise MembershipError("the root enclave cannot join itself")
+        if replica in self.replicas:
+            return False
+        verify_replica_attestation(
+            self.attestation_service, replica, self.root.enclave.measurement()
+        )
+        if not replica.enclave.ready:
+            transfer_root_key(self.root, replica, retry=retry, retry_seed=retry_seed)
         self.replicas.append(replica)
+        return True
 
     @property
     def all_servers(self) -> list[SeGShareServer]:

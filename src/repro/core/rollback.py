@@ -281,6 +281,12 @@ class RollbackGuard:
             counter_value = 0
             if self._counter is not None:
                 counter_value = self._counter.increment(self._enclave, self._counter_id)
+                # The window a cluster failover must close: the quorum
+                # already advanced but the anchor naming the new value is
+                # not yet persisted.  A successor's recovery rolls the
+                # batch back and re-anchors, re-counting the anchor.
+                if self._enclave is not None:
+                    self._enclave.platform.crashpoint("anchor:fs-counter-incremented")
             blob = Writer().bytes(root_main).u64(counter_value).take()
             self._manager.raw_write(_ANCHOR_PATH, blob)
         self.stats.anchor_writes += 1
@@ -539,6 +545,20 @@ class RollbackGuard:
         """
         self._write_anchor(self.root_hash())
 
+    def verify_anchor_fresh(self) -> None:
+        """Prove the anchor is both ours and *fresh* — degraded mode off.
+
+        A replica catching up after join (or takeover) must not start
+        serving from a rolled-back snapshot just because the quorum is
+        momentarily unreachable, so this check refuses the degraded-read
+        escape hatch that normal reads are allowed.
+        """
+        saved, self.allow_degraded_reads = self.allow_degraded_reads, False
+        try:
+            self._verify_anchor(self.root_hash())
+        finally:
+            self.allow_degraded_reads = saved
+
 
 class FlatStoreGuard:
     """Rollback protection for the group store (paper: "protecting the
@@ -669,6 +689,8 @@ class FlatStoreGuard:
             counter_value = 0
             if self._counter is not None:
                 counter_value = self._counter.increment(self._enclave, self._counter_id)
+                if self._enclave is not None:
+                    self._enclave.platform.crashpoint("anchor:group-counter-incremented")
             self._manager.raw_group_write(
                 self._ANCHOR_PATH, Writer().bytes(main).u64(counter_value).take()
             )
@@ -760,3 +782,12 @@ class FlatStoreGuard:
     def accept_current_state(self) -> None:
         """Re-anchor the current group store (CA-authorized restore)."""
         self._bootstrap()
+
+    def verify_anchor_fresh(self) -> None:
+        """Prove the group-store anchor is fresh; see
+        :meth:`RollbackGuard.verify_anchor_fresh`."""
+        saved, self.allow_degraded_reads = self.allow_degraded_reads, False
+        try:
+            self._verify_anchor(self._node_main(self._load_node()))
+        finally:
+            self.allow_degraded_reads = saved

@@ -72,6 +72,9 @@ class SeGShareServer:
             close_session=lambda session_id: self.handle.call("close_session", session_id),
         )
         self.listener = Listener(env.link, self.untrusted_tls.attach)
+        #: Set by a cluster front door (repro.cluster) when this server is
+        #: admitted; lets ``stats()`` surface routing/failover counters.
+        self.cluster = None
 
     def endpoint(self) -> Endpoint:
         """Where clients connect."""
@@ -85,6 +88,10 @@ class SeGShareServer:
         router = self.stores.router
         if router is not None and hasattr(router, "stats"):
             stats["shards"] = router.stats()
+        # Likewise cluster routing and failover: untrusted front-door
+        # machinery, so its counters live outside the enclave.
+        if self.cluster is not None:
+            stats["cluster"] = self.cluster.stats()
         return stats
 
     # -- untrusted certification component ---------------------------------------------

@@ -117,6 +117,16 @@ class ReplicationError(ReproError):
     """Root-key transfer or replica management failed."""
 
 
+class MembershipError(ReplicationError):
+    """A replica was refused admission to (or is missing from) the cluster.
+
+    Raised *before* any key material moves: a joining replica whose
+    attestation report fails verification is rejected with this error at
+    the membership layer instead of failing deep inside the transfer
+    protocol.
+    """
+
+
 class BackupError(ReproError):
     """Backup creation or restoration failed."""
 

@@ -215,6 +215,23 @@ class FaultPlan:
         )
         return self
 
+    # -- introspection --------------------------------------------------------
+
+    def seen_crashpoints(self, site_prefix: str = "") -> int:
+        """How many crashpoints matching ``site_prefix`` this plan observed.
+
+        The global :attr:`crashpoints` counter includes every site —
+        notably the ``ecall:<name>`` sites the enclave handle fires while
+        a plan is attached — so enumeration passes (run once to count,
+        then crash at each ``nth`` in turn) must count through a matching
+        rule, not the global counter.  Declare a ``crash_at_point`` rule
+        with an unreachably large ``nth`` and read the count here.
+        """
+        for rule in self._crash_rules:
+            if rule.param == site_prefix:
+                return rule.seen
+        raise ValueError(f"no crash rule with site prefix {site_prefix!r}")
+
     # -- wiring ---------------------------------------------------------------
 
     def attach_platform(self, platform: "SgxPlatform") -> "FaultPlan":

@@ -8,12 +8,15 @@ only *time* is simulated.
 """
 
 from repro.netsim.clock import ParallelClock, SimClock, TrackClock
+from repro.netsim.heartbeat import HeartbeatMonitor, HeartbeatStats
 from repro.netsim.network import Link, LinkSpec, NetworkEnv, azure_wan_env, lan_env
 from repro.netsim.transport import Connection, Endpoint, Listener
 
 __all__ = [
     "Connection",
     "Endpoint",
+    "HeartbeatMonitor",
+    "HeartbeatStats",
     "Link",
     "LinkSpec",
     "Listener",

@@ -169,6 +169,13 @@ class Enclave:
         if clock is not None:
             clock.charge(seconds, account=account)
 
+    @property
+    def alive(self) -> bool:
+        """False once destroyed.  Host-observable liveness: whether a
+        process exists is never a secret, so failure detectors (heartbeat
+        probes) may read this without crossing the trust boundary."""
+        return not self._destroyed
+
     def _check_alive(self) -> None:
         if self._destroyed:
             raise EnclaveCrashed("enclave has been destroyed")

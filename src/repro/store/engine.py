@@ -316,6 +316,13 @@ class StorageEngine:
         self.group_guard: "FlatStoreGuard | None" = None
         self.dedup: "DedupStore | None" = None
         self.stats = TransactionStats()
+        #: Cluster request token to persist with the next transaction.
+        #: Set via the ``cluster_begin_request`` ECALL before a routed
+        #: request runs; the transaction writes the sealed stamp through
+        #: the journaled stack so "this request committed" becomes part
+        #: of the batch's atomicity.  ``None`` (the default everywhere
+        #: outside cluster mode) adds zero writes and zero cost.
+        self.pending_stamp: str | None = None
         #: (namespace, key) -> value; deferred cache write-through,
         #: last write per key wins.
         self._write_backs: "OrderedDict[tuple[str, str], bytes]" = OrderedDict()
@@ -365,6 +372,14 @@ class StorageEngine:
         self._begin_guard_batches()
         for store in self._deferred:
             store.arm()
+        stamp, self.pending_stamp = self.pending_stamp, None
+        if stamp is not None:
+            # Buffered like any other write: the pre-image is journaled at
+            # flush, so an abort (or crash) restores the *previous*
+            # request's stamp and a commit publishes this one atomically
+            # with the batch.
+            key, sealed = journal.seal_stamp(stamp)
+            self.backends.content.put(key, sealed)
         puts_before = self.stats.puts
         try:
             yield

@@ -1,0 +1,175 @@
+"""Cluster crash matrix: every replica, every crashpoint class.
+
+Seeded FaultPlan schedules kill each replica at every crashpoint of a
+fixed workload's three vulnerable windows — mid-commit (``journal:*``),
+mid-anchor-replication (``anchor:*``), and mid-join catch-up
+(``cluster:join*``) — and require the cluster to absorb the crash:
+the in-flight request completes (re-executed or stamp-synthesized),
+the survivors' state verifies, and the crashed replica can restart and
+re-join.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import build_cluster, cluster_options
+from repro.core.requests import Op, Request, Status
+from repro.core.server import SeGShareServer
+from repro.faults import FaultPlan
+from repro.netsim import Link, NetworkEnv
+from repro.netsim.network import AZURE_WAN
+from repro.pki import CertificateAuthority
+from repro.sgx import SgxPlatform
+from repro.sgx.attestation import QuotingEnclave
+from repro.storage.stores import StoreSet
+
+_CA = CertificateAuthority(key_bits=1024)
+
+REPLICAS = 3
+#: The serving-path crashpoint classes (join catch-up is tested apart).
+SITES = ("journal:", "anchor:")
+
+
+def build(seed: int = 0):
+    return build_cluster(
+        replicas=REPLICAS, parallel=True, ca=_CA, qe_key_bits=512, seed=seed
+    )
+
+
+def prime(deployment) -> None:
+    handler = deployment.server("r0").enclave.handler
+    assert (
+        handler.handle("u0", Request(op=Op.PUT_DIR, args=("/a/",))).status
+        is Status.OK
+    )
+    assert handler.put_file("u0", "/a/keep", b"survives").status is Status.OK
+
+
+def workload(cluster) -> list[str]:
+    """A fixed request mix spanning all three replicas' affinities."""
+    results = []
+    for path, content in [
+        ("/a/f", b"one"),
+        ("/b/", None),
+        ("/b/f", b"two"),
+        ("/c/", None),
+        ("/c/f", b"three"),
+    ]:
+        if content is None:
+            response = cluster.handle("u0", Request(op=Op.PUT_DIR, args=(path,)))
+        else:
+            response = cluster.put_file("u0", path, content)
+        results.append(response.status.name)
+    results.append(
+        cluster.handle("u0", Request(op=Op.ADD_USER, args=("u1", "eng"))).status.name
+    )
+    return results
+
+
+#: What the workload returns when nothing crashes (every op succeeds).
+EXPECTED = ["OK"] * 6
+
+
+def count_steps(victim: str, site: str) -> int:
+    deployment = build()
+    prime(deployment)
+    plan = FaultPlan().crash_at_point(nth=10**9, site_prefix=site)
+    plan.attach_platform(deployment.server(victim).platform)
+    workload(deployment.cluster)
+    plan.detach()
+    return plan.seen_crashpoints(site)
+
+
+@pytest.mark.parametrize("victim", [f"r{i}" for i in range(REPLICAS)])
+@pytest.mark.parametrize("site", SITES)
+def test_crash_matrix_serving_path(victim, site):
+    """Kill ``victim`` at every ``site`` crashpoint of the workload."""
+    steps = count_steps(victim, site)
+    if steps == 0:
+        pytest.skip(f"workload routes no {site} work to {victim}")
+    for step in range(1, steps + 1):
+        deployment = build()
+        prime(deployment)
+        cluster = deployment.cluster
+        plan = FaultPlan().crash_at_point(nth=step, site_prefix=site)
+        plan.attach_platform(deployment.server(victim).platform)
+        results = workload(cluster)
+        plan.detach()
+
+        assert results == EXPECTED, f"step {step}: a client saw a failure"
+        assert cluster.stats()["failovers"] >= 1, f"step {step}: crash never fired"
+        assert victim not in cluster.membership.ring
+
+        # Survivors hold a consistent, verified repository.
+        survivor = deployment.server(cluster.membership.ring.members[0])
+        survivor.enclave.guard.verify_restored_state()
+        manager = survivor.enclave.manager
+        assert manager.read_content("/a/keep") == b"survives"
+        for path, content in [("/a/f", b"one"), ("/b/f", b"two"), ("/c/f", b"three")]:
+            assert manager.read_content(path) == content, f"step {step}: {path} torn"
+
+        # The crashed replica restarts from sealed state and re-joins.
+        crashed = deployment.server(victim)
+        crashed.restart_enclave()
+        assert cluster.admit(victim, crashed)
+        assert crashed.handle.call("cluster_verify_anchors") == {
+            "fs": True,
+            "group": True,
+        }
+
+
+class TestJoinCatchupCrash:
+    """A candidate dying mid-join stays out, restarts, and joins cleanly."""
+
+    def make_candidate(self, deployment):
+        root = deployment.server("r0")
+        clock = root.env.clock
+        platform = SgxPlatform(clock=clock)
+        platform.quoting_enclave = QuotingEnclave(platform, key_bits=512)
+        platform._segshare_counter_rote = root.platform._segshare_counter_rote
+        env = NetworkEnv(clock=clock, link=Link(clock, AZURE_WAN, seed=991))
+        from dataclasses import replace
+
+        server = SeGShareServer(
+            env,
+            deployment.ca.public_key,
+            stores=StoreSet.over(deployment.backend),
+            options=replace(cluster_options(), replica=True),
+            attestation_service=deployment.attestation,
+            platform=platform,
+        )
+        deployment.attestation.register_platform(
+            platform.platform_id, platform.quoting_enclave.attestation_public_key
+        )
+        return server
+
+    def test_crash_mid_join_catchup_then_rejoin(self):
+        deployment = build()
+        prime(deployment)
+        cluster = deployment.cluster
+        candidate = self.make_candidate(deployment)
+
+        plan = FaultPlan().crash_at_point(nth=1, site_prefix="cluster:join")
+        plan.attach_platform(candidate.platform)
+        with pytest.raises(Exception):
+            cluster.admit("r3", candidate)
+        plan.detach()
+
+        # Not admitted; the cluster keeps serving without it.
+        assert "r3" not in cluster.membership.ring
+        assert (
+            deployment.server("r0")
+            .enclave.handler.put_file("u0", "/a/during", b"x")
+            .status
+            is Status.OK
+        )
+
+        # The sealed root key survived the crash: restart, then re-join.
+        candidate.restart_enclave()
+        assert cluster.admit("r3", candidate)
+        assert cluster.membership.ring.members == ["r0", "r1", "r2", "r3"]
+        assert candidate.handle.call("cluster_verify_anchors") == {
+            "fs": True,
+            "group": True,
+        }

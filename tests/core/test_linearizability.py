@@ -259,7 +259,7 @@ class TestCrashDuringConcurrentSchedule:
             ]
         )
         plan.detach()
-        return plan.crashpoints
+        return plan.seen_crashpoints("journal:")
 
     @pytest.mark.parametrize("seed", CRASH_SEEDS)
     def test_crash_recovers_to_serial_prefix(self, seed):

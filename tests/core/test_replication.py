@@ -5,7 +5,7 @@ import pytest
 from repro.core.enclave_app import SeGShareOptions
 from repro.core.replication import ReplicaSet, transfer_root_key
 from repro.core.server import SeGShareServer, deploy, provision_certificate
-from repro.errors import ReplicationError
+from repro.errors import MembershipError, ReplicationError
 from repro.netsim import azure_wan_env
 from repro.pki import CertificateAuthority
 from repro.sgx import SgxPlatform
@@ -74,7 +74,16 @@ class TestJoin:
         deployment, add_replica, _ = cluster
         replica_set = ReplicaSet(deployment.server)
         replica = add_replica()
-        replica_set.join(replica)
+        assert replica_set.join(replica)
+        assert replica_set.all_servers == [deployment.server, replica]
+
+    def test_join_is_idempotent(self, cluster):
+        deployment, add_replica, _ = cluster
+        replica_set = ReplicaSet(deployment.server)
+        replica = add_replica()
+        assert replica_set.join(replica)
+        # A second join of the same replica is a no-op, not a re-transfer.
+        assert not replica_set.join(replica)
         assert replica_set.all_servers == [deployment.server, replica]
 
 
@@ -96,6 +105,23 @@ class TestRejections:
         replica = add_replica(register=False)
         with pytest.raises(Exception):
             transfer_root_key(deployment.server, replica)
+
+    def test_failed_attestation_is_typed_membership_error(self, cluster):
+        """ReplicaSet.join refuses an unattestable replica with a typed
+        error, before any key material moves."""
+        deployment, add_replica, _ = cluster
+        replica_set = ReplicaSet(deployment.server)
+        replica = add_replica(register=False)
+        with pytest.raises(MembershipError):
+            replica_set.join(replica)
+        assert not replica.enclave.ready
+        assert replica_set.all_servers == [deployment.server]
+
+    def test_joining_the_root_itself_is_rejected(self, cluster):
+        deployment, _, _ = cluster
+        replica_set = ReplicaSet(deployment.server)
+        with pytest.raises(MembershipError):
+            replica_set.join(deployment.server)
 
     def test_self_replication_rejected(self, cluster):
         deployment, _, _ = cluster

@@ -216,7 +216,7 @@ class TestCrashMidCommitOnShardedStore:
         for desc in make_trace(seed):
             apply_descriptor(server, desc)
         plan.detach()
-        return plan.crashpoints
+        return plan.seen_crashpoints("journal:")
 
     @pytest.mark.parametrize("seed", SEEDS)
     def test_crash_recovers_to_trace_prefix(self, seed):

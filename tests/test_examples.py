@@ -10,6 +10,7 @@ EXAMPLES = [
     "examples/corporate_groups.py",
     "examples/rollback_attack.py",
     "examples/replication_cluster.py",
+    "examples/cluster_demo.py",
     "examples/webdav_gateway.py",
     "examples/audit_trail.py",
     "examples/fault_drill.py",
