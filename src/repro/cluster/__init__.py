@@ -58,6 +58,10 @@ def cluster_options(base: SeGShareOptions | None = None) -> SeGShareOptions:
     * ``quota_bytes=None`` — a quota refusal is the one handler path
       that *commits* its transaction yet answers with an error, which
       would break the stamp's "committed iff OK" failover contract.
+    * ``shared_store=True`` — a member booting (or restarting) must not
+      run journal recovery: the shared marker may be a live peer's open
+      commit epoch, and only the front door can tell (it quiesces on
+      admission and recovers crashed batches through takeover).
     """
     base = base or SeGShareOptions(rollback_buckets=8)
     return replace(
@@ -68,6 +72,7 @@ def cluster_options(base: SeGShareOptions | None = None) -> SeGShareOptions:
         metadata_cache_bytes=None,
         enable_dedup=False,
         quota_bytes=None,
+        shared_store=True,
     )
 
 

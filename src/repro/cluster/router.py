@@ -60,6 +60,11 @@ class SeGShareCluster:
         #: Virtual completion time of the most recent routed request
         #: (closed-loop drivers schedule the client's next arrival here).
         self.last_completion = 0.0
+        #: Member that served the previous request.  A group-commit epoch
+        #: keeps the journal marker (a fixed key on the shared store) open
+        #: between transactions, so the front door must quiesce a replica
+        #: before handing traffic — or membership duties — to another.
+        self._last_routed: str | None = None
         # Routing/failover counters, merged into SeGShareServer.stats().
         self.requests_routed = 0
         self.routed_by_member: Dict[str, int] = {}
@@ -79,6 +84,10 @@ class SeGShareCluster:
         retry_seed: int = 0,
     ) -> bool:
         """Join ``server`` (idempotent) and start monitoring it."""
+        # Join catch-up verifies the *stored* anchors; flush any member's
+        # open commit epoch first so they are current.
+        for member in self.membership.members.values():
+            self._quiesce(member)
         joined = self.membership.join(name, server, retry=retry, retry_seed=retry_seed)
         if joined:
             self.heartbeats.register(name, lambda s=server: s.enclave.alive)
@@ -90,9 +99,48 @@ class SeGShareCluster:
         """Administratively remove a member (its groups rebalance)."""
         server = self.membership.evict(name)
         if server is not None:
+            self._quiesce(server)
             self.heartbeats.unregister(name)
             server.cluster = None
             self.evictions += 1
+            if self._last_routed == name:
+                self._last_routed = None
+
+    def quiesce(self) -> None:
+        """Flush every live member's open commit epoch (bench boundaries).
+
+        A member dying mid-flush is a failover like any other: its
+        crashed epoch is rolled back through a surviving member so the
+        committed members stand and the journal marker is retired.
+        """
+        for name, server in list(self.membership.members.items()):
+            if not self._quiesce(server):
+                self._recover_crashed(name)
+
+    @staticmethod
+    def _epoch_open(server: SeGShareServer) -> bool:
+        """Whether ``server`` holds an open commit epoch.
+
+        The coordinator mirrors its epoch-open bit into untrusted shared
+        memory (like the switchless signal words), so the front door can
+        check without an enclave transition and pay the quiesce ECALL
+        only when there is actually an epoch to close.  The bit survives
+        an enclave crash, so a member that died mid-epoch still reads as
+        open and gets recovered on the next routing switch.
+        """
+        engine = getattr(server.enclave, "engine", None)
+        group = getattr(engine, "group_commit", None)
+        return group is not None and group.open
+
+    @staticmethod
+    def _quiesce(server: SeGShareServer) -> bool:
+        """Flush one member's open epoch; False if the member is dead
+        (its open epoch is then a crashed batch needing takeover)."""
+        try:
+            server.handle.call("group_commit_quiesce")
+            return True
+        except EnclaveCrashed:
+            return False
 
     # -- request routing -----------------------------------------------------
 
@@ -132,6 +180,24 @@ class SeGShareCluster:
         while True:
             name = self.membership.ring.owner(affinity)
             server = self.membership.members[name]
+            if self._last_routed != name:
+                # The journal's epoch marker is a single key on the shared
+                # store, so at most one replica may hold an epoch open.
+                # Quiesce everyone else — not just the previously routed
+                # member, since direct handler access (tests, priming) can
+                # leave an epoch open the router never saw.  A member dying
+                # mid-quiesce leaves a crashed batch on the shared journal:
+                # recover it through a successor before anyone opens over it.
+                crashed_mid_quiesce = False
+                for other, member in list(self.membership.members.items()):
+                    if other == name or not self._epoch_open(member):
+                        continue
+                    if not self._quiesce(member):
+                        self._recover_crashed(other)
+                        crashed_mid_quiesce = True
+                if crashed_mid_quiesce:
+                    continue  # membership changed; re-resolve the owner
+            self._last_routed = name
             self.requests_routed += 1
             self.routed_by_member[name] = self.routed_by_member.get(name, 0) + 1
             # Re-executions arrive *after* failover detection, never at
@@ -167,6 +233,29 @@ class SeGShareCluster:
             )
             return response
 
+    def _recover_crashed(self, crashed: str) -> SeGShareServer:
+        """Confirm ``crashed`` is dead, evict it, and have a surviving
+        member roll back its uncommitted journal batch.  Returns the
+        successor that ran the recovery."""
+        self.heartbeats.poll()
+        self.heartbeats.confirm_failure(crashed)
+        self.heartbeats.unregister(crashed)
+        server = self.membership.evict(crashed)
+        if server is not None:
+            server.cluster = None
+        self.failovers += 1
+        self.evictions += 1
+        if self._last_routed == crashed:
+            self._last_routed = None
+        successor = self.membership.donor()
+        if successor is None:
+            raise MembershipError(
+                f"replica {crashed!r} failed and no serving member survives"
+            )
+        if successor.handle.call("cluster_takeover_recover"):
+            self.takeovers_recovered += 1
+        return successor
+
     def _failover(self, crashed: str, token: str) -> Response | None:
         """Evict ``crashed``, recover its batch, decide re-execution.
 
@@ -176,21 +265,7 @@ class SeGShareCluster:
         *commit*), or ``None`` when the batch rolled back and the caller
         must re-route.
         """
-        self.heartbeats.poll()
-        self.heartbeats.confirm_failure(crashed)
-        self.heartbeats.unregister(crashed)
-        server = self.membership.evict(crashed)
-        if server is not None:
-            server.cluster = None
-        self.failovers += 1
-        self.evictions += 1
-        successor = self.membership.donor()
-        if successor is None:
-            raise MembershipError(
-                f"replica {crashed!r} failed and no serving member survives"
-            )
-        if successor.handle.call("cluster_takeover_recover"):
-            self.takeovers_recovered += 1
+        successor = self._recover_crashed(crashed)
         committed = successor.handle.call("cluster_last_committed_stamp")
         if committed == token:
             self.completed_by_takeover += 1

@@ -45,6 +45,7 @@ from repro.errors import (
     ReplicationError,
     ReproError,
     RequestError,
+    RollbackDetected,
 )
 from repro.pki import Certificate, CertificateSigningRequest, CertificateUsage
 from repro.sgx import attestation as att
@@ -112,6 +113,12 @@ class SeGShareOptions:
     switchless_workers: int = 4
     #: Shard count for the rollback-guard / Merkle-bucket serial locks.
     lock_shards: int = 16
+    #: The enclave serves one repository shared with live peers (cluster
+    #: members over one backend).  A booting enclave must then leave the
+    #: journal untouched: the marker on the store may be another member's
+    #: open commit epoch, not a crashed batch — only the cluster front
+    #: door (takeover recovery, admission quiesce) can tell them apart.
+    shared_store: bool = False
 
     def __post_init__(self) -> None:
         if self.rollback not in ("off", "individual", "whole_fs"):
@@ -251,8 +258,13 @@ class SeGShareEnclave(Enclave):
             )
             # Roll back any batch a crash left uncommitted BEFORE the
             # trusted components read storage, so the dedup index, guard
-            # nodes, and directory files all come back pre-batch.
-            recovered = journal.recover_restore()
+            # nodes, and directory files all come back pre-batch.  Not on
+            # a shared store: its journal marker may be a LIVE member's
+            # open commit epoch, not a crashed batch — only the cluster
+            # (takeover recovery, admission quiesce) knows which, so a
+            # booting cluster member must leave the journal alone.
+            if not (self._options.replica or self._options.shared_store):
+                recovered = journal.recover_restore()
         self.engine = StorageEngine(
             self._stores,
             journal=journal,
@@ -299,22 +311,56 @@ class SeGShareEnclave(Enclave):
                 locks=self.locks,
             )
             self.manager.group_guard = self.group_guard
-        if recovered:
-            # The restore rewound the anchors to their pre-batch bytes but
-            # the counter kept the aborted batch's increments: check the
-            # restored state is internally consistent, then re-anchor it.
-            if self.guard is not None:
-                self.guard.verify_restored_state()
-                self.guard.accept_current_state()
-            if self.group_guard is not None:
-                self.group_guard.accept_current_state()
-            if self.manager.dedup is not None:
-                self.manager.dedup.sweep_orphans()
-        if journal is not None:
-            journal.recover_finish()
+        if journal is not None and not (
+            self._options.replica or self._options.shared_store
+        ):
+            self._finish_journal_recovery(journal, recovered)
+        # Overlapping transactions may now share one commit epoch; a no-op
+        # on serial clocks (and until here, so the setup transactions above
+        # — ensure_root, guard bootstrap — always use the plain path).
+        self.engine.enable_group_commit()
         self.webdav = WebDavAdapter(self.handler)
         if self._options.audit:
             self.audit_log = AuditLog(self.manager, self._root_key)
+
+    def _finish_journal_recovery(self, journal: WriteAheadJournal, recovered: bool) -> None:
+        """Shared epilogue of crash recovery (restart and cluster takeover).
+
+        For a plain batch the restore rewound the anchors to their
+        pre-batch bytes but the counter kept the aborted batch's
+        increments: check the restored state is internally consistent,
+        then re-anchor it.  For a group-commit epoch the guards' stored
+        nodes predate the committed members (their flush was deferred to
+        the epoch close the crash pre-empted): verify the restored *data*
+        against the root hashes the last member's record captured, then
+        rebuild the trees from it.
+        """
+        if recovered:
+            rec = journal.recovered_epoch
+            if rec is not None:
+                if self.guard is not None:
+                    if rec.fs_main and self.guard.recompute_root_hash() != rec.fs_main:
+                        raise RollbackDetected(
+                            "recovered file-system state does not match the "
+                            "epoch's journal record"
+                        )
+                    self.guard.rebuild()
+                if self.group_guard is not None:
+                    if rec.group_main and self.group_guard.recompute_main() != rec.group_main:
+                        raise RollbackDetected(
+                            "recovered group-store state does not match the "
+                            "epoch's journal record"
+                        )
+                    self.group_guard.accept_current_state()
+            else:
+                if self.guard is not None:
+                    self.guard.verify_restored_state()
+                    self.guard.accept_current_state()
+                if self.group_guard is not None:
+                    self.group_guard.accept_current_state()
+            if self.manager is not None and self.manager.dedup is not None:
+                self.manager.dedup.sweep_orphans()
+        journal.recover_finish()
 
     def _counter_probe(self, counter: "MonotonicCounter | RoteCounterService | None"):
         """A read-only probe of the whole-FS counter for the journal."""
@@ -674,6 +720,21 @@ class SeGShareEnclave(Enclave):
         self.engine.pending_stamp = token
 
     @ecall
+    def group_commit_quiesce(self) -> None:
+        """Close any open group-commit epoch.
+
+        The epoch's marker lives at a fixed key on the shared store, so
+        two replicas must never both hold one open: the front door
+        quiesces a replica before routing traffic to another, before
+        membership changes, and before a successor adjudicates a crashed
+        peer's journal.  A no-op when no epoch (or no coordinator) is
+        open.
+        """
+        self._check_alive()
+        if self.engine is not None:
+            self.engine.quiesce()
+
+    @ecall
     def cluster_last_committed_stamp(self) -> str | None:
         """The token of the last request whose transaction committed."""
         self._check_alive()
@@ -696,6 +757,10 @@ class SeGShareEnclave(Enclave):
         self._check_alive()
         if self.engine is None or self.engine.journal is None:
             raise EnclaveError("takeover recovery requires the write-ahead journal")
+        if self.engine.group_commit is not None:
+            # Our own open epoch would read as "transaction in flight";
+            # flush it before adjudicating the crashed peer's journal.
+            self.engine.quiesce()
         journal = self.engine.journal
         if journal.active:
             raise EnclaveError("cannot take over with our own transaction in flight")
@@ -705,14 +770,7 @@ class SeGShareEnclave(Enclave):
                 self.cache.clear()
             if self.manager is not None and self.manager.dedup is not None:
                 self.manager.dedup.reload_index()
-            if self.guard is not None:
-                self.guard.verify_restored_state()
-                self.guard.accept_current_state()
-            if self.group_guard is not None:
-                self.group_guard.accept_current_state()
-            if self.manager is not None and self.manager.dedup is not None:
-                self.manager.dedup.sweep_orphans()
-        journal.recover_finish()
+        self._finish_journal_recovery(journal, recovered)
         return recovered
 
     @ecall
@@ -748,6 +806,8 @@ class SeGShareEnclave(Enclave):
             stats["cache"] = self.cache.stats.snapshot()
         if self.engine is not None:
             stats["engine"] = self.engine.stats.snapshot()
+            if self.engine.group_commit is not None:
+                stats["group_commit"] = self.engine.group_commit.stats.snapshot()
         if self.locks is not None:
             stats["locks"] = self.locks.stats.snapshot()
         if self.guard is not None:

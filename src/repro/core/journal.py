@@ -24,6 +24,20 @@ every recorded pre-image is restored, the rollback guards re-anchor, and
 the batch is gone without a trace (all-or-nothing).  Entries *without* a
 marker are post-commit garbage and are swept.
 
+**Group-commit epochs** extend the same machinery to many transactions
+per marker (the storage engine's ``GroupCommitCoordinator``): an epoch
+opens with one marker (:meth:`WriteAheadJournal.open_epoch`), member
+transactions then commit individually by persisting one small **epoch
+record** (:meth:`WriteAheadJournal.commit_member` — a single object put
+is the per-member commit point) carrying the entry-sequence watermark
+and the guards' expected root hashes, and the epoch closes by deleting
+the marker (:meth:`WriteAheadJournal.close_epoch`) after the batched
+guard flush.  Recovery with a surviving marker *and* record restores
+only the entries at or above the watermark — the in-flight member —
+keeping every committed member's writes (per-transaction
+all-or-nothing); a marker without a record recovers exactly like a
+legacy single-transaction batch.
+
 Freshness of the journal: the marker and entries are PAE-encrypted under
 a key derived from SK_r, with the object key bound as AAD, so the host
 can neither forge nor transplant records.  The host *can* replay an old
@@ -41,6 +55,7 @@ option off no wrapper is installed and no overhead exists.
 from __future__ import annotations
 
 import contextlib
+from dataclasses import dataclass
 from typing import Callable, Iterator, Optional
 
 from repro.crypto import default_pae, derive_key
@@ -68,9 +83,31 @@ MAX_COUNTER_LAG = 4096
 _MARKER_KEY = "\x00journal:batch"
 _ENTRY_PREFIX = "\x00journal:entry:"
 _STAMP_KEY = "\x00journal:stamp"
+_EPOCH_KEY = "\x00journal:epoch"
 _MARKER_AAD = b"segshare-journal:marker"
 _ENTRY_AAD = b"segshare-journal:"
 _STAMP_AAD = b"segshare-journal:stamp"
+_EPOCH_AAD = b"segshare-journal:epoch"
+
+
+@dataclass(frozen=True)
+class EpochRecord:
+    """The last committed member's record inside a group-commit epoch.
+
+    ``watermark`` is the entry sequence number at that member's commit:
+    entries at or above it belong to a later, uncommitted member and are
+    the only ones recovery restores.  ``fs_main``/``group_main`` are the
+    rollback guards' expected root hashes over the committed state (empty
+    when the respective guard is absent) — the epoch kept the guard
+    batches in enclave memory, so after a crash the guards are rebuilt
+    from data and checked against these.
+    """
+
+    label: str
+    watermark: int
+    members: int
+    fs_main: bytes
+    group_main: bytes
 
 
 class WriteAheadJournal:
@@ -99,9 +136,15 @@ class WriteAheadJournal:
         self._crash_hook = crash_hook
         self.counter_probe = counter_probe
         self._active = False
+        self._epoch = False
         self._seq = 0
         self._recorded: set[tuple[int, str]] = set()
         self._poisoned: Optional[str] = None
+        #: Set by :meth:`recover_restore` when the crashed batch was a
+        #: group-commit epoch; the recovery epilogue reads it to rebuild
+        #: (rather than merely re-anchor) the guards.  Cleared by
+        #: :meth:`recover_finish`.
+        self.recovered_epoch: Optional[EpochRecord] = None
         #: Invoked after every undo restore (in-process rollback AND crash
         #: recovery).  The storage engine hangs the metadata cache's
         #: ``clear`` here so restored pre-images can never coexist with
@@ -113,6 +156,11 @@ class WriteAheadJournal:
     @property
     def active(self) -> bool:
         return self._active
+
+    @property
+    def in_epoch(self) -> bool:
+        """True while a group-commit epoch is open (between members too)."""
+        return self._active and self._epoch
 
     def crashpoint(self, site: str) -> None:
         if self._crash_hook is not None:
@@ -175,6 +223,111 @@ class WriteAheadJournal:
                 self._backend.delete(entry_key)
         self._recorded.clear()
 
+    # -- group-commit epochs ---------------------------------------------------
+    #
+    # An epoch is a long-lived batch whose marker is shared by K member
+    # transactions.  The per-member commit point is a single put of the
+    # epoch record; the epoch-wide close point is the marker delete.  The
+    # invariant "marker persisted => every mutation has a pre-image"
+    # holds throughout, with the refinement that entries below the
+    # record's watermark cover *committed* members and are garbage.
+
+    def open_epoch(self, label: str) -> None:
+        """Open a group-commit epoch: one marker for many transactions."""
+        self.begin(label)
+        self._epoch = True
+
+    def begin_member(self) -> int:
+        """Start one member transaction; returns its entry-sequence base.
+
+        Pre-image recording restarts: each member records the values the
+        *previous* member committed, so rolling one member back never
+        rewinds past its predecessors.
+        """
+        if not self.in_epoch:
+            raise StorageError("no group-commit epoch is open")
+        self._recorded.clear()
+        return self._seq
+
+    def commit_member(
+        self,
+        member_base: int,
+        fs_main: bytes,
+        group_main: bytes,
+        members: int,
+        label: str,
+    ) -> None:
+        """Commit one member: the epoch-record put is its atomic commit point.
+
+        The record carries the watermark (entries below it are now
+        committed garbage) and the guards' pending root hashes so a crash
+        later in the epoch can verify the restored data before rebuilding
+        the guard trees.  The member's own entries are swept afterwards —
+        a crash mid-sweep leaves sub-watermark garbage that recovery
+        ignores and :meth:`clear` removes.
+        """
+        if not self.in_epoch:
+            raise StorageError("no group-commit epoch is open")
+        self.crashpoint("journal:commit")
+        watermark = self._seq
+        plaintext = (
+            Writer()
+            .str(label)
+            .u64(watermark)
+            .u32(members)
+            .bytes(fs_main)
+            .bytes(group_main)
+            .take()
+        )
+        self._backend.put(
+            _EPOCH_KEY, self._pae.encrypt(self._key, plaintext, aad=_EPOCH_AAD)
+        )
+        self.crashpoint("journal:committed")
+        for seq in range(member_base, watermark):
+            entry_key = f"{_ENTRY_PREFIX}{seq:08d}"
+            if self._backend.exists(entry_key):
+                self._backend.delete(entry_key)
+        self._recorded.clear()
+
+    def rollback_member(self, member_base: int) -> None:
+        """Abort one member: restore and drop its entries; the epoch lives on.
+
+        No guard anchor was written and no counter incremented since the
+        member began (the guards batch for the whole epoch), so restoring
+        the pre-images alone returns storage to the post-previous-member
+        state — no re-anchor is needed and other members are untouched.
+        """
+        if not self.in_epoch:
+            raise StorageError("no group-commit epoch is open")
+        self._restore_entries(min_seq=member_base)
+        for seq in range(member_base, self._seq):
+            entry_key = f"{_ENTRY_PREFIX}{seq:08d}"
+            if self._backend.exists(entry_key):
+                self._backend.delete(entry_key)
+        self._seq = member_base
+        self._recorded.clear()
+
+    def close_epoch(self) -> None:
+        """Close the epoch: the marker delete is the atomic close point.
+
+        Ordering matters: the marker must go *before* the record — a
+        crash in between leaves record-but-no-marker, which recovery
+        treats as a fully-closed epoch (sweep the leftovers).  Deleting
+        the record first would resurrect the legacy restore-all path over
+        a committed epoch's garbage entries.
+        """
+        if not self.in_epoch:
+            raise StorageError("no group-commit epoch is open")
+        self.crashpoint("journal:epoch-close")
+        self._backend.delete(_MARKER_KEY)
+        self._active = False
+        self._epoch = False
+        self.crashpoint("journal:epoch-closed")
+        if self._backend.exists(_EPOCH_KEY):
+            self._backend.delete(_EPOCH_KEY)
+        self._sweep_entries()
+        self._recorded.clear()
+
     def rollback(self) -> None:
         """In-process abort: restore every recorded pre-image.
 
@@ -203,8 +356,11 @@ class WriteAheadJournal:
     def clear(self) -> None:
         """Drop the marker and all entries (after rollback + re-anchor)."""
         self._active = False
+        self._epoch = False
         if self._backend.exists(_MARKER_KEY):
             self._backend.delete(_MARKER_KEY)
+        if self._backend.exists(_EPOCH_KEY):
+            self._backend.delete(_EPOCH_KEY)
         self._sweep_entries()
         self._recorded.clear()
 
@@ -231,7 +387,11 @@ class WriteAheadJournal:
         """
         if not self._backend.exists(_MARKER_KEY):
             # Entries without a marker are garbage from a commit that
-            # crashed mid-sweep; the batch itself was fully applied.
+            # crashed mid-sweep; the batch itself was fully applied.  A
+            # record without a marker is a fully-closed epoch (the marker
+            # delete is the close point) crashed before its own cleanup.
+            if self._backend.exists(_EPOCH_KEY):
+                self._backend.delete(_EPOCH_KEY)
             self._sweep_entries()
             return False
         try:
@@ -253,6 +413,38 @@ class WriteAheadJournal:
                     f"stale write-ahead journal for batch {label!r}: recorded "
                     f"counter {counter_start}, TEE counter {current}"
                 )
+        if self._backend.exists(_EPOCH_KEY):
+            # A group-commit epoch crashed mid-flight.  The record marks
+            # the last committed member's watermark: entries at or above
+            # it belong to the uncommitted member (or the close-phase
+            # guard flush) and are restored; anything below is garbage
+            # from an interrupted sweep and must *not* be restored over
+            # committed members' writes.
+            try:
+                record = self._pae.decrypt(
+                    self._key, self._backend.get(_EPOCH_KEY), aad=_EPOCH_AAD
+                )
+            except IntegrityError:
+                raise RollbackDetected(
+                    "journal epoch record is corrupt or not ours"
+                ) from None
+            er = Reader(record)
+            epoch_label = er.str()
+            watermark = er.u64()
+            members = er.u32()
+            fs_main = er.bytes()
+            group_main = er.bytes()
+            er.expect_end()
+            restored = self._restore_entries(min_seq=watermark)
+            seqs = [int(k[len(_ENTRY_PREFIX) :]) for k in self._entry_keys()]
+            self._seq = max(seqs) + 1 if seqs else watermark
+            self._recorded = set(restored)
+            self._active = True
+            self._epoch = True
+            self.recovered_epoch = EpochRecord(
+                epoch_label, watermark, members, fs_main, group_main
+            )
+            return True
         restored = self._restore_entries()
         # Keep recording while the caller verifies and re-anchors: new
         # slots continue the batch's numbering and already-recorded keys
@@ -265,6 +457,7 @@ class WriteAheadJournal:
     def recover_finish(self) -> None:
         """Finish recovery after the guards re-anchored."""
         self.clear()
+        self.recovered_epoch = None
 
     # -- request stamps (cluster exactly-once) ----------------------------------
 
@@ -306,15 +499,21 @@ class WriteAheadJournal:
         for key in self._entry_keys():
             self._backend.delete(key)
 
-    def _restore_entries(self) -> list[tuple[int, str]]:
+    def _restore_entries(self, min_seq: int = 0) -> list[tuple[int, str]]:
         restored: list[tuple[int, str]] = []
         restore = (
             self._backend.batch()
             if isinstance(self._backend, TransactionalStore)
             else contextlib.nullcontext()
         )
+        entry_keys = [
+            k for k in self._entry_keys() if int(k[len(_ENTRY_PREFIX) :]) >= min_seq
+        ]
+        # Descending: if a key was recorded more than once (recording
+        # restarts per epoch member), the earliest pre-image wins.
+        entry_keys.reverse()
         with restore:
-            for entry_key in self._entry_keys():
+            for entry_key in entry_keys:
                 try:
                     plaintext = self._pae.decrypt(
                         self._key,

@@ -222,9 +222,11 @@ class LockManager:
         """The lock set of one non-streaming request (see :func:`plan_for_request`)."""
         return self.acquire(plan_for_request(user_id, request, quota=quota))
 
-    def for_upload(self, user_id: str, path: str, quota: bool = False) -> AbstractContextManager[None]:
+    def for_upload(
+        self, user_id: str, path: str, quota: bool = False, exists: bool = False
+    ) -> AbstractContextManager[None]:
         """The lock set of a streaming PUT_FILE commit."""
-        return self.acquire(plan_for_upload(user_id, path, quota=quota))
+        return self.acquire(plan_for_upload(user_id, path, quota=quota, exists=exists))
 
     # -- serial resources -----------------------------------------------------
 
@@ -313,13 +315,25 @@ def plan_for_request(user_id: str, request: "Request", quota: bool = False) -> l
     return specs
 
 
-def plan_for_upload(user_id: str, path: str, quota: bool = False) -> list[LockSpec]:
+def plan_for_upload(
+    user_id: str, path: str, quota: bool = False, exists: bool = False
+) -> list[LockSpec]:
     """The lock set of a PUT_FILE commit: the file, its parent listing,
-    the requester's member list, and (with quotas) the quota ledger."""
+    the requester's member list, and (with quotas) the quota ledger.
+
+    ``exists`` is an optimistic pre-check by the caller: overwriting a
+    file never mutates the parent's child listing, so the parent is only
+    *read*-locked — concurrent overwrites of siblings (or of the same
+    file, serialized by the file's own write lock) no longer serialize on
+    the directory.  The check is advisory — if the file vanishes between
+    check and lock, the create path simply runs under a read-locked
+    parent, which the simulation's arrival-order execution tolerates (a
+    native server would re-check under the lock and upgrade).
+    """
     specs = [LockSpec(member_key(user_id)), LockSpec(path, write=True)]
     target_parent = _safe_parent(path)
     if target_parent is not None:
-        specs.append(LockSpec(target_parent, write=True))
+        specs.append(LockSpec(target_parent, write=not exists))
     if quota:
         specs.append(LockSpec(QUOTA_KEY, write=True))
     return specs

@@ -581,6 +581,7 @@ class UploadSink:
                 self._user_id,
                 self._path,
                 quota=self._handler._quota_bytes is not None,
+                exists=self._handler._manager.exists(self._path),
             ):
                 with self._handler._manager.transaction("PUT_FILE"):
                     response = self._handler._commit_upload(

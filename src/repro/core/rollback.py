@@ -189,6 +189,34 @@ class RollbackGuard:
         self._pending_nodes = {}
         self._pending_root_main = None
 
+    # -- group-commit epoch support ------------------------------------------------
+    #
+    # During an epoch the batch stays open across K member transactions;
+    # aborting one member must rewind the in-enclave pending state to
+    # where that member started without touching earlier members' nodes.
+
+    def snapshot_pending(self) -> tuple[dict[str, bytes], bytes | None]:
+        """Deep-copy the pending batch state (taken at member begin)."""
+        return (
+            {path: node.serialize() for path, node in self._pending_nodes.items()},
+            self._pending_root_main,
+        )
+
+    def restore_pending(self, snap: tuple[dict[str, bytes], bytes | None]) -> None:
+        """Rewind the pending batch state to a member-begin snapshot."""
+        nodes, root_main = snap
+        self._batching = True
+        self._pending_nodes = {
+            path: _Node.deserialize(self._key, data) for path, data in nodes.items()
+        }
+        self._pending_root_main = root_main
+
+    def expected_main(self) -> bytes:
+        """The root main hash the current (possibly pending) state anchors to."""
+        if self._batching and self._pending_root_main is not None:
+            return self._pending_root_main
+        return self._read_anchor()[0]
+
     # -- hashing -------------------------------------------------------------------
 
     def _charge_hash(self, nbytes: int) -> None:
@@ -639,6 +667,53 @@ class FlatStoreGuard:
         self._batching = False
         self._pending_buckets = None
         self._pending_main = None
+
+    # -- group-commit epoch support (see RollbackGuard) -----------------------------
+
+    def snapshot_pending(self) -> tuple[bytes | None, bytes | None]:
+        if self._pending_buckets is None:
+            serialized = None
+        else:
+            w = Writer().u32(len(self._pending_buckets))
+            for bucket in self._pending_buckets:
+                w.bytes(bucket.serialize())
+            serialized = w.take()
+        return serialized, self._pending_main
+
+    def restore_pending(self, snap: tuple[bytes | None, bytes | None]) -> None:
+        serialized, main = snap
+        self._batching = True
+        if serialized is None:
+            self._pending_buckets = None
+        else:
+            r = Reader(serialized)
+            count = r.u32()
+            self._pending_buckets = [
+                MSetXorHash.deserialize(self._key, r.bytes()) for _ in range(count)
+            ]
+            r.expect_end()
+        self._pending_main = main
+
+    def expected_main(self) -> bytes:
+        """The node main hash the current (possibly pending) state anchors to."""
+        if self._batching and self._pending_main is not None:
+            return self._pending_main
+        r = Reader(self._manager.raw_group_read(self._ANCHOR_PATH))
+        stored_main = r.bytes()
+        r.u64()
+        r.expect_end()
+        return stored_main
+
+    def recompute_main(self) -> bytes:
+        """Recompute the node main hash from stored group files, writing
+        nothing — the consistency check of epoch crash recovery."""
+        buckets = [MSetXorHash(self._key) for _ in range(self._buckets)]
+        for path in self._manager.group_logical_paths():
+            data = self._manager.raw_group_read(path)
+            buckets[self._bucket_of(path)].add(
+                self._leaf_main(path, hashlib.sha256(data).digest())
+            )
+        return self._node_main(buckets)
 
     def _leaf_main(self, path: str, content_hash: bytes) -> bytes:
         return hmac.new(

@@ -88,6 +88,19 @@ class SeGShareServer:
         router = self.stores.router
         if router is not None and hasattr(router, "stats"):
             stats["shards"] = router.stats()
+        # The switchless pool is host-side machinery too.
+        sw = self.switchless.stats
+        stats["switchless"] = {
+            "submitted": sw.submitted,
+            "fast": sw.fast,
+            "fallback": sw.fallback,
+            "dispatched": sw.dispatched,
+            "worker_wait_s": round(sw.worker_wait_s, 9),
+            "spins": sw.spins,
+            "parks": sw.parks,
+            "wakes": sw.wakes,
+            "queued": sw.queued,
+        }
         # Likewise cluster routing and failover: untrusted front-door
         # machinery, so its counters live outside the enclave.
         if self.cluster is not None:

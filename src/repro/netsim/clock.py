@@ -193,13 +193,19 @@ class ParallelClock(SimClock):
         self.tracks.append(track)
         return track
 
-    def close_track(self, track: TrackClock) -> None:
-        """Close the innermost track (must be ``track``) and merge its end."""
+    def close_track(self, track: TrackClock, join: bool = True) -> None:
+        """Close the innermost track (must be ``track``) and merge its end.
+
+        ``join=False`` models an *asynchronous* sub-task — background work
+        (like a group-commit epoch close) that nobody waits on directly:
+        the caller's timeline does not advance, but the track's end still
+        counts toward the makespan.
+        """
         if not self._stack or self._stack[-1] is not track:
             raise RuntimeError("tracks must close LIFO (innermost first)")
         self._stack.pop()
         track.end = track.now()
-        if self._stack:
+        if join and self._stack:
             # A nested track is a synchronous sub-task: its caller resumes
             # when it finishes.
             self._stack[-1].advance_to(track.end, account="join")

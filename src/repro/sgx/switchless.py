@@ -42,6 +42,14 @@ class SwitchlessStats:
     dispatched: int = 0
     #: Virtual seconds dispatched tasks spent queued for a free worker.
     worker_wait_s: float = 0.0
+    #: Adaptive-pool counters: tasks picked up by a spinning worker, idle
+    #: workers parked past the spin window, parked workers woken (a full
+    #: transition — the pool growing back), and tasks queued behind a busy
+    #: worker (handed off without a transition).
+    spins: int = 0
+    parks: int = 0
+    wakes: int = 0
+    queued: int = 0
 
 
 class SwitchlessQueue:
@@ -54,13 +62,27 @@ class SwitchlessQueue:
     concurrent load at legacy call sites.
     """
 
-    def __init__(self, clock: SimClock | None, costs: SgxCostModel, workers: int = 4) -> None:
+    def __init__(
+        self,
+        clock: SimClock | None,
+        costs: SgxCostModel,
+        workers: int = 4,
+        spin_window: float = 100e-6,
+    ) -> None:
         if workers < 1:
             raise ValueError("the worker pool needs at least one worker")
         self._clock = clock
         self._costs = costs
         self.workers = workers
+        #: How long an idle worker spins before parking (the SDK's
+        #: retries_before_sleep, expressed in virtual time).  The live
+        #: pool shrinks by parking idle workers and grows back by waking
+        #: them, a wake costing a full transition.
+        self.spin_window = spin_window
         self.stats = SwitchlessStats()
+        #: Lazily seeded on the first dispatch: the pool spins up when
+        #: service starts, not at t=0 (setup work predates traffic).
+        self._primed = False
         #: Extra load injected by the :meth:`concurrency` shim.
         self._extra_load = 0
         #: Tasks currently executing (their track or submit call is open).
@@ -130,12 +152,16 @@ class SwitchlessQueue:
         """Run ``fn`` on its own track through the worker pool.
 
         The task's track opens at ``arrival`` (default: the clock's
-        current time).  If a worker is free at arrival the task starts
-        immediately as a cheap switchless call; otherwise it pays the
-        regular transition cost (the SDK fallback) and waits for the
-        earliest worker, the wait charged to the ``worker-wait`` account.
-        Without a :class:`ParallelClock` this degrades to :meth:`submit`
-        — the serial model stays available everywhere.
+        current time).  The pool is adaptive, after the SDK's switchless
+        design: a worker finishing a task spins for ``spin_window``
+        before parking, so a task arriving within the window is picked up
+        as a cheap switchless call; one arriving later must wake a parked
+        worker — a full transition.  When every live worker is busy the
+        task queues for the earliest one (charged to ``worker-wait``) and
+        is handed off without a transition — the worker is already
+        running in the enclave.  Without a :class:`ParallelClock` this
+        degrades to :meth:`submit` — the serial model stays available
+        everywhere.
         """
         clock = self._clock
         if not isinstance(clock, ParallelClock):
@@ -144,20 +170,41 @@ class SwitchlessQueue:
         self.stats.dispatched += 1
         when = clock.now() if arrival is None else arrival
         self._prune(when)
-        if len(self._worker_free) < self.workers:
-            free = 0.0  # a worker slot has never been used: free since t=0
-        else:
-            free = heapq.heappop(self._worker_free)
+        if not self._primed:
+            self._primed = True
+            self._worker_free = [when] * self.workers
+        # Dispatches are processed in arrival order, so every non-parked
+        # worker's release time is in the heap at this point: workers idle
+        # past the spin window have parked (the pool shrinking under low
+        # load).
+        while self._worker_free and self._worker_free[0] < when - self.spin_window:
+            heapq.heappop(self._worker_free)
+            self.stats.parks += 1
         track = clock.open_track(label, start=when)
         self._open += 1
         try:
-            if free > when:
+            if self._worker_free and self._worker_free[0] <= when:
+                # A spinning worker picks the task up immediately.
+                heapq.heappop(self._worker_free)
+                self.stats.fast += 1
+                self.stats.spins += 1
+                cost = self._costs.switchless_call
+            elif len(self._worker_free) < self.workers:
+                # Every live worker is busy or parked: wake a parked one.
+                # Its release lands in the heap when this task completes —
+                # the pool growing back under load.
                 self.stats.fallback += 1
-                self.stats.worker_wait_s += free - when
-                clock.advance_to(free, account="worker-wait")
+                self.stats.wakes += 1
                 cost = self._costs.ocall_transition
             else:
+                # All workers live but busy: queue for the earliest.  The
+                # handoff needs no transition — the worker is already
+                # inside the enclave.
+                free = heapq.heappop(self._worker_free)
                 self.stats.fast += 1
+                self.stats.queued += 1
+                self.stats.worker_wait_s += free - when
+                clock.advance_to(free, account="worker-wait")
                 cost = self._costs.switchless_call
             clock.charge(cost, account="transitions")
             return fn(*args, **kwargs)

@@ -47,6 +47,7 @@ from repro.core.journal import (
     WriteAheadJournal,
 )
 from repro.errors import EnclaveCrashed, ReproError, StorageError
+from repro.netsim.clock import ParallelClock
 from repro.storage.backends import UntrustedStore
 from repro.storage.stores import StoreSet
 
@@ -83,6 +84,55 @@ class TransactionStats:
 
     def snapshot(self) -> dict:
         return asdict(self)
+
+
+@dataclass
+class GroupCommitStats:
+    """Counters over the group-commit coordinator's epoch lifecycle."""
+
+    epochs: int = 0  # epochs closed
+    members_total: int = 0  # member transactions committed inside epochs
+    max_members: int = 0  # largest epoch seen
+    marker_writes_saved: int = 0  # vs one marker persist per transaction
+    anchor_writes_saved: int = 0  # vs one anchor write per guard per txn
+    counter_increments_saved: int = 0  # vs one increment per guard per txn
+
+    def __post_init__(self) -> None:
+        #: str(members) -> count of epochs that closed at that size.
+        self.histogram: dict[str, int] = {}
+        #: close reason ("window" / "cap" / "quiesce") -> count.
+        self.closes: dict[str, int] = {}
+
+    def snapshot(self) -> dict:
+        out = asdict(self)
+        out["histogram"] = dict(self.histogram)
+        out["closes"] = dict(self.closes)
+        return out
+
+
+class GroupCommitCoordinator:
+    """Bookkeeping for one open commit epoch (enclave memory only).
+
+    ``release`` is the virtual time the last member finished committing:
+    a transaction that *begins* before it overlapped an in-flight member
+    and joins the epoch; one that begins after it found the pipeline
+    drained, so the epoch closes first (group commit never delays a lone
+    writer waiting for company — on a serial timeline every transaction
+    begins after the previous one's release and K stays 1).
+    """
+
+    #: Epochs close at this many members even under continuous overlap, so
+    #: an unbounded write burst cannot defer the guard flush forever.
+    MAX_MEMBERS = 32
+
+    def __init__(self) -> None:
+        self.stats = GroupCommitStats()
+        self.open = False
+        self.release = 0.0
+        self.members = 0
+        #: True while a member transaction span is executing; transactions
+        #: started inside it are nested and must join it, not the epoch.
+        self.in_member = False
 
 
 class DeferredStore(UntrustedStore):
@@ -316,6 +366,10 @@ class StorageEngine:
         self.group_guard: "FlatStoreGuard | None" = None
         self.dedup: "DedupStore | None" = None
         self.stats = TransactionStats()
+        #: Group-commit coordinator; installed by :meth:`enable_group_commit`
+        #: once the guards are wired (``None`` keeps the serial commit path
+        #: byte-for-byte untouched).
+        self.group_commit: GroupCommitCoordinator | None = None
         #: Cluster request token to persist with the next transaction.
         #: Set via the ``cluster_begin_request`` ECALL before a routed
         #: request runs; the transaction writes the sealed stamp through
@@ -351,6 +405,31 @@ class StorageEngine:
         """The dedup index must be re-read after an undo-log restore."""
         self.dedup = dedup
 
+    def enable_group_commit(self) -> None:
+        """Let overlapping transactions share one journal-commit epoch.
+
+        Only meaningful on a parallel clock (a serial timeline never
+        overlaps, so every epoch would close at K=1 having paid the epoch
+        bookkeeping for nothing — the serial model stays bit-identical by
+        not installing the coordinator at all) and only correct with guard
+        batching (the epoch defers the guards' node/anchor flush to its
+        close).
+        """
+        if self.journal is None or self._enclave is None:
+            return
+        clock = self._enclave.platform.clock
+        if not isinstance(clock, ParallelClock):
+            return
+        if (self.guard is not None or self.group_guard is not None) and not self._guard_batching:
+            return
+        self.group_commit = GroupCommitCoordinator()
+
+    def quiesce(self) -> None:
+        """Close any open epoch (bench boundaries, cluster hand-offs)."""
+        group = self.group_commit
+        if group is not None and group.open:
+            self._close_epoch("quiesce")
+
     # -- the transaction span ------------------------------------------------
 
     @contextlib.contextmanager
@@ -365,7 +444,23 @@ class StorageEngine:
         re-anchored).  Nested transactions join the outer one.
         """
         journal = self.journal
-        if journal is None or journal.active:
+        if journal is None:
+            yield
+            return
+        group = self.group_commit
+        if group is not None:
+            if group.in_member or (journal.active and not group.open):
+                # Nested inside an epoch member — or the journal is active
+                # without an epoch of ours, i.e. crash recovery restored an
+                # epoch and kept recording open (takeover): join it as a
+                # plain span so recovery writes stay journaled until
+                # recover_finish, instead of opening a second epoch over it.
+                yield
+                return
+            with self._group_member(label):
+                yield
+            return
+        if journal.active:
             yield
             return
         journal.begin(label)
@@ -422,6 +517,137 @@ class StorageEngine:
             self._apply_write_backs()
             self.stats.commits += 1
             self.stats.last_commit_puts = self.stats.puts - puts_before
+
+    # -- group commit ---------------------------------------------------------
+
+    @contextlib.contextmanager
+    def _group_member(self, label: str) -> Iterator[None]:
+        """One member transaction inside a (possibly shared) commit epoch.
+
+        The member's atomic commit point is a single epoch-record put
+        (:meth:`WriteAheadJournal.commit_member`); the marker persist,
+        batched guard-node flush, anchor write, and monotonic-counter
+        increment are all paid once per *epoch*, at close.  Each member
+        still records its own undo pre-images, so aborting one rolls back
+        exactly its writes while earlier members' commits stand.
+        """
+        journal = self.journal
+        group = self.group_commit
+        clock = self._enclave.platform.clock
+        assert journal is not None and group is not None and clock is not None
+        now = clock.now()
+        if group.open and (now > group.release or group.members >= group.MAX_MEMBERS):
+            # This transaction did not overlap the last member (or the
+            # epoch is full): flush the epoch's deferred guard state
+            # first.  The close runs as background work anchored at the
+            # last member's release; the opener below rendezvouses on
+            # "journal-commit" and so waits for it — honest commit-wait.
+            self._close_epoch("window" if now > group.release else "cap")
+        if not group.open:
+            with self._commit_point():
+                journal.open_epoch(label)
+            self._begin_guard_batches()
+            group.open = True
+            group.members = 0
+            group.release = clock.now()
+        member_base = journal.begin_member()
+        snap_fs = self.guard.snapshot_pending() if self.guard is not None else None
+        snap_group = (
+            self.group_guard.snapshot_pending() if self.group_guard is not None else None
+        )
+        for store in self._deferred:
+            store.arm()
+        stamp, self.pending_stamp = self.pending_stamp, None
+        if stamp is not None:
+            # Buffered and flushed with *this member's* group: the stamp
+            # becomes durable at the member's commit record, so a cluster
+            # successor sees it even though the epoch is still open.
+            key, sealed = journal.seal_stamp(stamp)
+            self.backends.content.put(key, sealed)
+        puts_before = self.stats.puts
+        group.in_member = True
+        try:
+            yield
+            with self._commit_point():
+                self._flush_deferred()
+                journal.commit_member(
+                    member_base,
+                    self.guard.expected_main() if self.guard is not None else b"",
+                    self.group_guard.expected_main()
+                    if self.group_guard is not None
+                    else b"",
+                    group.members + 1,
+                    label,
+                )
+        except EnclaveCrashed:
+            raise
+        except BaseException:
+            for store in self._deferred:
+                store.discard()
+            self._write_backs.clear()
+            if self.guard is not None and snap_fs is not None:
+                self.guard.restore_pending(snap_fs)
+            if self.group_guard is not None and snap_group is not None:
+                self.group_guard.restore_pending(snap_group)
+            try:
+                # No anchor was written and no counter incremented since
+                # this member began (both are deferred to epoch close), so
+                # restoring the pre-images is the whole rollback: no
+                # re-anchor, and the epoch stays open for other members.
+                journal.rollback_member(member_base)
+            except EnclaveCrashed:
+                raise
+            except ReproError as rollback_exc:
+                journal.poison(
+                    f"rollback of transaction {label!r} failed: {rollback_exc}"
+                )
+            self.stats.aborts += 1
+            raise
+        else:
+            group.release = clock.now()
+            group.members += 1
+            group.stats.members_total += 1
+            self._apply_write_backs()
+            self.stats.commits += 1
+            self.stats.last_commit_puts = self.stats.puts - puts_before
+        finally:
+            group.in_member = False
+
+    def _close_epoch(self, reason: str) -> None:
+        """Flush the epoch's deferred guard state and drop the marker.
+
+        One batched guard-node flush, one anchor write (plus counter
+        increment) per guard, one marker delete — amortized over every
+        member the epoch carried.  The work runs on a background track
+        starting at the last member's release: no request waits on it
+        directly, but the next epoch's opener meets it at the
+        "journal-commit" rendezvous and the makespan includes it.
+        """
+        journal = self.journal
+        group = self.group_commit
+        clock = self._enclave.platform.clock
+        assert journal is not None and group is not None and clock is not None
+        bg = clock.open_track("group-commit-close", start=group.release)
+        try:
+            with self._commit_point():
+                self._commit_guard_batches()
+                journal.close_epoch()
+        finally:
+            clock.close_track(bg, join=False)
+        group.open = False
+        stats = group.stats
+        members = group.members
+        stats.epochs += 1
+        stats.histogram[str(members)] = stats.histogram.get(str(members), 0) + 1
+        stats.closes[reason] = stats.closes.get(reason, 0) + 1
+        if members > stats.max_members:
+            stats.max_members = members
+        if members > 1:
+            saved = members - 1
+            guards = (self.guard is not None) + (self.group_guard is not None)
+            stats.marker_writes_saved += saved
+            stats.anchor_writes_saved += saved * guards
+            stats.counter_increments_saved += saved * guards
 
     def _commit_point(self) -> "contextlib.AbstractContextManager[None]":
         """The journal's commit record is one serial resource.

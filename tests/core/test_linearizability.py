@@ -217,6 +217,7 @@ def test_concurrent_equals_some_serial_order(chunk):
     """SEEDS seeded schedules, 10 per pytest case: concurrent result ==
     the serial witness run, for responses and final logical state."""
     overlapped = 0
+    grouped = 0
     for seed in range(chunk * (SEEDS // 10), (chunk + 1) * (SEEDS // 10)):
         server, executed, results, drv = run_concurrent(seed)
         assert len(executed) == len(USERS) * OPS_PER_CLIENT
@@ -230,9 +231,16 @@ def test_concurrent_equals_some_serial_order(chunk):
         server.enclave.guard.verify_restored_state()
         if drv.busy_seconds > drv.makespan * 1.0001:
             overlapped += 1
+        # The serial witness never forms groups (serial clock, no
+        # coordinator); the concurrent run may coalesce commits freely.
+        assert serial_server.enclave.engine.group_commit is None
+        if server.enclave.engine.group_commit.stats.max_members > 1:
+            grouped += 1
     # The property must not hold vacuously: most schedules genuinely
-    # overlap requests in virtual time.
+    # overlap requests in virtual time, and the overlap reaches the
+    # commit path — some schedules coalesce multi-member epochs.
     assert overlapped >= (SEEDS // 10) // 2
+    assert grouped >= 1
 
 
 class TestCrashDuringConcurrentSchedule:

@@ -1,0 +1,249 @@
+"""Group commit: concurrently-prepared transactions share one commit epoch.
+
+The coordinator coalesces transactions whose begin time falls inside the
+open epoch's window into one journal marker, one batched guard flush,
+one anchor write, and one counter increment — amortized over K members.
+Each member still keeps its own undo pre-images: a member abort rolls
+back exactly its writes while earlier members' commits stand, and a
+stamp committed inside a still-open epoch is durable across a crash.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.concurrency import parallel_env
+from repro.core.enclave_app import SeGShareOptions
+from repro.core.requests import Op, Request, Status
+from repro.core.server import SeGShareServer
+from repro.faults import FaultPlan, faulty_stores
+from repro.netsim import azure_wan_env
+from repro.pki import CertificateAuthority
+from repro.storage.stores import StoreSet
+
+#: One CA for the whole module — RSA keygen dominates setup otherwise.
+_CA = CertificateAuthority(key_bits=1024)
+
+
+def build_server(parallel: bool = True, stores=None, **overrides) -> SeGShareServer:
+    options = SeGShareOptions(
+        rollback="whole_fs",
+        counter_kind="rote",
+        rollback_buckets=8,
+        journal=True,
+        switchless_workers=4,
+        **overrides,
+    )
+    env = parallel_env() if parallel else azure_wan_env()
+    return SeGShareServer(env, _CA.public_key, stores=stores, options=options)
+
+
+def setup_dir(server: SeGShareServer) -> None:
+    handler = server.enclave.handler
+    response = handler.handle("alice", Request(op=Op.PUT_DIR, args=("/d/",)))
+    assert response.status is Status.OK
+    # Close the epoch the setup writes opened so each test measures only
+    # its own dispatches.
+    server.enclave.engine.quiesce()
+
+
+def put_thunk(server: SeGShareServer, path: str, content: bytes):
+    handler = server.enclave.handler
+
+    def thunk():
+        assert handler.put_file("alice", path, content).status is Status.OK
+
+    return thunk
+
+
+class TestCoordinatorWiring:
+    def test_serial_clock_has_no_coordinator(self):
+        server = build_server(parallel=False)
+        assert server.enclave.engine.group_commit is None
+        # Serial stats stay exactly as before: no group_commit section.
+        assert "group_commit" not in server.stats()
+
+    def test_parallel_clock_installs_coordinator(self):
+        server = build_server(parallel=True)
+        engine = server.enclave.engine
+        assert engine.group_commit is not None
+        stats = server.stats()
+        assert set(stats["group_commit"]) >= {
+            "epochs",
+            "members_total",
+            "max_members",
+            "histogram",
+            "closes",
+            "marker_writes_saved",
+            "anchor_writes_saved",
+            "counter_increments_saved",
+        }
+
+
+class TestEpochFormation:
+    def test_overlapping_writes_share_one_epoch(self):
+        server = build_server()
+        engine = server.enclave.engine
+        setup_dir(server)
+        stats = engine.group_commit.stats
+        epochs0, members0 = stats.epochs, stats.members_total
+        marker0, anchor0 = stats.marker_writes_saved, stats.anchor_writes_saved
+        counter0 = stats.counter_increments_saved
+
+        t0 = server.env.clock.now()
+        server.switchless.dispatch(put_thunk(server, "/d/a", b"one"), arrival=t0)
+        server.switchless.dispatch(put_thunk(server, "/d/b", b"two"), arrival=t0)
+        engine.quiesce()
+
+        assert stats.epochs == epochs0 + 1
+        assert stats.members_total == members0 + 2
+        assert stats.histogram.get("2", 0) >= 1
+        assert stats.max_members >= 2
+        # One marker persist amortized over two members; whole-fs and
+        # group guards each saved one anchor write + counter increment.
+        assert stats.marker_writes_saved == marker0 + 1
+        assert stats.anchor_writes_saved == anchor0 + 2
+        assert stats.counter_increments_saved == counter0 + 2
+
+        manager = server.enclave.manager
+        assert manager.read_content("/d/a") == b"one"
+        assert manager.read_content("/d/b") == b"two"
+        server.enclave.guard.verify_restored_state()
+
+    def test_closed_loop_client_stays_single_member(self):
+        """A single closed-loop client never overlaps its own requests:
+        every transaction misses the previous epoch's window, so groups
+        stay at K=1 and nothing is amortized (the serial cost model)."""
+        server = build_server()
+        engine = server.enclave.engine
+        setup_dir(server)
+        stats = engine.group_commit.stats
+        epochs0, saved0 = stats.epochs, stats.marker_writes_saved
+
+        arrival = server.env.clock.now()
+        for i in range(3):
+            server.switchless.dispatch(
+                put_thunk(server, f"/d/f{i}", b"x" * 16), arrival=arrival
+            )
+            arrival = server.switchless.last_track.end
+        engine.quiesce()
+
+        assert stats.epochs == epochs0 + 3
+        assert stats.marker_writes_saved == saved0
+        assert stats.histogram.get("2", 0) == 0
+
+    def test_quiesce_close_reason_is_counted(self):
+        server = build_server()
+        engine = server.enclave.engine
+        setup_dir(server)
+        stats = engine.group_commit.stats
+        quiesced0 = stats.closes.get("quiesce", 0)
+        t0 = server.env.clock.now()
+        server.switchless.dispatch(put_thunk(server, "/d/q", b"q"), arrival=t0)
+        engine.quiesce()
+        assert stats.closes.get("quiesce", 0) == quiesced0 + 1
+        # Quiescing with no open epoch is a no-op, not another close.
+        engine.quiesce()
+        assert stats.closes.get("quiesce", 0) == quiesced0 + 1
+
+
+class TestMemberAtomicity:
+    def test_member_abort_rolls_back_only_that_member(self):
+        plan = FaultPlan()
+        stores = faulty_stores(StoreSet.in_memory(), plan)
+        server = build_server(stores=stores)
+        engine = server.enclave.engine
+        handler = server.enclave.handler
+        setup_dir(server)
+
+        # Measure a put's store-op footprint with a probe write.
+        ops0 = plan.store_ops
+        t0 = server.env.clock.now()
+        server.switchless.dispatch(put_thunk(server, "/d/probe", b"probe"), arrival=t0)
+        per_put = plan.store_ops - ops0
+        engine.quiesce()
+
+        aborts0 = engine.stats.aborts
+        t1 = server.env.clock.now()
+        server.switchless.dispatch(put_thunk(server, "/d/ok", b"committed"), arrival=t1)
+        # Fault the second member mid-batch: it must abort alone.
+        plan.fail_nth(nth=max(1, per_put // 2))
+
+        def failing():
+            response = handler.put_file("alice", "/d/bad", b"doomed")
+            assert response.status is Status.RETRY
+
+        server.switchless.dispatch(failing, arrival=t1)
+        engine.quiesce()
+
+        assert engine.stats.aborts == aborts0 + 1
+        manager = server.enclave.manager
+        assert manager.read_content("/d/ok") == b"committed"
+        assert not manager.exists("/d/bad")
+        server.enclave.guard.verify_restored_state()
+
+        # The aborted request retries cleanly on the same server.
+        t2 = server.env.clock.now()
+        server.switchless.dispatch(put_thunk(server, "/d/bad", b"doomed"), arrival=t2)
+        engine.quiesce()
+        assert manager.read_content("/d/bad") == b"doomed"
+
+
+class TestEpochDurability:
+    def test_member_commit_survives_crash_with_epoch_open(self):
+        """A member committed inside a still-open epoch is durable: the
+        epoch record (not the closed marker) is its commit point."""
+        server = build_server()
+        engine = server.enclave.engine
+        setup_dir(server)
+        t0 = server.env.clock.now()
+        server.switchless.dispatch(put_thunk(server, "/d/x", b"durable"), arrival=t0)
+        assert engine.group_commit.open  # crash before the epoch closes
+
+        server.restart_enclave()
+        server.enclave.guard.verify_restored_state()
+        assert server.enclave.manager.read_content("/d/x") == b"durable"
+
+    def test_stamp_committed_in_group_visible_after_takeover(self):
+        """The failover stamp a member flushes at its commit point must be
+        readable after a crash with the epoch still open — the cluster's
+        exactly-once decision depends on it."""
+        server = build_server()
+        engine = server.enclave.engine
+        setup_dir(server)
+        server.handle.call("cluster_begin_request", "req:epoch-0001")
+        t0 = server.env.clock.now()
+        server.switchless.dispatch(put_thunk(server, "/d/y", b"stamped"), arrival=t0)
+        assert engine.group_commit.open
+
+        server.restart_enclave()
+        assert server.handle.call("cluster_last_committed_stamp") == "req:epoch-0001"
+        assert server.enclave.manager.read_content("/d/y") == b"stamped"
+
+    def test_uncommitted_stamp_rolls_back_with_its_member(self):
+        plan = FaultPlan()
+        stores = faulty_stores(StoreSet.in_memory(), plan)
+        server = build_server(stores=stores)
+        engine = server.enclave.engine
+        handler = server.enclave.handler
+        setup_dir(server)
+
+        ops0 = plan.store_ops
+        t0 = server.env.clock.now()
+        server.switchless.dispatch(put_thunk(server, "/d/probe", b"probe"), arrival=t0)
+        per_put = plan.store_ops - ops0
+        engine.quiesce()
+        committed_before = server.handle.call("cluster_last_committed_stamp")
+
+        server.handle.call("cluster_begin_request", "req:doomed-0001")
+        plan.fail_nth(nth=max(1, per_put // 2))
+
+        def failing():
+            response = handler.put_file("alice", "/d/never", b"doomed")
+            assert response.status is Status.RETRY
+
+        t1 = server.env.clock.now()
+        server.switchless.dispatch(failing, arrival=t1)
+        engine.quiesce()
+        # The aborted member's stamp never reached the committed slot.
+        assert server.handle.call("cluster_last_committed_stamp") == committed_before
