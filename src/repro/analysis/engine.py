@@ -17,9 +17,11 @@ here is the mechanics shared by all rules:
 from __future__ import annotations
 
 import ast
+import io
 import json
 import os
 import re
+import tokenize
 from collections import Counter
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -59,33 +61,72 @@ class SourceModule:
         self.source = source
         self.tree = ast.parse(source, filename=str(path))
         self._ignores = self._scan_ignores(source)
+        #: target lines whose suppression actually waived a finding this run
+        self._used_ignores: set[int] = set()
 
     @staticmethod
-    def _scan_ignores(source: str) -> dict[int, frozenset[str] | None]:
-        """Line -> suppressed rule ids (``None`` = every rule).
+    def _scan_ignores(source: str) -> dict[int, tuple[int, frozenset[str] | None]]:
+        """Target line -> (comment line, suppressed rule ids; ``None`` = all).
 
         A trailing comment suppresses its own line; a comment-only line
         suppresses the line below it.
         """
-        ignores: dict[int, frozenset[str] | None] = {}
-        for lineno, line in enumerate(source.splitlines(), start=1):
-            match = _IGNORE_RE.search(line)
-            if match is None:
-                continue
-            rules: frozenset[str] | None
-            if match.group(1) is None:
-                rules = None
-            else:
-                rules = frozenset(
-                    part.strip() for part in match.group(1).split(",") if part.strip()
-                )
-            target = lineno + 1 if line.lstrip().startswith("#") else lineno
-            ignores[target] = rules
+        ignores: dict[int, tuple[int, frozenset[str] | None]] = {}
+        lines = source.splitlines()
+        try:
+            # Tokenize so the marker only counts inside real comments —
+            # a docstring that *mentions* the syntax is not a suppression.
+            for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+                if tok.type != tokenize.COMMENT:
+                    continue
+                match = _IGNORE_RE.search(tok.string)
+                if match is None:
+                    continue
+                rules: frozenset[str] | None
+                if match.group(1) is None:
+                    rules = None
+                else:
+                    rules = frozenset(
+                        part.strip() for part in match.group(1).split(",") if part.strip()
+                    )
+                lineno = tok.start[0]
+                own_line = not lines[lineno - 1][: tok.start[1]].strip()
+                target = lineno + 1 if own_line else lineno
+                ignores[target] = (lineno, rules)
+        except tokenize.TokenError:
+            pass
         return ignores
 
     def is_suppressed(self, rule: str, line: int) -> bool:
-        rules = self._ignores.get(line, frozenset())
-        return rules is None or rule in rules
+        entry = self._ignores.get(line)
+        if entry is None:
+            return False
+        _, rules = entry
+        if rules is None or rule in rules:
+            self._used_ignores.add(line)
+            return True
+        return False
+
+    def unused_suppressions(self, selected: frozenset[str] | None) -> Iterator[tuple[int, str]]:
+        """(comment line, description) for suppressions that waived nothing.
+
+        A suppression only counts as unused when the run could have used
+        it: with a rule subset selected (``selected`` non-``None``), a
+        suppression naming only unselected rules is skipped rather than
+        flagged, and bare ``seglint: ignore`` comments are only judged on
+        full runs.
+        """
+        for target, (comment_line, rules) in sorted(self._ignores.items()):
+            if target in self._used_ignores:
+                continue
+            if rules is None:
+                if selected is not None:
+                    continue
+                yield comment_line, "seglint: ignore"
+            else:
+                if selected is not None and not (rules & selected):
+                    continue
+                yield comment_line, f"seglint: ignore[{', '.join(sorted(rules))}]"
 
 
 def module_name_for(path: Path) -> str:
@@ -131,12 +172,46 @@ def load_modules(paths: Iterable[str | Path]) -> list[SourceModule]:
     return modules
 
 
-def analyze_paths(
+@dataclass
+class AnalysisContext:
+    """Everything a rule may consult: modules, boundary, shared call graph.
+
+    The call graph is built lazily on first access and cached, so a run
+    of purely intraprocedural rules never pays for it and every
+    interprocedural rule shares one graph.
+    """
+
+    modules: list[SourceModule]
+    boundary: BoundaryMap
+
+    def __post_init__(self) -> None:
+        self._graph: object | None = None
+
+    @property
+    def graph(self):  # -> repro.analysis.callgraph.CallGraph
+        if self._graph is None:
+            from repro.analysis.callgraph import CallGraph
+
+            self._graph = CallGraph(self.modules)
+        return self._graph
+
+
+@dataclass
+class AnalysisResult:
+    """Findings plus the per-module state the CLI reports on."""
+
+    findings: list[Finding]
+    modules: list[SourceModule]
+    #: (rel_path, comment line, description) of suppressions that waived nothing
+    unused_suppressions: list[tuple[str, int, str]]
+
+
+def run_analysis(
     paths: Iterable[str | Path],
     boundary: BoundaryMap,
     rules: Iterable[str] | None = None,
-) -> list[Finding]:
-    """Run the selected rules (default: all) and return unsuppressed findings."""
+) -> AnalysisResult:
+    """Run the selected rules (default: all) over one shared context."""
     from repro.analysis.rules import REGISTRY
 
     selected = list(REGISTRY) if rules is None else list(rules)
@@ -145,22 +220,44 @@ def analyze_paths(
         raise BoundaryError(f"unknown rule(s): {', '.join(unknown)}")
     modules = load_modules(paths)
     by_rel = {module.rel_path: module for module in modules}
+    ctx = AnalysisContext(modules, boundary)
     findings: list[Finding] = []
     for rule_id in selected:
-        for finding in REGISTRY[rule_id](modules, boundary):
+        for finding in REGISTRY[rule_id](ctx):
             module = by_rel.get(finding.path)
             if module is not None and module.is_suppressed(finding.rule, finding.line):
                 continue
             findings.append(finding)
     findings.sort(key=lambda f: (f.path, f.line, f.rule))
-    return findings
+    subset = None if rules is None else frozenset(selected)
+    unused = [
+        (module.rel_path, line, text)
+        for module in modules
+        for line, text in module.unused_suppressions(subset)
+    ]
+    return AnalysisResult(findings=findings, modules=modules, unused_suppressions=unused)
+
+
+def analyze_paths(
+    paths: Iterable[str | Path],
+    boundary: BoundaryMap,
+    rules: Iterable[str] | None = None,
+) -> list[Finding]:
+    """Run the selected rules (default: all) and return unsuppressed findings."""
+    return run_analysis(paths, boundary, rules).findings
 
 
 @dataclass
 class Baseline:
-    """Checked-in waivers for known findings; allowed only to shrink."""
+    """Checked-in waivers for known findings; allowed only to shrink.
+
+    Each entry may carry a ``why`` — the one-line rationale for accepting
+    the finding instead of fixing it.  ``why`` never affects matching; it
+    exists so the baseline documents itself.
+    """
 
     entries: Counter = field(default_factory=Counter)
+    notes: dict = field(default_factory=dict)
 
     @classmethod
     def load(cls, path: str | Path) -> "Baseline":
@@ -170,36 +267,52 @@ class Baseline:
         try:
             data = json.loads(path.read_text(encoding="utf-8"))
             entries: Counter = Counter()
+            notes: dict = {}
             for entry in data["entries"]:
                 key = (entry["rule"], entry["path"], entry["symbol"])
                 entries[key] += int(entry.get("count", 1))
+                if "why" in entry:
+                    notes[key] = str(entry["why"])
         except (KeyError, TypeError, ValueError) as exc:
             raise BoundaryError(f"malformed baseline {path}: {exc}") from None
-        return cls(entries=entries)
+        return cls(entries=entries, notes=notes)
 
     @classmethod
     def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
         return cls(entries=Counter(finding.key for finding in findings))
 
     def write(self, path: str | Path) -> None:
-        entries = [
-            {"rule": rule, "path": rel, "symbol": symbol, "count": count}
-            for (rule, rel, symbol), count in sorted(self.entries.items())
-        ]
+        entries = []
+        for (rule, rel, symbol), count in sorted(self.entries.items()):
+            entry = {"rule": rule, "path": rel, "symbol": symbol, "count": count}
+            why = self.notes.get((rule, rel, symbol))
+            if why is not None:
+                entry["why"] = why
+            entries.append(entry)
         Path(path).write_text(
             json.dumps({"version": 1, "entries": entries}, indent=2) + "\n",
             encoding="utf-8",
         )
 
-    def apply(self, findings: list[Finding]) -> tuple[list[Finding], list[str]]:
+    def apply(
+        self, findings: list[Finding], rules: frozenset[str] | None = None
+    ) -> tuple[list[Finding], list[str]]:
         """Split findings into (new violations, stale baseline entries).
 
         Baselined findings are waived up to their recorded count; any
         surplus finding is a violation, and any baseline entry with no
         matching finding left must be deleted from the baseline (stale
-        entries are headroom future regressions could hide in).
+        entries are headroom future regressions could hide in).  With a
+        rule subset (``rules`` non-``None``), entries for unchecked
+        rules are out of scope: they neither waive nor go stale.
         """
-        budget = Counter(self.entries)
+        budget = Counter(
+            {
+                key: count
+                for key, count in self.entries.items()
+                if rules is None or key[0] in rules
+            }
+        )
         new: list[Finding] = []
         for finding in findings:
             if budget[finding.key] > 0:

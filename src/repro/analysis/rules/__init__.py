@@ -1,27 +1,33 @@
 """The seglint rule registry.
 
 Each rule module exposes ``RULE`` (its id) and
-``check(modules, boundary) -> Iterator[Finding]``.  Rules receive the
-whole module list because some checks are interprocedural across
-modules (``txn-discipline``) or need the global classification
-(``boundary-import``).
+``check(ctx) -> Iterator[Finding]``, where ``ctx`` is an
+:class:`repro.analysis.engine.AnalysisContext` carrying the module list,
+the boundary map, and the shared interprocedural call graph
+(``ctx.graph``, built lazily by the engine and shared by every rule that
+asks for it).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterator
+from typing import TYPE_CHECKING, Callable, Iterator
 
-from repro.analysis.boundary import BoundaryMap
-from repro.analysis.engine import Finding, SourceModule
+from repro.analysis.engine import Finding
 from repro.analysis.rules import (
     boundary_import,
+    crashpoint_coverage,
+    epoch_typestate,
     lock_discipline,
+    lock_order,
     nonct_compare,
     plaintext_escape,
     txn_discipline,
 )
 
-RuleFn = Callable[[list[SourceModule], BoundaryMap], Iterator[Finding]]
+if TYPE_CHECKING:
+    from repro.analysis.engine import AnalysisContext
+
+RuleFn = Callable[["AnalysisContext"], Iterator[Finding]]
 
 REGISTRY: dict[str, RuleFn] = {
     plaintext_escape.RULE: plaintext_escape.check,
@@ -29,6 +35,9 @@ REGISTRY: dict[str, RuleFn] = {
     nonct_compare.RULE: nonct_compare.check,
     txn_discipline.RULE: txn_discipline.check,
     lock_discipline.RULE: lock_discipline.check,
+    lock_order.RULE: lock_order.check,
+    epoch_typestate.RULE: epoch_typestate.check,
+    crashpoint_coverage.RULE: crashpoint_coverage.check,
 }
 
 __all__ = ["REGISTRY", "RuleFn"]

@@ -18,15 +18,17 @@ enclave object itself, bypassing the ECALL gate the runtime enforces.
 from __future__ import annotations
 
 import ast
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
-from repro.analysis.boundary import BoundaryMap
-from repro.analysis.engine import Finding, SourceModule
+from repro.analysis.engine import Finding
+
+if TYPE_CHECKING:
+    from repro.analysis.engine import AnalysisContext, SourceModule
 
 RULE = "boundary-import"
 
 
-def _resolve_from(module: SourceModule, node: ast.ImportFrom) -> str | None:
+def _resolve_from(module: "SourceModule", node: ast.ImportFrom) -> str | None:
     """Absolute dotted target of a ``from X import ...`` statement."""
     if node.level == 0:
         return node.module
@@ -40,7 +42,8 @@ def _resolve_from(module: SourceModule, node: ast.ImportFrom) -> str | None:
     return ".".join(base) if base else None
 
 
-def check(modules: list[SourceModule], boundary: BoundaryMap) -> Iterator[Finding]:
+def check(ctx: "AnalysisContext") -> Iterator[Finding]:
+    modules, boundary = ctx.modules, ctx.boundary
     allow_raw = boundary.rule(RULE).get("allow", {})
     allow = {name: tuple(names) for name, names in allow_raw.items()}
 

@@ -9,27 +9,23 @@ point runs inside a :class:`~repro.core.locks.LockManager` acquisition
 no caller protects would silently bypass the two-phase-locking protocol
 the linearizability tests rely on.
 
-Same interprocedural skeleton as ``txn-discipline``: exposure propagates
-as a least fixpoint from entry points (functions with no observed call
-sites that are not declared wrappers), along call edges that are not
-inside a lexical lock-establishing ``with`` block and do not originate
-in a wrapper body.  A function is a violation if it is exposed and calls
-a mutator outside such a block.  Lock-establishing ``with`` items are
-recognized by method name *and* receiver: the call must go through an
-attribute path containing a ``locks`` segment (``self.locks.write(...)``
-counts, a file's ``write(...)`` does not).
+Same shape as ``txn-discipline``, on the shared call graph: a call site
+is *protected* when one of its enclosing ``with`` spans is a lock
+acquisition, recognized by method name *and* receiver — the call must go
+through an attribute path containing a ``locks`` segment
+(``self.locks.write(...)`` counts, a file's ``write(...)`` does not).
+Exposure is the graph's shared entry-point fixpoint.
 """
 
 from __future__ import annotations
 
-import ast
-import fnmatch
-from collections import defaultdict
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
-from repro.analysis.boundary import BoundaryMap
-from repro.analysis.engine import Finding, SourceModule
-from repro.analysis.rules.base import call_name, dotted, iter_functions, segments
+from repro.analysis.engine import Finding
+from repro.analysis.rules.base import segments
+
+if TYPE_CHECKING:
+    from repro.analysis.engine import AnalysisContext
 
 RULE = "lock-discipline"
 
@@ -48,59 +44,10 @@ _DEFAULT_LOCK_METHODS = ("for_request", "for_upload", "acquire", "read", "write"
 _DEFAULT_LOCK_RECEIVERS = ("locks", "lock_manager")
 
 
-class _FuncInfo:
-    __slots__ = ("key", "name", "mutators_outside", "calls")
+def check(ctx: "AnalysisContext") -> Iterator[Finding]:
+    from repro.analysis.callgraph import CallSite, Span, exposure
 
-    def __init__(self, key: tuple[str, str], name: str) -> None:
-        self.key = key
-        self.name = name
-        #: (line, mutator name) for mutator calls outside any lock span.
-        self.mutators_outside: list[tuple[int, str]] = []
-        #: (callee bare name, inside_lock) for every call in the body.
-        self.calls: list[tuple[str, bool]] = []
-
-
-def _is_lock_with(
-    node: ast.With, methods: frozenset[str], receivers: frozenset[str]
-) -> bool:
-    for item in node.items:
-        expr = item.context_expr
-        if not (isinstance(expr, ast.Call) and isinstance(expr.func, ast.Attribute)):
-            continue
-        if expr.func.attr not in methods:
-            continue
-        receiver = dotted(expr.func.value)
-        if receiver is not None and any(
-            part in receivers for part in segments(receiver)
-        ):
-            return True
-    return False
-
-
-def _scan(
-    fn: ast.AST,
-    info: _FuncInfo,
-    mutators: frozenset[str],
-    methods: frozenset[str],
-    receivers: frozenset[str],
-    in_lock: bool,
-) -> None:
-    for child in ast.iter_child_nodes(fn):
-        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
-            continue  # nested definitions are scanned as their own functions
-        child_in_lock = in_lock
-        if isinstance(child, ast.With) and _is_lock_with(child, methods, receivers):
-            child_in_lock = True
-        if isinstance(child, ast.Call):
-            name = call_name(child)
-            if name is not None:
-                info.calls.append((name, in_lock))
-                if name in mutators and not in_lock:
-                    info.mutators_outside.append((child.lineno, name))
-        _scan(child, info, mutators, methods, receivers, child_in_lock)
-
-
-def check(modules: list[SourceModule], boundary: BoundaryMap) -> Iterator[Finding]:
+    boundary = ctx.boundary
     cfg = boundary.rule(RULE)
     scope = boundary.rule_modules(RULE, _DEFAULT_MODULES)
     mutators = frozenset(cfg.get("mutators", _DEFAULT_MUTATORS))
@@ -109,65 +56,37 @@ def check(modules: list[SourceModule], boundary: BoundaryMap) -> Iterator[Findin
     wrappers = frozenset(cfg.get("lock_wrappers", ()))
     exempt = frozenset(cfg.get("exempt", ()))
 
-    funcs: dict[tuple[str, str], _FuncInfo] = {}
-    positions: dict[tuple[str, str], tuple[SourceModule, str]] = {}
-    for module in modules:
-        if not any(
-            module.name == p or fnmatch.fnmatchcase(module.name, p) for p in scope
-        ):
-            continue
-        for qualname, fn in iter_functions(module.tree):
-            key = (module.name, qualname)
-            info = _FuncInfo(key, fn.name)
-            _scan(fn, info, mutators, methods, receivers, in_lock=False)
-            funcs[key] = info
-            positions[key] = (module, qualname)
+    def is_lock_span(span: Span) -> bool:
+        if span.method not in methods or span.receiver is None:
+            return False
+        return any(part in receivers for part in segments(span.receiver))
 
-    # Call sites per bare callee name.
-    sites: dict[str, list[tuple[tuple[str, str], bool]]] = defaultdict(list)
-    for info in funcs.values():
-        for callee, in_lock in info.calls:
-            sites[callee].append((info.key, in_lock))
+    def protected(site: CallSite) -> bool:
+        return any(is_lock_span(span) for span in site.spans)
 
-    # Least fixpoint on exposure, exactly as in txn-discipline: entry
-    # points seed it; it flows along unlocked call edges from non-wrapper
-    # bodies.
-    exposed: set[tuple[str, str]] = set()
-    changed = True
-    while changed:
-        changed = False
-        for info in funcs.values():
-            if info.key in exposed:
-                continue
-            call_sites = sites.get(info.name, [])
-            if not call_sites:
-                if info.name not in wrappers:
-                    exposed.add(info.key)
-                    changed = True
-                continue
-            if any(
-                not in_lock
-                and caller in exposed
-                and funcs[caller].name not in wrappers
-                for caller, in_lock in call_sites
-            ):
-                exposed.add(info.key)
-                changed = True
+    funcs = ctx.graph.functions_in(scope)
+    exposed = exposure(funcs, protected, wrappers)
 
     for info in funcs.values():
-        if not info.mutators_outside or info.key not in exposed:
+        if info.key not in exposed:
             continue
-        if info.name in exempt or f"{info.key[0]}:{positions[info.key][1]}" in exempt:
+        outside = [
+            site
+            for site in info.calls
+            if site.name in mutators and not protected(site)
+        ]
+        if not outside:
             continue
-        module, qualname = positions[info.key]
-        line, mutator = info.mutators_outside[0]
+        if info.name in exempt or f"{info.key[0]}:{info.qualname}" in exempt:
+            continue
+        site = outside[0]
         yield Finding(
             rule=RULE,
-            path=module.rel_path,
-            line=line,
-            symbol=f"{module.name}:{qualname}",
+            path=info.module.rel_path,
+            line=site.line,
+            symbol=f"{info.key[0]}:{info.qualname}",
             message=(
-                f"{mutator}() is reachable from a request entry point with no "
+                f"{site.name}() is reachable from a request entry point with no "
                 f"LockManager acquisition on the path; wrap the flow in "
                 f"locks.for_request/for_upload (or an explicit locks.write) "
                 f"or baseline it with a justification"

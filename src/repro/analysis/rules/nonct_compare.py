@@ -18,11 +18,13 @@ from __future__ import annotations
 
 import ast
 import re
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
-from repro.analysis.boundary import BoundaryMap
-from repro.analysis.engine import Finding, SourceModule
+from repro.analysis.engine import Finding
 from repro.analysis.rules.base import call_name, iter_functions, walk_function_body
+
+if TYPE_CHECKING:
+    from repro.analysis.engine import AnalysisContext
 
 RULE = "nonct-compare"
 
@@ -47,7 +49,8 @@ def _identifier(node: ast.AST) -> str | None:
     return None
 
 
-def check(modules: list[SourceModule], boundary: BoundaryMap) -> Iterator[Finding]:
+def check(ctx: "AnalysisContext") -> Iterator[Finding]:
+    modules, boundary = ctx.modules, ctx.boundary
     cfg = boundary.rule(RULE)
     scope = boundary.rule_modules(RULE, _DEFAULT_MODULES)
     pattern = re.compile(cfg.get("secret_pattern", _DEFAULT_PATTERN))

@@ -16,10 +16,9 @@ receivers (``store``/``backend``/``inner``/``_stores.*``) are.
 from __future__ import annotations
 
 import ast
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
-from repro.analysis.boundary import BoundaryMap
-from repro.analysis.engine import Finding, SourceModule
+from repro.analysis.engine import Finding
 from repro.analysis.rules.base import (
     call_name,
     dotted,
@@ -27,6 +26,9 @@ from repro.analysis.rules.base import (
     segments,
     walk_function_body,
 )
+
+if TYPE_CHECKING:
+    from repro.analysis.engine import AnalysisContext
 
 RULE = "plaintext-escape"
 
@@ -115,7 +117,8 @@ def _collect_taint(
     return tainted
 
 
-def check(modules: list[SourceModule], boundary: BoundaryMap) -> Iterator[Finding]:
+def check(ctx: "AnalysisContext") -> Iterator[Finding]:
+    modules, boundary = ctx.modules, ctx.boundary
     cfg = boundary.rule(RULE)
     sources = frozenset(cfg.get("sources", _DEFAULT_SOURCES))
     sanitizers = frozenset(cfg.get("sanitizers", _DEFAULT_SANITIZERS))

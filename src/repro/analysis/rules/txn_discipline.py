@@ -14,31 +14,24 @@ inside the engine facade, so only the transaction bracketing is left to
 lint.)
 
 The check is interprocedural over the modules the boundary map puts in
-scope (the request handler, access control, and rotation replay).
-Exposure propagates from entry points: a function with no observed call
-sites is *exposed* (unless it is a declared transaction wrapper such as
-``RequestHandler.handle``, which brackets every mutating opcode before
-dispatching), and exposure flows along call edges that are not inside a
-lexical ``with *.transaction(...)`` block and do not originate in a
-wrapper.  A function is a violation if it is exposed and calls a mutator
-(``write_dir``, ``write_acl``, …) outside a transaction block.
-Propagating exposure (a least fixpoint from entry points) rather than
-"covered-ness" keeps recursion and delegate cycles —
-``RequestHandler.set_permission`` calling
-``AccessControl.set_permission``, which shares its bare name — from
-wedging the analysis.  Call edges resolve by bare method name, which is
-deliberately coarse for a codebase this size.
+scope (the request handler, access control, and rotation replay), built
+on the shared call graph (:mod:`repro.analysis.callgraph`): a call site
+is *protected* when one of its enclosing ``with`` spans is a
+``*.transaction(...)`` call, and exposure is the graph's shared entry-
+point fixpoint.  Call edges resolve by bare method name — deliberately
+coarse, so recursion and delegate cycles (``RequestHandler.set_permission``
+calling ``AccessControl.set_permission``) stay unexposed unless
+something genuinely exposed reaches them.
 """
 
 from __future__ import annotations
 
-import ast
-from collections import defaultdict
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
-from repro.analysis.boundary import BoundaryMap
-from repro.analysis.engine import Finding, SourceModule
-from repro.analysis.rules.base import call_name, iter_functions
+from repro.analysis.engine import Finding
+
+if TYPE_CHECKING:
+    from repro.analysis.engine import AnalysisContext
 
 RULE = "txn-discipline"
 
@@ -59,113 +52,42 @@ _DEFAULT_MUTATORS = (
 )
 
 
-class _FuncInfo:
-    __slots__ = ("key", "name", "mutators_outside", "calls")
+def check(ctx: "AnalysisContext") -> Iterator[Finding]:
+    from repro.analysis.callgraph import CallSite, exposure
 
-    def __init__(self, key: tuple[str, str], name: str) -> None:
-        self.key = key
-        self.name = name
-        #: (line, mutator name) for mutator calls outside any with-transaction.
-        self.mutators_outside: list[tuple[int, str]] = []
-        #: (callee bare name, inside_txn) for every call in the body.
-        self.calls: list[tuple[str, bool]] = []
-
-
-def _is_txn_with(node: ast.With) -> bool:
-    for item in node.items:
-        expr = item.context_expr
-        if isinstance(expr, ast.Call) and call_name(expr) == "transaction":
-            return True
-    return False
-
-
-def _scan(fn: ast.AST, info: _FuncInfo, mutators: frozenset[str], in_txn: bool) -> None:
-    for child in ast.iter_child_nodes(fn):
-        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
-            continue  # nested definitions are scanned as their own functions
-        child_in_txn = in_txn
-        if isinstance(child, ast.With) and _is_txn_with(child):
-            child_in_txn = True
-        if isinstance(child, ast.Call):
-            name = call_name(child)
-            if name is not None:
-                info.calls.append((name, in_txn))
-                if name in mutators and not in_txn:
-                    info.mutators_outside.append((child.lineno, name))
-        _scan(child, info, mutators, child_in_txn)
-
-
-def check(modules: list[SourceModule], boundary: BoundaryMap) -> Iterator[Finding]:
+    boundary = ctx.boundary
     cfg = boundary.rule(RULE)
     scope = boundary.rule_modules(RULE, _DEFAULT_MODULES)
     mutators = frozenset(cfg.get("mutators", _DEFAULT_MUTATORS))
     wrappers = frozenset(cfg.get("txn_wrappers", ()))
     exempt = frozenset(cfg.get("exempt", ()))
 
-    import fnmatch
+    def protected(site: CallSite) -> bool:
+        return any(span.method == "transaction" for span in site.spans)
 
-    funcs: dict[tuple[str, str], _FuncInfo] = {}
-    positions: dict[tuple[str, str], tuple[SourceModule, str]] = {}
-    for module in modules:
-        if not any(
-            module.name == p or fnmatch.fnmatchcase(module.name, p) for p in scope
-        ):
-            continue
-        for qualname, fn in iter_functions(module.tree):
-            key = (module.name, qualname)
-            info = _FuncInfo(key, fn.name)
-            _scan(fn, info, mutators, in_txn=False)
-            funcs[key] = info
-            positions[key] = (module, qualname)
-
-    # Call sites per bare callee name.
-    sites: dict[str, list[tuple[tuple[str, str], bool]]] = defaultdict(list)
-    for info in funcs.values():
-        for callee, in_txn in info.calls:
-            sites[callee].append((info.key, in_txn))
-
-    # Least fixpoint on *exposure*: seed with entry points (no observed
-    # call sites, not a wrapper), then flow along call edges that are
-    # neither lexically inside a transaction nor made from a wrapper
-    # body.  Cycles — recursion, or a delegate sharing its caller's bare
-    # name — stay unexposed unless something genuinely exposed reaches
-    # them.
-    exposed: set[tuple[str, str]] = set()
-    changed = True
-    while changed:
-        changed = False
-        for info in funcs.values():
-            if info.key in exposed:
-                continue
-            call_sites = sites.get(info.name, [])
-            if not call_sites:
-                if info.name not in wrappers:
-                    exposed.add(info.key)
-                    changed = True
-                continue
-            if any(
-                not in_txn
-                and caller in exposed
-                and funcs[caller].name not in wrappers
-                for caller, in_txn in call_sites
-            ):
-                exposed.add(info.key)
-                changed = True
+    funcs = ctx.graph.functions_in(scope)
+    exposed = exposure(funcs, protected, wrappers)
 
     for info in funcs.values():
-        if not info.mutators_outside or info.key not in exposed:
+        if info.key not in exposed:
             continue
-        if info.name in exempt or f"{info.key[0]}:{positions[info.key][1]}" in exempt:
+        outside = [
+            site
+            for site in info.calls
+            if site.name in mutators and not protected(site)
+        ]
+        if not outside:
             continue
-        module, qualname = positions[info.key]
-        line, mutator = info.mutators_outside[0]
+        if info.name in exempt or f"{info.key[0]}:{info.qualname}" in exempt:
+            continue
+        site = outside[0]
         yield Finding(
             rule=RULE,
-            path=module.rel_path,
-            line=line,
-            symbol=f"{module.name}:{qualname}",
+            path=info.module.rel_path,
+            line=site.line,
+            symbol=f"{info.key[0]}:{info.qualname}",
             message=(
-                f"{mutator}() runs outside any storage transaction and no "
+                f"{site.name}() runs outside any storage transaction and no "
                 f"caller establishes one; wrap the mutation in "
                 f"manager.transaction(...) or baseline it with a justification"
             ),

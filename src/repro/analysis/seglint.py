@@ -1,8 +1,13 @@
 """seglint command line: ``python -m repro.analysis.seglint [paths...]``.
 
-Exit codes: 0 — clean (or fully baselined); 1 — new findings or a stale
-baseline; 2 — configuration error (bad boundary map, unknown rule,
+Exit codes: 0 — clean (or fully baselined); 1 — new findings, a stale
+baseline, or (under ``--strict-suppressions``) an unused inline
+suppression; 2 — configuration error (bad boundary map, unknown rule,
 unparsable source).
+
+Output formats: ``text`` (default), ``json``, and ``sarif`` (SARIF
+2.1.0, one run, findings as ``error`` results and unused suppressions
+as ``warning`` results) for code-scanning upload from CI.
 """
 
 from __future__ import annotations
@@ -13,8 +18,11 @@ import sys
 from pathlib import Path
 
 from repro.analysis.boundary import BoundaryError, BoundaryMap
-from repro.analysis.engine import Baseline, analyze_paths
+from repro.analysis.engine import Baseline, Finding, run_analysis
 from repro.analysis.rules import REGISTRY
+
+#: Pseudo-rule id SARIF results use for unused inline suppressions.
+UNUSED_SUPPRESSION_RULE = "unused-suppression"
 
 
 def _default_config(start: Path) -> Path | None:
@@ -43,8 +51,66 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--rules", help=f"comma-separated subset of: {', '.join(REGISTRY)}"
     )
-    parser.add_argument("--format", choices=("text", "json"), default="text")
+    parser.add_argument(
+        "--strict-suppressions",
+        action="store_true",
+        help="treat unused seglint:ignore comments as errors instead of warnings",
+    )
+    parser.add_argument("--format", choices=("text", "json", "sarif"), default="text")
     return parser
+
+
+def sarif_report(
+    findings: list[Finding],
+    unused: list[tuple[str, int, str]],
+    rules: list[str],
+    strict_suppressions: bool,
+) -> dict:
+    """A minimal SARIF 2.1.0 log: one run, one result per finding."""
+
+    def location(path: str, line: int) -> dict:
+        return {
+            "physicalLocation": {
+                "artifactLocation": {"uri": path.replace("\\", "/")},
+                "region": {"startLine": line},
+            }
+        }
+
+    results = [
+        {
+            "ruleId": finding.rule,
+            "level": "error",
+            "message": {"text": f"{finding.message} [{finding.symbol}]"},
+            "locations": [location(finding.path, finding.line)],
+        }
+        for finding in findings
+    ]
+    results.extend(
+        {
+            "ruleId": UNUSED_SUPPRESSION_RULE,
+            "level": "error" if strict_suppressions else "warning",
+            "message": {"text": f"unused suppression: {text}"},
+            "locations": [location(path, line)],
+        }
+        for path, line, text in unused
+    )
+    rule_ids = rules + ([UNUSED_SUPPRESSION_RULE] if unused else [])
+    return {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "seglint",
+                        "informationUri": "docs/STATIC_ANALYSIS.md",
+                        "rules": [{"id": rule_id} for rule_id in rule_ids],
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -60,10 +126,12 @@ def main(argv: list[str] | None = None) -> int:
             boundary_path = found
         boundary = BoundaryMap.load(boundary_path)
         rules = args.rules.split(",") if args.rules else None
-        findings = analyze_paths(args.paths, boundary, rules=rules)
+        result = run_analysis(args.paths, boundary, rules=rules)
     except BoundaryError as exc:
         print(f"seglint: {exc}", file=sys.stderr)
         return 2
+    findings = result.findings
+    unused = result.unused_suppressions
 
     baseline_path = (
         Path(args.baseline) if args.baseline else boundary_path.parent / "baseline.json"
@@ -81,15 +149,24 @@ def main(argv: list[str] | None = None) -> int:
         except BoundaryError as exc:
             print(f"seglint: {exc}", file=sys.stderr)
             return 2
-        new, stale = baseline.apply(findings)
+        new, stale = baseline.apply(
+            findings, rules=None if rules is None else frozenset(rules)
+        )
 
-    if args.format == "json":
+    checked = rules or list(REGISTRY)
+    if args.format == "sarif":
+        print(json.dumps(sarif_report(new, unused, checked, args.strict_suppressions), indent=2))
+    elif args.format == "json":
         print(
             json.dumps(
                 {
                     "findings": [finding.__dict__ for finding in new],
                     "stale_baseline": stale,
-                    "checked_rules": rules or list(REGISTRY),
+                    "unused_suppressions": [
+                        {"path": path, "line": line, "text": text}
+                        for path, line, text in unused
+                    ],
+                    "checked_rules": checked,
                 },
                 indent=2,
             )
@@ -99,6 +176,9 @@ def main(argv: list[str] | None = None) -> int:
             print(finding.format())
         for entry in stale:
             print(f"stale baseline entry (delete it): {entry}")
+        for path, line, text in unused:
+            kind = "error" if args.strict_suppressions else "warning"
+            print(f"{path}:{line}: {kind}: unused suppression: {text}")
         if new or stale:
             print(
                 f"seglint: {len(new)} new finding(s), {len(stale)} stale baseline "
@@ -108,7 +188,8 @@ def main(argv: list[str] | None = None) -> int:
             waived = len(findings) - len(new)
             suffix = f" ({waived} baselined)" if waived else ""
             print(f"seglint: clean{suffix}")
-    return 1 if new or stale else 0
+    failed = bool(new or stale) or (args.strict_suppressions and bool(unused))
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

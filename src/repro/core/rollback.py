@@ -283,6 +283,8 @@ class RollbackGuard:
         if self._batching:
             self._pending_nodes[node.path] = node
             return
+        if self._enclave is not None:
+            self._enclave.platform.crashpoint("anchor:fs-node-write")
         self._manager.raw_write(_node_path(node.path), node.serialize())
         self.stats.node_saves += 1
 
@@ -292,6 +294,8 @@ class RollbackGuard:
             self._pending_nodes.pop(dir_path, None)
         node_path = _node_path(dir_path)
         if self._manager.raw_exists(node_path):
+            if self._enclave is not None:
+                self._enclave.platform.crashpoint("anchor:fs-node-delete")
             self._manager.raw_delete(node_path)
 
     def _node_exists(self, dir_path: str) -> bool:
@@ -748,6 +752,8 @@ class FlatStoreGuard:
         w = Writer().u32(len(buckets))
         for bucket in buckets:
             w.bytes(bucket.serialize())
+        if self._enclave is not None:
+            self._enclave.platform.crashpoint("anchor:group-node-write")
         self._manager.raw_group_write(self._NODE_PATH, w.take())
         self.stats.node_saves += 1
 
@@ -814,7 +820,7 @@ class FlatStoreGuard:
         self.stats.updates += 1
         with self._node_lock():
             buckets = self._load_node()
-            bucket = buckets[self._bucket_of(path)]
+            bucket: set = buckets[self._bucket_of(path)]
             if old_hash is not None:
                 bucket.remove(self._leaf_main(path, old_hash))
             bucket.add(self._leaf_main(path, new_hash))

@@ -1,0 +1,56 @@
+"""epoch-typestate fixture: the journal epoch API driven well and badly.
+
+The clean drivers exercise the loop fixpoint and the must-polarity join
+(``commit_conditional_ok`` opens the epoch only on one branch, which is
+fine because the other branch *may* already hold one); each bad driver
+violates exactly one protocol transition.
+"""
+
+
+def commit_ok(journal, batches):
+    journal.open_epoch()
+    for batch in batches:
+        journal.begin_member()
+        journal.record(batch)
+        journal.commit_member()
+    journal.close_epoch()
+
+
+def rollback_ok(journal, batch):
+    journal.open_epoch()
+    journal.begin_member()
+    try:
+        journal.record(batch)
+        journal.commit_member()
+    except OSError:
+        journal.rollback_member()
+    journal.close_epoch()
+
+
+def commit_conditional_ok(journal, group):
+    if not group.open:
+        journal.open_epoch()
+    journal.begin_member()
+    journal.record(group)
+    journal.commit_member()
+    journal.close_epoch()
+
+
+def commit_without_preimage(journal, batch):
+    journal.open_epoch()
+    journal.begin_member()
+    journal.commit_member()
+    journal.close_epoch()
+
+
+def close_with_open_member(journal, batch):
+    journal.open_epoch()
+    journal.begin_member()
+    journal.record(batch)
+    journal.close_epoch()
+
+
+def reopen(journal):
+    journal.open_epoch()
+    journal.open_epoch()
+    journal.close_epoch()

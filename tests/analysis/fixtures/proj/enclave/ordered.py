@@ -1,0 +1,56 @@
+"""lock-order fixture: serial resources, leaf mutexes, a lock factory.
+
+``commit_ok`` follows the documented order (journal-commit before the
+leaf mutex); ``commit_inverted`` reverses it; ``nested_commit``
+re-acquires the non-reentrant journal-commit resource through a call
+chain; ``ship_then_audit``/``audit_then_ship`` acquire two ad-hoc
+(unranked) serial resources in opposite orders, forming a cycle.
+"""
+
+import threading
+from contextlib import nullcontext
+
+
+class Clock:
+    def exclusive(self, name, account=""):
+        return nullcontext()
+
+
+class Engine:
+    def __init__(self):
+        self.clock = Clock()
+        self._lock = threading.Lock()
+
+    def _commit_point(self):
+        return self.clock.exclusive("journal-commit", account="commit-wait")
+
+    def commit_ok(self):
+        with self._commit_point():
+            with self._lock:
+                self.apply()
+
+    def commit_inverted(self):
+        with self._lock:
+            with self._commit_point():
+                self.apply()
+
+    def commit_reentrant(self):
+        with self._commit_point():
+            self.nested_commit()
+
+    def nested_commit(self):
+        with self.clock.exclusive("journal-commit"):
+            self.apply()
+
+    def ship_then_audit(self):
+        with self.clock.exclusive("ship"):
+            with self.clock.exclusive("audit"):
+                self.apply()
+
+    def audit_then_ship(self):
+        with self.clock.exclusive("audit"):
+            with self.clock.exclusive("ship"):
+                self.apply()
+
+    def apply(self):
+        pass

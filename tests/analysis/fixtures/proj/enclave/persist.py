@@ -1,0 +1,28 @@
+"""crashpoint-coverage fixture: persisted mutations and their crashpoints.
+
+``write_covered`` declares a crashpoint a fixture crash test names;
+``prune`` declares one nothing exercises (dead assurance);
+``write_uncovered`` mutates with no crashpoint at all;
+``discard_tracking`` calls ``set.remove``, which is not persistence.
+"""
+
+
+class Pager:
+    def __init__(self, platform, backend):
+        self.platform = platform
+        self.backend = backend
+        self.seen = set()
+
+    def write_covered(self, path, data):
+        self.platform.crashpoint("fix:page-write")
+        self.backend.raw_write(path, data)
+
+    def write_uncovered(self, path, data):
+        self.backend.raw_write(path, data)
+
+    def prune(self, path):
+        self.platform.crashpoint("fix:page-prune")
+        self.backend.raw_delete(path)
+
+    def discard_tracking(self, item):
+        self.seen.remove(item)

@@ -1,0 +1,19 @@
+"""epoch-typestate switch-gate fixture: routing switches and the epoch bit.
+
+``swap_ok`` consults the quiesce gate before dispatching the switch;
+``swap_ungated`` dispatches blind.
+"""
+
+
+class Switchboard:
+    def __init__(self, cluster, switchless):
+        self.cluster = cluster
+        self.switchless = switchless
+
+    def swap_ok(self, node):
+        if not self.cluster.quiesce():
+            return
+        self.switchless.dispatch(node)
+
+    def swap_ungated(self, node):
+        self.switchless.dispatch(node)

@@ -1,0 +1,269 @@
+"""The shared interprocedural call graph: spans, aliasing, resolution.
+
+The graph is the substrate every whole-program rule stands on, so its
+contracts are tested directly: which spans enclose which call sites,
+how receivers narrow to callees (self, attribute types, local aliases,
+imported modules, builtin containers), factory returns, and the exact
+legacy exposure fixpoint.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.callgraph import CallGraph, exposure
+from repro.analysis.engine import SourceModule
+
+
+def _graph(**sources: str) -> CallGraph:
+    modules = [
+        SourceModule(Path(f"{name}.py"), f"{name}.py", name, text)
+        for name, text in sources.items()
+    ]
+    return CallGraph(modules)
+
+
+def _func(graph: CallGraph, module: str, qualname: str):
+    return graph.functions[(module, qualname)]
+
+
+# -- span and call-site scanning ---------------------------------------------
+
+
+def test_call_sites_record_enclosing_with_spans():
+    graph = _graph(
+        m="""
+class H:
+    def serve(self):
+        with self.locks.acquire("a"):
+            self.put()
+        self.get()
+"""
+    )
+    serve = _func(graph, "m", "H.serve")
+    by_name = {site.name: site for site in serve.calls}
+    assert [s.method for s in by_name["put"].spans] == ["acquire"]
+    assert by_name["get"].spans == ()
+
+
+def test_acquisition_held_excludes_itself_but_sees_outer():
+    graph = _graph(
+        m="""
+class H:
+    def nest(self):
+        with self.clock.exclusive("outer"):
+            with self.clock.exclusive("inner"):
+                pass
+"""
+    )
+    nest = _func(graph, "m", "H.nest")
+    outer, inner = nest.acquisitions
+    assert outer.held == ()
+    assert [s.arg for s in inner.held] == ["outer"]
+
+
+def test_span_extracts_literal_and_fstring_prefix_args():
+    graph = _graph(
+        m="""
+def f(self, name):
+    with self.clock.exclusive("plain"):
+        pass
+    with self.clock.exclusive(f"counter:{name}"):
+        pass
+"""
+    )
+    args = [acq.span.arg for acq in _func(graph, "m", "f").acquisitions]
+    assert args == ["plain", "counter:*"]
+
+
+def test_nested_defs_are_scanned_separately():
+    graph = _graph(
+        m="""
+def outer(self):
+    def inner():
+        self.mutate()
+    return inner
+"""
+    )
+    assert [s.name for s in _func(graph, "m", "outer").calls] == []
+    assert [s.name for s in _func(graph, "m", "outer.inner").calls] == ["mutate"]
+
+
+# -- receiver resolution -----------------------------------------------------
+
+
+def test_self_call_resolves_to_own_class_method():
+    graph = _graph(
+        m="""
+class A:
+    def top(self):
+        self.helper()
+    def helper(self):
+        pass
+
+class B:
+    def helper(self):
+        pass
+"""
+    )
+    top = _func(graph, "m", "A.top")
+    assert graph.resolve(top, top.calls[0]) == [("m", "A.helper")]
+
+
+def test_attribute_type_inferred_from_init_narrows_resolution():
+    graph = _graph(
+        m="""
+class Store:
+    def flush(self):
+        pass
+
+class Engine:
+    def __init__(self):
+        self.store = Store()
+    def run(self):
+        self.store.flush()
+
+class Decoy:
+    def flush(self):
+        pass
+"""
+    )
+    run = _func(graph, "m", "Engine.run")
+    assert graph.resolve(run, run.calls[0]) == [("m", "Store.flush")]
+
+
+def test_builtin_container_attribute_resolves_to_nothing():
+    graph = _graph(
+        m="""
+class Cache:
+    def __init__(self):
+        self.entries = {}
+    def reset(self):
+        self.entries.clear()
+
+def clear():
+    pass
+"""
+    )
+    reset = _func(graph, "m", "Cache.reset")
+    assert graph.resolve(reset, reset.calls[0]) == []
+
+
+def test_local_alias_and_annotation_narrow_resolution():
+    graph = _graph(
+        m="""
+class Store:
+    def flush(self):
+        pass
+
+class Engine:
+    def __init__(self):
+        self.store = Store()
+    def direct(self):
+        s = self.store
+        s.flush()
+    def annotated(self, item):
+        bucket: set = self.pick(item)
+        bucket.remove(item)
+
+def remove():
+    pass
+"""
+    )
+    direct = _func(graph, "m", "Engine.direct")
+    flush = [s for s in direct.calls if s.name == "flush"][0]
+    assert graph.resolve(direct, flush) == [("m", "Store.flush")]
+    annotated = _func(graph, "m", "Engine.annotated")
+    remove = [s for s in annotated.calls if s.name == "remove"][0]
+    assert graph.resolve(annotated, remove) == []
+
+
+def test_external_module_receiver_resolves_to_nothing():
+    graph = _graph(
+        m="""
+import os
+
+def wipe(path):
+    os.remove(path)
+
+class H:
+    def remove(self):
+        pass
+"""
+    )
+    wipe = _func(graph, "m", "wipe")
+    assert graph.resolve(wipe, wipe.calls[0]) == []
+
+
+def test_method_call_through_complex_base_resolves_to_nothing():
+    graph = _graph(
+        m="""
+def f(buckets, item):
+    buckets[0].remove(item)
+
+class H:
+    def remove(self):
+        pass
+"""
+    )
+    f = _func(graph, "m", "f")
+    assert graph.resolve(f, f.calls[0]) == []
+
+
+def test_bare_name_falls_back_to_scope_matches():
+    graph = _graph(
+        m="""
+def helper():
+    pass
+
+def top():
+    helper()
+"""
+    )
+    top = _func(graph, "m", "top")
+    assert graph.resolve(top, top.calls[0]) == [("m", "helper")]
+
+
+# -- factories and exposure --------------------------------------------------
+
+
+def test_factory_returns_are_recorded_as_spans():
+    graph = _graph(
+        m="""
+class E:
+    def _commit_point(self):
+        return self.clock.exclusive("journal-commit")
+"""
+    )
+    factory = _func(graph, "m", "E._commit_point")
+    assert [(s.method, s.arg) for s in factory.returns] == [
+        ("exclusive", "journal-commit")
+    ]
+
+
+def test_exposure_matches_legacy_fixpoint():
+    graph = _graph(
+        m="""
+class H:
+    def handle(self):
+        with self.locks.acquire("p"):
+            self.locked_path()
+        self.open_path()
+    def locked_path(self):
+        pass
+    def open_path(self):
+        pass
+    def orphan(self):
+        pass
+"""
+    )
+    funcs = graph.functions_in(["m"])
+    protected = lambda site: any(s.method == "acquire" for s in site.spans)
+    exposed = exposure(funcs, protected, frozenset())
+    names = {qual for _, qual in exposed}
+    # handle and orphan have no callers; open_path flows from handle
+    # unprotected; locked_path is only reached under the lock.
+    assert names == {"H.handle", "H.orphan", "H.open_path"}
+    # Declaring handle a wrapper severs the unprotected flow.
+    wrapped = exposure(funcs, protected, frozenset({"handle"}))
+    assert {qual for _, qual in wrapped} == {"H.orphan"}

@@ -124,3 +124,44 @@ def test_boundary_glob_classification():
     assert boundary.is_internal("proj.enclave.vault")
     assert not boundary.is_trusted("proj.host.smuggler")
     assert not boundary.is_internal("proj.enclave.leak")
+
+
+def test_docstring_mention_is_not_a_suppression():
+    mod = _module('"""docs show # seglint: ignore[r1] inline."""\nx = 1\n')
+    assert not mod.is_suppressed("r1", 1)
+    assert not mod.is_suppressed("r1", 2)
+
+
+def test_unused_suppressions_cleared_by_use():
+    mod = _module("x = 1  # seglint: ignore[r1]\ny = 2  # seglint: ignore[r2]\n")
+    assert mod.is_suppressed("r1", 1)
+    assert list(mod.unused_suppressions(None)) == [(2, "seglint: ignore[r2]")]
+
+
+def test_unused_suppressions_respect_rule_subset():
+    mod = _module("x = 1  # seglint: ignore[r9]\ny = 2  # seglint: ignore\n")
+    # A subset run that never checked r9 (or everything, for the bare
+    # form) cannot judge the suppression unused.
+    assert list(mod.unused_suppressions(frozenset({"r1"}))) == []
+    assert list(mod.unused_suppressions(None)) == [
+        (1, "seglint: ignore[r9]"),
+        (2, "seglint: ignore"),
+    ]
+
+
+def test_baseline_why_round_trips(tmp_path):
+    baseline = Baseline.from_findings([_finding()])
+    baseline.notes[("r1", "a.py", "a:f")] = "recovery path must not crash"
+    path = tmp_path / "baseline.json"
+    baseline.write(path)
+    reloaded = Baseline.load(path)
+    assert reloaded.notes[("r1", "a.py", "a:f")] == "recovery path must not crash"
+    new, stale = reloaded.apply([_finding()])
+    assert not new and not stale
+
+
+def test_baseline_rule_subset_scopes_staleness():
+    baseline = Baseline.from_findings([_finding(rule="r1"), _finding(rule="r2")])
+    new, stale = baseline.apply([], rules=frozenset({"r1"}))
+    assert not new
+    assert stale == ["r1:a.py:a:f (x1)"]

@@ -156,3 +156,129 @@ def test_rule_selection_restricts_output():
     boundary = BoundaryMap.load(FIXTURES / "boundary.toml")
     only_ct = analyze_paths([FIXTURES / "proj"], boundary, rules=["nonct-compare"])
     assert only_ct and all(f.rule == "nonct-compare" for f in only_ct)
+
+
+# -- lock-order --------------------------------------------------------------
+
+
+def test_lock_order_flags_inversion_under_leaf(findings):
+    inverted = [
+        f
+        for f in findings
+        if f.rule == "lock-order"
+        and f.symbol == "proj.enclave.ordered:Engine.commit_inverted"
+    ]
+    assert inverted and "inverting the documented lock order" in inverted[0].message
+
+
+def test_lock_order_flags_interprocedural_reacquire(findings):
+    flagged = symbols(findings, "lock-order")
+    # The re-acquisition is reported at the acquiring function, reached
+    # through commit_reentrant's held journal-commit resource.
+    assert "proj.enclave.ordered:Engine.nested_commit" in flagged
+    assert "proj.enclave.ordered:Engine.commit_reentrant" not in flagged
+
+
+def test_lock_order_flags_cycle_between_unranked_resources(findings):
+    cycles = [
+        f
+        for f in findings
+        if f.rule == "lock-order" and "acquisition cycle" in f.message
+    ]
+    assert len(cycles) == 1
+    assert "serial:audit" in cycles[0].message and "serial:ship" in cycles[0].message
+
+
+def test_lock_order_passes_documented_order_and_factories(findings):
+    flagged = symbols(findings, "lock-order")
+    assert "proj.enclave.ordered:Engine.commit_ok" not in flagged
+
+
+# -- epoch-typestate ---------------------------------------------------------
+
+
+def test_epoch_typestate_flags_each_protocol_violation(findings):
+    by_symbol = {
+        f.symbol: f.message for f in findings if f.rule == "epoch-typestate"
+    }
+    assert "pre-image" in by_symbol["proj.enclave.epochs:commit_without_preimage"]
+    assert "uncommitted member" in by_symbol["proj.enclave.epochs:close_with_open_member"]
+    assert "already open" in by_symbol["proj.enclave.epochs:reopen"]
+
+
+def test_epoch_typestate_passes_loops_joins_and_handlers(findings):
+    flagged = symbols(findings, "epoch-typestate")
+    assert "proj.enclave.epochs:commit_ok" not in flagged
+    assert "proj.enclave.epochs:rollback_ok" not in flagged
+    # Must-polarity: one branch may already hold an epoch.
+    assert "proj.enclave.epochs:commit_conditional_ok" not in flagged
+
+
+def test_epoch_typestate_flags_ungated_routing_switch(findings):
+    flagged = symbols(findings, "epoch-typestate")
+    assert "proj.host.switchboard:Switchboard.swap_ungated" in flagged
+    assert "proj.host.switchboard:Switchboard.swap_ok" not in flagged
+
+
+# -- crashpoint-coverage -----------------------------------------------------
+
+
+def test_crashpoint_coverage_flags_unexercised_declaration(findings):
+    assert "proj.enclave.persist:fix:page-prune" in symbols(
+        findings, "crashpoint-coverage"
+    )
+
+
+def test_crashpoint_coverage_flags_mutation_without_crashpoint(findings):
+    assert "proj.enclave.persist:Pager.write_uncovered" in symbols(
+        findings, "crashpoint-coverage"
+    )
+
+
+def test_crashpoint_coverage_passes_covered_and_nonpersistent(findings):
+    flagged = symbols(findings, "crashpoint-coverage")
+    assert "proj.enclave.persist:Pager.write_covered" not in flagged
+    # prune's crashpoint is dead assurance but the mutation is declared.
+    assert "proj.enclave.persist:Pager.prune" not in flagged
+    # set.remove is not persistence.
+    assert "proj.enclave.persist:Pager.discard_tracking" not in flagged
+
+
+# -- call-graph migration parity ---------------------------------------------
+
+#: Byte-identical finding set of the five pre-call-graph rules on the
+#: fixture tree, captured before the migration; (rule, file, line, symbol).
+LEGACY_SNAPSHOT = {
+    ("nonct-compare", "ct_bad.py", 5, "proj.enclave.ct_bad:check_tag"),
+    ("nonct-compare", "ct_bad.py", 9, "proj.enclave.ct_bad:check_digest"),
+    ("txn-discipline", "journaled.py", 11, "proj.enclave.journaled:Handler.startup"),
+    ("plaintext-escape", "leak.py", 7, "proj.enclave.leak:Store.save"),
+    ("plaintext-escape", "leak.py", 12, "proj.enclave.leak:Store.save_alias"),
+    ("lock-discipline", "locked.py", 11, "proj.enclave.locked:Handler.bootstrap"),
+    ("lock-discipline", "locked.py", 37, "proj.enclave.locked:Handler.unlocked_delete"),
+    ("lock-discipline", "locked.py", 41, "proj.enclave.locked:Handler.stream_out"),
+    ("boundary-import", "smuggler.py", 3, "proj.host.smuggler:proj.enclave.vault"),
+    ("boundary-import", "smuggler.py", 5, "proj.host.smuggler:proj.enclave.vault.master_key"),
+    ("boundary-import", "smuggler.py", 6, "proj.host.smuggler:proj.enclave.vault"),
+    ("boundary-import", "smuggler.py", 7, "proj.host.smuggler:proj.enclave.vault"),
+    ("boundary-import", "smuggler.py", 11, "proj.host.smuggler:_enclave"),
+}
+
+
+def test_callgraph_migration_preserves_legacy_finding_set():
+    boundary = BoundaryMap.load(FIXTURES / "boundary.toml")
+    legacy = analyze_paths(
+        [FIXTURES / "proj"],
+        boundary,
+        rules=[
+            "plaintext-escape",
+            "boundary-import",
+            "nonct-compare",
+            "txn-discipline",
+            "lock-discipline",
+        ],
+    )
+    observed = {
+        (f.rule, Path(f.path).name, f.line, f.symbol) for f in legacy
+    }
+    assert observed == LEGACY_SNAPSHOT

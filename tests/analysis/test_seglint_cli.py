@@ -85,3 +85,78 @@ def test_json_format_lists_findings(capsys):
     rules = {f["rule"] for f in payload["findings"]}
     assert {"plaintext-escape", "boundary-import", "nonct-compare"} <= rules
     assert payload["stale_baseline"] == []
+
+
+def test_sarif_format_emits_valid_minimal_log(capsys):
+    assert (
+        run("--boundary", BOUNDARY, "--no-baseline", "--format", "sarif", PROJ) == 1
+    )
+    log = json.loads(capsys.readouterr().out)
+    assert log["version"] == "2.1.0"
+    run_obj = log["runs"][0]
+    assert run_obj["tool"]["driver"]["name"] == "seglint"
+    results = run_obj["results"]
+    assert results and all(
+        r["level"] in ("error", "warning")
+        and r["locations"][0]["physicalLocation"]["region"]["startLine"] >= 1
+        for r in results
+    )
+    assert {r["ruleId"] for r in results} >= {"plaintext-escape", "lock-order"}
+
+
+def _suppressed_tree(tmp_path):
+    (tmp_path / "quiet.py").write_text(
+        "import hmac\nx = 1  # seglint: ignore[nonct-compare]\n", encoding="utf-8"
+    )
+    boundary = tmp_path / "boundary.toml"
+    boundary.write_text(
+        '[modules]\ntrusted = ["quiet"]\n[rules.nonct-compare]\nmodules = ["quiet"]\n',
+        encoding="utf-8",
+    )
+    return str(boundary), str(tmp_path / "quiet.py")
+
+
+def test_unused_suppression_warns_but_passes(tmp_path, capsys):
+    boundary, target = _suppressed_tree(tmp_path)
+    assert run("--boundary", boundary, "--no-baseline", target) == 0
+    out = capsys.readouterr().out
+    assert "warning: unused suppression" in out
+
+
+def test_strict_suppressions_turns_warning_into_failure(tmp_path, capsys):
+    boundary, target = _suppressed_tree(tmp_path)
+    assert (
+        run("--boundary", boundary, "--no-baseline", "--strict-suppressions", target)
+        == 1
+    )
+    assert "error: unused suppression" in capsys.readouterr().out
+
+
+def test_sarif_reports_unused_suppressions(tmp_path, capsys):
+    boundary, target = _suppressed_tree(tmp_path)
+    assert (
+        run("--boundary", boundary, "--no-baseline", "--format", "sarif", target) == 0
+    )
+    log = json.loads(capsys.readouterr().out)
+    results = log["runs"][0]["results"]
+    assert [r["ruleId"] for r in results] == ["unused-suppression"]
+    assert results[0]["level"] == "warning"
+
+
+def test_rule_subset_leaves_other_rules_baseline_entries_alone(tmp_path, capsys):
+    # A relaxed-profile run (rule subset) must not report the full
+    # profile's baseline entries as stale.
+    baseline = str(tmp_path / "baseline.json")
+    assert run("--boundary", BOUNDARY, "--baseline", baseline, "--write-baseline", PROJ) == 0
+    capsys.readouterr()
+    # Re-checking only plaintext-escape on its own file waives its
+    # entries; every other rule's entry is out of scope, not stale.
+    leak = str(FIXTURES / "proj" / "enclave" / "leak.py")
+    assert (
+        run(
+            "--boundary", BOUNDARY, "--baseline", baseline,
+            "--rules", "plaintext-escape", leak,
+        )
+        == 0
+    )
+    assert "stale" not in capsys.readouterr().out
