@@ -25,10 +25,18 @@ Latencies are virtual-clock seconds from the calibrated Azure cost
 model; results land in ``BENCH_concurrency.json`` with a per-account
 wait breakdown (lock-wait, worker-wait, commit-wait, ...) per cell.
 
+The cluster cells run with the coherence protocol's caches **on** (the
+``cluster_options`` default since the cross-replica invalidation log):
+``cluster_cached_read`` drives the same warm read mix through a cached
+and an uncached 3-replica cluster and reports every replica's coherence
+counters (applied epoch, lag, invalidations applied, full discards,
+cache hits/misses) alongside the board's host-side view.
+
 Exit status is non-zero if disjoint-path read throughput at 4 workers
-fails to reach 2x the 1-worker figure, or if contended-write throughput
-at 8 workers fails to reach 1.3x the 1-worker figure — the scaling
-gates CI runs on every push (``--quick``).
+fails to reach 2x the 1-worker figure, if contended-write throughput
+at 8 workers fails to reach 1.3x the 1-worker figure, or if the cached
+3-replica cluster fails to reach 2x the uncached cluster on warm reads
+— the scaling gates CI runs on every push (``--quick``).
 """
 
 from __future__ import annotations
@@ -93,6 +101,24 @@ def cell_counters(server: SeGShareServer) -> dict:
     }
     if "group_commit" in stats:
         out["group_commit"] = stats["group_commit"]
+    return out
+
+
+def replica_counters(deployment) -> dict:
+    """Per-replica coherence + cache counters — in every cluster cell."""
+    out = {}
+    for name in deployment.cluster.membership.ring.members:
+        stats = deployment.server(name).stats()
+        entry = {}
+        if "coherence" in stats:
+            entry["coherence"] = stats["coherence"]
+        if "cache" in stats:
+            entry["cache"] = {
+                "hits": stats["cache"]["hits"],
+                "misses": stats["cache"]["misses"],
+                "hit_rate": stats["cache"]["hit_rate"],
+            }
+        out[name] = entry
     return out
 
 
@@ -204,6 +230,51 @@ def run_cluster_disjoint_read(replicas: int, ops_per_client: int) -> dict:
     result = driver.run(clients)
     out = result.summary()
     out["cluster"] = cluster.stats()
+    out["replicas"] = replica_counters(deployment)
+    return out
+
+
+def run_cluster_cached_read(
+    replicas: int, ops_per_client: int, cached: bool
+) -> dict:
+    """The disjoint read mix, warm, through a cached vs uncached cluster.
+
+    One warm GET per client first: with ``cached`` the guard nodes and
+    metadata land in each serving replica's cache and every measured
+    read epoch-checks the coherence board (one untrusted int compare)
+    then serves decrypted metadata from enclave memory; uncached, every
+    read re-fetches and re-verifies against the shared store — the
+    posture the whole cluster was stuck in before the invalidation log.
+    """
+    deployment = build_cluster(
+        replicas=replicas, parallel=True, ca=_CA, qe_key_bits=512, cached=cached
+    )
+    cluster = deployment.cluster
+
+    def cluster_get(user: str, path: str, arrival: float | None) -> None:
+        response = cluster.handle(user, Request(op=Op.GET, args=(path,)), arrival=arrival)
+        assert b"".join(response.chunks)  # consuming the stream charges costs
+
+    for c in range(CLIENTS):
+        ok(cluster.handle(f"u{c}", Request(op=Op.PUT_DIR, args=(f"/c{c}/",))))
+        ok(
+            cluster.put_file(
+                f"u{c}", f"/c{c}/doc", unique_bytes("conc/cached", c, FILE_KB * KB)
+            )
+        )
+        cluster_get(f"u{c}", f"/c{c}/doc", None)  # warm pass
+    driver = ClusterDriver(cluster)
+    clients = [
+        [
+            (lambda arrival, c=c: cluster_get(f"u{c}", f"/c{c}/doc", arrival))
+            for _ in range(ops_per_client)
+        ]
+        for c in range(CLIENTS)
+    ]
+    result = driver.run(clients)
+    out = result.summary()
+    out["cluster"] = cluster.stats()
+    out["replicas"] = replica_counters(deployment)
     return out
 
 
@@ -273,6 +344,36 @@ def main(argv: list[str] | None = None) -> int:
         "scaling_vs_1_replica": cluster_scaling,
     }
 
+    print("cluster_cached_read ...", flush=True)
+    cached_replicas = max(REPLICA_SWEEP)
+    cached_cells = {}
+    for mode, cached in (("uncached", False), ("cached", True)):
+        cell = run_cluster_cached_read(cached_replicas, ops_per_client, cached)
+        cached_cells[mode] = cell
+        coherence = {
+            name: entry.get("coherence", {})
+            for name, entry in cell["replicas"].items()
+        }
+        lag = {n: c.get("epoch_lag_max", 0) for n, c in coherence.items()}
+        discards = {n: c.get("full_discards", 0) for n, c in coherence.items()}
+        hits = {n: c.get("cache_hits", 0) for n, c in coherence.items()}
+        print(
+            f"  {mode:>8}: {cell['throughput_ops_per_s']:>9.2f} ops/s   "
+            f"mean {cell['mean_latency_s'] * 1e3:7.3f} ms   "
+            f"hits {hits}   lag_max {lag}   full_discards {discards}"
+        )
+    cached_speedup = round(
+        cached_cells["cached"]["throughput_ops_per_s"]
+        / cached_cells["uncached"]["throughput_ops_per_s"],
+        3,
+    )
+    print(f"  cached vs uncached at {cached_replicas} replicas: {cached_speedup}x")
+    results["cluster_cached_read"] = {
+        "replicas": cached_replicas,
+        "by_mode": cached_cells,
+        "cached_vs_uncached": cached_speedup,
+    }
+
     disjoint_4w = results["disjoint_read"]["scaling_vs_1_worker"]["4"]
     contended_8w = results["contended_write"]["scaling_vs_1_worker"]["8"]
     contended_8w_waits = results["contended_write"]["by_workers"]["8"][
@@ -292,6 +393,11 @@ def main(argv: list[str] | None = None) -> int:
         # Time spent waiting for a shared epoch to close must show up
         # under its own account, not be mislabeled as lock-wait.
         "commit_wait_attributed": contended_8w_waits.get("commit-wait", 0.0) > 0.0,
+        # The coherence protocol must earn its keep: warm reads through
+        # the cached 3-replica cluster at least double the uncached
+        # (always-reverify) cluster's throughput.
+        "cluster_cached_read_speedup_3r": cached_speedup,
+        "cluster_cached_read_target_2x": cached_speedup >= 2.0,
     }
     report = {
         "meta": {
@@ -322,6 +428,13 @@ def main(argv: list[str] | None = None) -> int:
         print(
             "FAIL: contended-write throughput at 8 workers is below 1.3x "
             "the 1-worker figure (group commit is not coalescing)",
+            file=sys.stderr,
+        )
+        failed = True
+    if not criteria["cluster_cached_read_target_2x"]:
+        print(
+            "FAIL: warm cached-cluster reads are below 2x the uncached "
+            "cluster (the coherence protocol is not winning the caches back)",
             file=sys.stderr,
         )
         failed = True

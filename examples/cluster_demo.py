@@ -75,6 +75,21 @@ def main() -> None:
     fresh = crashed.handle.call("cluster_verify_anchors")
     print(f"rejoined replica anchors verified fresh against the quorum: {fresh}")
 
+    # The caches stayed on the whole time: each replica's coherence
+    # counters show the invalidation protocol at work (docs/CLUSTER.md).
+    print("per-replica coherence counters:")
+    for name in cluster.membership.ring.members:
+        stats = deployment.server(name).stats()
+        coherence = stats.get("coherence", {})
+        print(
+            f"  {name}: applied_epoch={coherence.get('applied_epoch', 0)} "
+            f"invalidations_applied={coherence.get('invalidations_applied', 0)} "
+            f"full_discards={coherence.get('full_discards', 0)} "
+            f"lag_max={coherence.get('epoch_lag_max', 0)} "
+            f"cache_hits={coherence.get('cache_hits', 0)} "
+            f"cache_misses={coherence.get('cache_misses', 0)}"
+        )
+
     if failed:
         print(f"UNEXPECTED: {failed} client request(s) failed")
     else:

@@ -34,6 +34,7 @@ REGISTRY: dict[str, RuleFn] = {
     boundary_import.RULE: boundary_import.check,
     nonct_compare.RULE: nonct_compare.check,
     txn_discipline.RULE: txn_discipline.check,
+    txn_discipline.COHERENCE_RULE: txn_discipline.check_coherence,
     lock_discipline.RULE: lock_discipline.check,
     lock_order.RULE: lock_order.check,
     epoch_typestate.RULE: epoch_typestate.check,

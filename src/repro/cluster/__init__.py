@@ -24,7 +24,7 @@ from repro.cluster.placement import PlacementRing, path_affinity, request_affini
 from repro.cluster.router import SeGShareCluster
 from repro.core.enclave_app import SeGShareOptions
 from repro.core.server import SeGShareServer
-from repro.netsim import Link, NetworkEnv, ParallelClock, SimClock
+from repro.netsim import CoherenceBoard, Link, NetworkEnv, ParallelClock, SimClock
 from repro.netsim.network import AZURE_WAN
 from repro.pki import CertificateAuthority
 from repro.sgx import AttestationService, SgxPlatform
@@ -45,33 +45,48 @@ __all__ = [
 ]
 
 
-def cluster_options(base: SeGShareOptions | None = None) -> SeGShareOptions:
+#: Default metadata cache size for cached cluster replicas; matches the
+#: single-enclave default used across the perf suites.
+_DEFAULT_CLUSTER_CACHE_BYTES = 512 * 1024
+
+
+def cluster_options(
+    base: SeGShareOptions | None = None, cached: bool = True
+) -> SeGShareOptions:
     """Force the invariants replicated serving depends on.
 
     * ``journal=True`` + ``rollback="whole_fs"`` + ``counter_kind="rote"``
       — failover recovers in-flight batches through the shared journal
       and verifies freshness against the shared quorum.
-    * ``metadata_cache_bytes=None`` and ``enable_dedup=False`` — replicas
-      mutate the repository behind each other's backs, so enclave-
-      resident caches and the in-memory dedup index would go stale
-      (cross-replica coherence is out of scope; see docs/PERF.md).
-    * ``quota_bytes=None`` — a quota refusal is the one handler path
-      that *commits* its transaction yet answers with an error, which
-      would break the stamp's "committed iff OK" failover contract.
+    * ``metadata_cache_bytes`` and ``enable_dedup`` stay **on** (the
+      ``cached`` default): replicas mutate the repository behind each
+      other's backs, but the coherence log (:mod:`repro.core.coherence`)
+      publishes every commit's touched-key set, and every cache serve
+      epoch-checks against it first — see docs/CLUSTER.md §coherence.
+      ``cached=False`` reproduces the old always-reverify posture, which
+      is also the fallback any replica degrades to on a torn or
+      Byzantine log.
+    * ``quota_bytes`` passes through from ``base``: a quota refusal now
+      *aborts* its transaction (``QuotaExceeded``), so the stamp's
+      "committed iff OK" failover contract holds on that path too.
     * ``shared_store=True`` — a member booting (or restarting) must not
       run journal recovery: the shared marker may be a live peer's open
       commit epoch, and only the front door can tell (it quiesces on
       admission and recovers crashed batches through takeover).
     """
     base = base or SeGShareOptions(rollback_buckets=8)
+    cache_bytes = (
+        base.metadata_cache_bytes
+        if base.metadata_cache_bytes is not None
+        else _DEFAULT_CLUSTER_CACHE_BYTES
+    )
     return replace(
         base,
         journal=True,
         rollback="whole_fs",
         counter_kind="rote",
-        metadata_cache_bytes=None,
-        enable_dedup=False,
-        quota_bytes=None,
+        metadata_cache_bytes=cache_bytes if cached else None,
+        enable_dedup=cached,
         shared_store=True,
     )
 
@@ -86,6 +101,8 @@ class ClusterDeployment:
     env: NetworkEnv
     ca: CertificateAuthority
     attestation: AttestationService
+    #: Shared invalidation log; ``None`` for an uncached cluster.
+    board: CoherenceBoard | None = None
 
     def server(self, name: str) -> SeGShareServer:
         return self.servers[name]
@@ -98,32 +115,38 @@ def build_cluster(
     ca: CertificateAuthority | None = None,
     qe_key_bits: int = 1024,
     seed: int = 0,
+    cached: bool = True,
 ) -> ClusterDeployment:
     """Stand up ``replicas`` SeGShare servers behind one front door.
 
     Everything that must be shared is shared exactly once: the backend
     (all stores are prefixed views over it), the virtual clock (one
-    timeline, parallel tracks when ``parallel=True``), and the ROTE
+    timeline, parallel tracks when ``parallel=True``), the ROTE
     counter quorum (the root's service is installed on every platform
     *before* its join, so ``cluster_verify_anchors`` checks against the
     same quorum the anchors were counted on — a mis-wired quorum fails
-    the join instead of corrupting freshness).  ``qe_key_bits`` trims
-    quoting-enclave RSA keygen for test builds.
+    the join instead of corrupting freshness), and — when ``cached`` —
+    one coherence board, installed on every platform before server
+    construction so even bootstrap commits publish their invalidations.
+    ``qe_key_bits`` trims quoting-enclave RSA keygen for test builds.
     """
     if replicas < 1:
         raise ValueError("a cluster needs at least one replica")
-    base = cluster_options(options)
+    base = cluster_options(options, cached=cached)
     ca = ca or CertificateAuthority(key_bits=1024)
     service = AttestationService()
     backend = InMemoryStore()
     clock: SimClock = ParallelClock() if parallel else SimClock()
-    cluster = SeGShareCluster(clock, ClusterMembership(service))
+    board = CoherenceBoard() if cached else None
+    cluster = SeGShareCluster(clock, ClusterMembership(service), board=board)
     servers: Dict[str, SeGShareServer] = {}
     rote = None
     for i in range(replicas):
         name = f"r{i}"
         platform = SgxPlatform(clock=clock)
         platform.quoting_enclave = QuotingEnclave(platform, key_bits=qe_key_bits)
+        if board is not None:
+            platform._segshare_coherence_board = board
         if i > 0:
             platform._segshare_counter_rote = rote
         env = NetworkEnv(clock=clock, link=Link(clock, AZURE_WAN, seed=seed * 101 + i))
@@ -151,4 +174,5 @@ def build_cluster(
         env=servers["r0"].env,
         ca=ca,
         attestation=service,
+        board=board,
     )

@@ -30,7 +30,7 @@ and the guards catch stale state).
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict
+from typing import TYPE_CHECKING, Any, Callable, Dict
 
 from repro.cluster.membership import ClusterMembership
 from repro.cluster.placement import path_affinity, request_affinity
@@ -39,6 +39,9 @@ from repro.core.server import SeGShareServer
 from repro.errors import EnclaveCrashed, MembershipError, RetryPolicy
 from repro.netsim import HeartbeatMonitor
 from repro.netsim.clock import SimClock
+
+if TYPE_CHECKING:
+    from repro.netsim.coherence import CoherenceBoard
 
 
 class SeGShareCluster:
@@ -50,9 +53,16 @@ class SeGShareCluster:
         membership: ClusterMembership,
         heartbeat_interval: float = 0.025,
         miss_threshold: int = 3,
+        board: "CoherenceBoard | None" = None,
     ) -> None:
         self._clock = clock
         self.membership = membership
+        #: Shared invalidation log of a cached cluster (``None`` when
+        #: replicas run uncached).  The front door never reads entries —
+        #: they are sealed — but it gates admission on the candidate
+        #: sharing the same board and counts the takeover resets it
+        #: triggers.
+        self.coherence_board = board
         self.heartbeats = HeartbeatMonitor(
             clock, interval=heartbeat_interval, miss_threshold=miss_threshold
         )
@@ -73,6 +83,7 @@ class SeGShareCluster:
         self.failovers = 0
         self.takeovers_recovered = 0
         self.completed_by_takeover = 0
+        self.coherence_resets = 0
 
     # -- membership ----------------------------------------------------------
 
@@ -84,6 +95,23 @@ class SeGShareCluster:
         retry_seed: int = 0,
     ) -> bool:
         """Join ``server`` (idempotent) and start monitoring it."""
+        if self.coherence_board is not None:
+            # A cached cluster's caches are only coherent among replicas
+            # that publish to and sync against the *same* log.  A
+            # candidate wired to no board (or a different one) would
+            # serve stale plaintext the moment a peer commits — reject
+            # it before any key material moves.  Joining members start
+            # cold: their manager initialized at the board's current
+            # epoch with empty caches.  Checked on the platform, not the
+            # engine — a joining replica builds its components only
+            # after the key transfer, from exactly this attribute.
+            installed = getattr(
+                server.enclave.platform, "_segshare_coherence_board", None
+            )
+            if installed is not self.coherence_board:
+                raise MembershipError(
+                    f"candidate {name!r} does not share the cluster's coherence log"
+                )
         # Join catch-up verifies the *stored* anchors; flush any member's
         # open commit epoch first so they are current.
         for member in self.membership.members.values():
@@ -254,6 +282,10 @@ class SeGShareCluster:
             )
         if successor.handle.call("cluster_takeover_recover"):
             self.takeovers_recovered += 1
+        if self.coherence_board is not None:
+            # Takeover published an authenticated reset superseding the
+            # crashed member's published-but-uncommitted tail.
+            self.coherence_resets += 1
         return successor
 
     def _failover(self, crashed: str, token: str) -> Response | None:
@@ -286,4 +318,12 @@ class SeGShareCluster:
             "takeovers_recovered": self.takeovers_recovered,
             "completed_by_takeover": self.completed_by_takeover,
             "heartbeat": self.heartbeats.stats.snapshot(),
+            **(
+                {
+                    "coherence_resets": self.coherence_resets,
+                    "coherence_log": self.coherence_board.snapshot(),
+                }
+                if self.coherence_board is not None
+                else {}
+            ),
         }

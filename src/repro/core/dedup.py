@@ -58,6 +58,10 @@ class _NullEngine:
     def write_back(namespace: str, key: str, value: bytes) -> None:
         pass
 
+    @staticmethod
+    def coherence_check() -> None:
+        pass
+
 
 class DedupStore:
     """The deduplication store: content-addressed objects plus an index."""
@@ -125,6 +129,7 @@ class DedupStore:
 
     def _commit(self, object_id: str, h_name: str) -> str:
         """Adopt or discard a freshly written object; returns the ``hName``."""
+        self._engine.coherence_check()
         existing = self._index.get(h_name)
         if existing is not None:
             # `obj:*` blobs are never metadata-cached; only the index file
@@ -143,6 +148,12 @@ class DedupStore:
         return upload.finish()
 
     # -- access and lifecycle ---------------------------------------------------
+    #
+    # Every entry point that consults ``self._index`` calls
+    # ``coherence_check()`` first: the index is enclave-resident derived
+    # state, so in a cluster "verify on hit" means applying any peer
+    # invalidation epochs (which reload the index) before trusting it.
+    # Object *contents* are self-verifying via content addressing.
 
     def get(self, h_name: str) -> bytes:
         """Read an object, verifying it still hashes to ``h_name``.
@@ -151,6 +162,7 @@ class DedupStore:
         replaying an *older* object under the same name changes its HMAC
         and is caught here.
         """
+        self._engine.coherence_check()
         entry = self._index.get(h_name)
         if entry is None:
             raise StorageError(f"no deduplicated object {h_name!r}")
@@ -160,12 +172,14 @@ class DedupStore:
         return content
 
     def open_read(self, h_name: str):
+        self._engine.coherence_check()
         entry = self._index.get(h_name)
         if entry is None:
             raise StorageError(f"no deduplicated object {h_name!r}")
         return self._pfs.open_read(entry[0])
 
     def size(self, h_name: str) -> int:
+        self._engine.coherence_check()
         entry = self._index.get(h_name)
         if entry is None:
             raise StorageError(f"no deduplicated object {h_name!r}")
@@ -174,12 +188,14 @@ class DedupStore:
 
     def add_reference(self, h_name: str) -> None:
         """A second content file now points at ``h_name``."""
+        self._engine.coherence_check()
         object_id, refcount = self._index[h_name]
         self._index[h_name] = (object_id, refcount + 1)
         self._store_index()
 
     def release(self, h_name: str) -> None:
         """Drop one reference; the last reference reclaims the object."""
+        self._engine.coherence_check()
         entry = self._index.get(h_name)
         if entry is None:
             raise StorageError(f"no deduplicated object {h_name!r}")
@@ -193,6 +209,7 @@ class DedupStore:
         self._store_index()
 
     def refcount(self, h_name: str) -> int:
+        self._engine.coherence_check()
         entry = self._index.get(h_name)
         return 0 if entry is None else entry[1]
 

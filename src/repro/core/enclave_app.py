@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from repro.core.access_control import AccessControl
 from repro.core.audit import AuditLog, export_message_bytes
 from repro.core.cache import MetadataCache
+from repro.core.coherence import CoherenceManager
 from repro.core.file_manager import TrustedFileManager
 from repro.core.journal import WriteAheadJournal
 from repro.core.locks import LockManager
@@ -142,6 +143,7 @@ class SeGShareEnclave(Enclave):
         "repro.core.acl",
         "repro.core.audit",
         "repro.core.cache",
+        "repro.core.coherence",
         "repro.core.dedup",
         "repro.core.file_manager",
         "repro.core.hiding",
@@ -272,6 +274,18 @@ class SeGShareEnclave(Enclave):
             guard_batching=self._options.guard_batching and self._options.journal,
             enclave=self,
         )
+        # Cluster deployments install the shared coherence board on the
+        # platform before construction (build_cluster), mirroring the
+        # shared ROTE quorum.  A fresh manager starts cold at the board's
+        # current epoch: a joining or restarted replica has empty caches,
+        # so everything already published is vacuously applied.  Attached
+        # before the components below so even bootstrap transactions
+        # (ensure_root, guard setup) publish their invalidations.
+        board = getattr(self.platform, "_segshare_coherence_board", None)
+        if board is not None:
+            self.engine.attach_coherence(
+                CoherenceManager(board, self._root_key, self.engine)
+            )
         self.manager = TrustedFileManager(
             self._stores,
             self._root_key,
@@ -771,6 +785,22 @@ class SeGShareEnclave(Enclave):
             if self.manager is not None and self.manager.dedup is not None:
                 self.manager.dedup.reload_index()
         self._finish_journal_recovery(journal, recovered)
+        coherence = self.engine.coherence
+        if coherence is not None:
+            # The crashed peer may have committed without publishing (the
+            # coherence:publish crash window) or published entries whose
+            # writes the restore just rolled back.  Discard our own
+            # plaintext unconditionally — including write-backs the
+            # recovery re-anchor deferred — then supersede the log's
+            # published-but-uncommitted tail with an authenticated reset:
+            # every other replica full-discards at its next sync, and the
+            # rejoining peer starts cold past the reset.
+            self.engine.discard_pending_state()
+            if self.cache is not None:
+                self.cache.clear()
+            if self.manager is not None and self.manager.dedup is not None:
+                self.manager.dedup.reload_index()
+            coherence.publish_reset("takeover")
         return recovered
 
     @ecall
@@ -808,6 +838,8 @@ class SeGShareEnclave(Enclave):
             stats["engine"] = self.engine.stats.snapshot()
             if self.engine.group_commit is not None:
                 stats["group_commit"] = self.engine.group_commit.stats.snapshot()
+            if self.engine.coherence is not None:
+                stats["coherence"] = self.engine.coherence.snapshot()
         if self.locks is not None:
             stats["locks"] = self.locks.stats.snapshot()
         if self.guard is not None:

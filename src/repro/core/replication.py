@@ -101,9 +101,10 @@ def transfer_root_key(
     )
     # The replica will now mutate the shared repository with writes the
     # root enclave never sees, so the root's enclave-resident metadata
-    # cache can go stale: drop it.  (Cross-replica coherence during
-    # steady-state serving is out of scope — see docs/PERF.md — so shared-
-    # backend deployments should disable the cache or shard ownership.)
+    # cache can go stale: drop it.  (Steady-state serving keeps caches
+    # coherent through the sealed invalidation log — docs/CLUSTER.md §5
+    # — but this join-time transfer predates the candidate's board
+    # wiring, so the strict discard stays.)
     root.handle.call("invalidate_metadata_cache")
 
 

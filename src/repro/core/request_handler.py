@@ -51,6 +51,7 @@ from repro.errors import (
     FaultError,
     FileSystemError,
     PathError,
+    QuotaExceeded,
     ReproError,
     RequestError,
     RollbackDetected,
@@ -275,8 +276,13 @@ class RequestHandler:
             used = self._manager.read_quota(user_id)
             refund = acl.accounted_size if acl.accounted_user == user_id else 0
             if used - refund + upload._size > self._quota_bytes:
-                upload.abort()
-                return Response.error(
+                # Raised, not returned: the refusal must ABORT the
+                # PUT_FILE transaction (rolling back the sealed request
+                # stamp with it) so "stamp committed" keeps implying
+                # "request answered OK" for cluster failover.  The
+                # except ReproError arm in UploadSink.finish turns it
+                # into the same error response as before.
+                raise QuotaExceeded(
                     f"quota exceeded: {used - refund + upload._size} "
                     f"> {self._quota_bytes} bytes"
                 )

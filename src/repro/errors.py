@@ -109,6 +109,16 @@ class RequestError(ReproError):
     """A request was syntactically invalid or referenced a missing object."""
 
 
+class QuotaExceeded(RequestError):
+    """An upload would push the user past their storage quota.
+
+    Raised *inside* the PUT_FILE transaction so the refusal aborts it:
+    the sealed request stamp must only ever be committed by requests
+    that answer OK, or cluster failover could synthesize success for a
+    request the client saw refused.
+    """
+
+
 class RollbackDetected(ReproError):
     """Rollback protection detected a stale file or file system state."""
 

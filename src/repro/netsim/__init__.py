@@ -8,11 +8,13 @@ only *time* is simulated.
 """
 
 from repro.netsim.clock import ParallelClock, SimClock, TrackClock
+from repro.netsim.coherence import CoherenceBoard
 from repro.netsim.heartbeat import HeartbeatMonitor, HeartbeatStats
 from repro.netsim.network import Link, LinkSpec, NetworkEnv, azure_wan_env, lan_env
 from repro.netsim.transport import Connection, Endpoint, Listener
 
 __all__ = [
+    "CoherenceBoard",
     "Connection",
     "Endpoint",
     "HeartbeatMonitor",

@@ -53,6 +53,7 @@ from repro.storage.stores import StoreSet
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.cache import MetadataCache
+    from repro.core.coherence import CoherenceManager
     from repro.core.dedup import DedupStore
     from repro.core.rollback import FlatStoreGuard, RollbackGuard
     from repro.sgx.enclave import Enclave
@@ -377,6 +378,18 @@ class StorageEngine:
         #: of the batch's atomicity.  ``None`` (the default everywhere
         #: outside cluster mode) adds zero writes and zero cost.
         self.pending_stamp: str | None = None
+        #: Cross-replica invalidation publisher; installed by
+        #: :meth:`attach_coherence` in cluster deployments (``None``
+        #: keeps single-enclave paths byte-for-byte untouched).
+        self.coherence: "CoherenceManager | None" = None
+        #: (namespace, key) pairs the open transaction touched; published
+        #: to the coherence log at commit so peer replicas drop exactly
+        #: these cache entries.  Shares the lifecycle (and therefore the
+        #: thread-safety argument) of ``_write_backs``.
+        self._txn_touched: "set[tuple[str, str]]" = set()
+        #: Union of the open epoch's committed members' touched sets;
+        #: published once at epoch close, amortized like the anchor write.
+        self._epoch_touched: "set[tuple[str, str]]" = set()
         #: (namespace, key) -> value; deferred cache write-through,
         #: last write per key wins.
         self._write_backs: "OrderedDict[tuple[str, str], bytes]" = OrderedDict()
@@ -404,6 +417,37 @@ class StorageEngine:
     def attach_dedup(self, dedup: "DedupStore | None") -> None:
         """The dedup index must be re-read after an undo-log restore."""
         self.dedup = dedup
+
+    def attach_coherence(self, coherence: "CoherenceManager | None") -> None:
+        """Join the cluster's invalidation log (see :mod:`repro.core.coherence`).
+
+        From here on every commit publishes its touched-key set and every
+        cache read syncs against the shared epoch counter first.
+        """
+        self.coherence = coherence
+
+    def discard_pending_state(self) -> None:
+        """Drop deferred write-backs and captured keys (recovery epilogue).
+
+        Takeover recovery re-anchors through the raw-write path, which
+        defers cache write-backs; applying them later — after the router
+        may already have handed traffic to a peer — could resurrect a
+        value the coherence protocol has invalidated.  Discarding is
+        always safe: the next read re-verifies from storage.
+        """
+        self._write_backs.clear()
+        self._txn_touched.clear()
+        self._epoch_touched.clear()
+
+    def coherence_check(self) -> None:
+        """Apply pending peer invalidations before trusting derived state.
+
+        The dedup index calls this on every hit: the index object lives
+        in enclave memory, so "verify on hit" means proving no peer epoch
+        has invalidated it since we last looked.
+        """
+        if self.coherence is not None:
+            self.coherence.sync()
 
     def enable_group_commit(self) -> None:
         """Let overlapping transactions share one journal-commit epoch.
@@ -463,6 +507,10 @@ class StorageEngine:
         if journal.active:
             yield
             return
+        if self.coherence is not None:
+            # Start from a synced view: peer epochs applied before our
+            # reads, so the span never builds writes over stale cache.
+            self.coherence.sync()
         journal.begin(label)
         self._begin_guard_batches()
         for store in self._deferred:
@@ -493,6 +541,10 @@ class StorageEngine:
             for store in self._deferred:
                 store.discard()
             self._write_backs.clear()
+            # An abort restores the shared store to its pre-transaction
+            # bytes, so peers' caches are still correct: nothing to
+            # publish.
+            self._txn_touched.clear()
             try:
                 journal.rollback()
                 # Re-anchor under the journal's recording: the anchor is a
@@ -501,6 +553,10 @@ class StorageEngine:
                 journal.resume_recording()
                 self._reanchor_guards()
                 journal.clear()
+                # The re-anchor deferred its anchor/node write-backs
+                # (the journal was recording); apply them before leaving
+                # the span so none survives to be applied stale later.
+                self._apply_write_backs()
             except EnclaveCrashed:
                 raise
             except ReproError as rollback_exc:
@@ -515,6 +571,7 @@ class StorageEngine:
             with self._commit_point():
                 journal.commit()
             self._apply_write_backs()
+            self._publish_coherence(label)
             self.stats.commits += 1
             self.stats.last_commit_puts = self.stats.puts - puts_before
 
@@ -535,6 +592,8 @@ class StorageEngine:
         group = self.group_commit
         clock = self._enclave.platform.clock
         assert journal is not None and group is not None and clock is not None
+        if self.coherence is not None:
+            self.coherence.sync()
         now = clock.now()
         if group.open and (now > group.release or group.members >= group.MAX_MEMBERS):
             # This transaction did not overlap the last member (or the
@@ -585,6 +644,7 @@ class StorageEngine:
             for store in self._deferred:
                 store.discard()
             self._write_backs.clear()
+            self._txn_touched.clear()
             if self.guard is not None and snap_fs is not None:
                 self.guard.restore_pending(snap_fs)
             if self.group_guard is not None and snap_group is not None:
@@ -608,6 +668,11 @@ class StorageEngine:
             group.members += 1
             group.stats.members_total += 1
             self._apply_write_backs()
+            if self.coherence is not None:
+                # Committed members pool their touched keys; the epoch
+                # close publishes them as one entry.
+                self._epoch_touched |= self._txn_touched
+                self._txn_touched = set()
             self.stats.commits += 1
             self.stats.last_commit_puts = self.stats.puts - puts_before
         finally:
@@ -632,6 +697,20 @@ class StorageEngine:
             with self._commit_point():
                 self._commit_guard_batches()
                 journal.close_epoch()
+                # The guard flush above raw-wrote nodes and the anchor
+                # while the journal was still recording, deferring their
+                # cache write-backs.  Apply them NOW: a write-back that
+                # survives past the close could be applied after a peer
+                # overwrote the key (the router hands traffic over right
+                # after a quiesce), inserting a stale value the sync
+                # protocol has already invalidated.
+                self._apply_write_backs()
+                # Publish once per epoch, inside the same serialized
+                # close: peers learn every committed member's touched
+                # keys in one entry.  A crash here leaves the epoch
+                # committed but unpublished — healed by the takeover
+                # reset (see cluster_takeover_recover).
+                self._publish_coherence("epoch")
         finally:
             clock.close_track(bg, join=False)
         group.open = False
@@ -736,6 +815,28 @@ class StorageEngine:
             )
             self.stats.write_backs += len(pending)
 
+    def _publish_coherence(self, label: str) -> None:
+        """Publish the pending touched-key set as one coherence entry.
+
+        Serial commits publish their own transaction's set; an epoch
+        close publishes the union its members pooled.  Runs strictly
+        after the journal commit — the entry describes only durable
+        state — and is skipped entirely when nothing was touched.  The
+        crashpoint models the one new crash window the protocol adds:
+        committed but unpublished, which takeover recovery heals with an
+        authenticated reset entry.
+        """
+        if self.coherence is None:
+            return
+        touched = self._txn_touched | self._epoch_touched
+        self._txn_touched = set()
+        self._epoch_touched = set()
+        if not touched:
+            return
+        assert self.journal is not None
+        self.journal.crashpoint("coherence:publish")
+        self.coherence.publish(touched, label)
+
     # -- cache facade --------------------------------------------------------
     #
     # Callers never talk to the MetadataCache directly: reads go through
@@ -747,10 +848,18 @@ class StorageEngine:
     def lookup(self, namespace: str, key: str) -> bytes | None:
         if self.cache is None:
             return None
+        if self.coherence is not None:
+            # Epoch check before every cache serve: one untrusted int
+            # compare on the fast path; apply-or-discard on lag.
+            self.coherence.sync()
         return self.cache.get(namespace, key)
 
     def cached(self, namespace: str, key: str) -> bool:
-        return self.cache is not None and self.cache.contains(namespace, key)
+        if self.cache is None:
+            return False
+        if self.coherence is not None:
+            self.coherence.sync()
+        return self.cache.contains(namespace, key)
 
     def fill(self, namespace: str, key: str, value: bytes) -> None:
         """Read-path insertion of a just-verified value."""
@@ -764,6 +873,7 @@ class StorageEngine:
         dropped too — a write-then-delete inside one transaction must not
         resurrect the entry at commit."""
         self._write_backs.pop((namespace, key), None)
+        self._touch_coherence(namespace, key)
         if self.cache is not None:
             self.cache.discard(namespace, key)
 
@@ -773,6 +883,7 @@ class StorageEngine:
         Deferred to commit while a transaction is open (the store write
         it mirrors is itself buffered); immediate otherwise.
         """
+        self._touch_coherence(namespace, key)
         if self.cache is None:
             return
         if self.journal is not None and self.journal.active:
@@ -780,3 +891,20 @@ class StorageEngine:
             self._write_backs[(namespace, key)] = value
         else:
             self.cache.put(namespace, key, value)
+
+    def _touch_coherence(self, namespace: str, key: str) -> None:
+        """Record a key the open transaction is mutating.
+
+        Every cached-key mutation in the code base pairs ``invalidate``
+        (before the store write) with ``write_back`` (after it), so
+        capturing here makes the published invalidation set complete by
+        construction.  Mutations outside a journal batch (recovery,
+        index re-reads triggered by a sync) are not captured: they do
+        not change committed shared state from a peer's point of view.
+        """
+        if (
+            self.coherence is not None
+            and self.journal is not None
+            and self.journal.active
+        ):
+            self._txn_touched.add((namespace, key))

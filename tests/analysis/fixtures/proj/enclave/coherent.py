@@ -1,0 +1,41 @@
+"""coherence-discipline fixtures: publishes ride the commit, serves sync."""
+
+
+class Engine:
+    def __init__(self, journal, cache, coherence):
+        self.journal = journal
+        self.cache = cache
+        self.coherence = coherence
+
+    def commit_ok(self, label):
+        self.journal.commit()
+        self.coherence.publish({"k"}, label)  # clean: strictly after the commit
+
+    def commit_epoch_ok(self):
+        self.journal.close_epoch()
+        self._publish()  # clean: owner reached after the epoch close
+
+    def _publish(self):
+        # The owner funnel: its own publish is the implementation, the
+        # obligation sits on every call site of _publish instead.
+        self.coherence.publish(set(), "epoch")
+
+    def publish_early(self, label):
+        self.coherence.publish({"k"}, label)  # flagged: commit comes later
+        self.journal.commit()
+
+    def reset_unjournaled(self):
+        self.coherence.publish_reset("boot")  # flagged: no commit at all
+
+    def replay_publish(self):
+        self._publish()  # flagged: owner call with no commit in sight
+
+    def takeover_reset(self):
+        self.coherence.publish_reset("takeover")  # clean: exempt in boundary.toml
+
+    def lookup(self, ns, key):
+        self.coherence.sync()
+        return self.cache.get(ns, key)  # clean: peer epochs applied first
+
+    def cached(self, ns, key):
+        return self.cache.contains(ns, key)  # flagged: serve without a sync

@@ -116,6 +116,36 @@ def test_txn_discipline_honors_exempt_list(findings):
     )
 
 
+# -- coherence-discipline ----------------------------------------------------
+
+
+def test_coherence_discipline_flags_unjournaled_publishes(findings):
+    flagged = symbols(findings, "coherence-discipline")
+    assert "proj.enclave.coherent:Engine.publish_early" in flagged
+    assert "proj.enclave.coherent:Engine.reset_unjournaled" in flagged
+    # The owner funnel moves the obligation to its call sites.
+    assert "proj.enclave.coherent:Engine.replay_publish" in flagged
+
+
+def test_coherence_discipline_passes_commit_riding_publishes(findings):
+    flagged = symbols(findings, "coherence-discipline")
+    assert "proj.enclave.coherent:Engine.commit_ok" not in flagged
+    assert "proj.enclave.coherent:Engine.commit_epoch_ok" not in flagged
+    assert "proj.enclave.coherent:Engine._publish" not in flagged
+
+
+def test_coherence_discipline_flags_unsynced_cache_serve(findings):
+    flagged = symbols(findings, "coherence-discipline")
+    assert "proj.enclave.coherent:Engine.cached" in flagged
+    assert "proj.enclave.coherent:Engine.lookup" not in flagged
+
+
+def test_coherence_discipline_honors_exempt_list(findings):
+    assert "proj.enclave.coherent:Engine.takeover_reset" not in symbols(
+        findings, "coherence-discipline"
+    )
+
+
 # -- lock-discipline ---------------------------------------------------------
 
 

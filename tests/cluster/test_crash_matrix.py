@@ -1,19 +1,22 @@
 """Cluster crash matrix: every replica, every crashpoint class.
 
 Seeded FaultPlan schedules kill each replica at every crashpoint of a
-fixed workload's three vulnerable windows — mid-commit (``journal:*``),
-mid-anchor-replication (``anchor:*``), and mid-join catch-up
-(``cluster:join*``) — and require the cluster to absorb the crash:
-the in-flight request completes (re-executed or stamp-synthesized),
-the survivors' state verifies, and the crashed replica can restart and
-re-join.
+fixed workload's four vulnerable windows — mid-commit (``journal:*``),
+mid-anchor-replication (``anchor:*``), between commit and coherence-log
+publish (``coherence:*`` — the one window the invalidation protocol
+adds: committed but unpublished, healed by the takeover reset), and
+mid-join catch-up (``cluster:join*``) — and require the cluster to
+absorb the crash: the in-flight request completes (re-executed or
+stamp-synthesized), the survivors' state verifies, and the crashed
+replica can restart and re-join.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.cluster import build_cluster, cluster_options
+from repro.cluster import build_cluster, cluster_options, path_affinity
+from repro.core.enclave_app import SeGShareOptions
 from repro.core.requests import Op, Request, Status
 from repro.core.server import SeGShareServer
 from repro.faults import FaultPlan
@@ -28,7 +31,7 @@ _CA = CertificateAuthority(key_bits=1024)
 
 REPLICAS = 3
 #: The serving-path crashpoint classes (join catch-up is tested apart).
-SITES = ("journal:", "anchor:")
+SITES = ("journal:", "anchor:", "coherence:")
 
 
 def build(seed: int = 0):
@@ -119,6 +122,78 @@ def test_crash_matrix_serving_path(victim, site):
         }
 
 
+class TestQuotaRefusalFailover:
+    """A quota-refused request fails over like any other request.
+
+    ``cluster_options`` passes ``quota_bytes`` through since the refusal
+    became a transaction *abort* (``QuotaExceeded``): no stamp commits,
+    so after a mid-request crash the takeover reads "not committed" and
+    the survivors re-execute to the byte-identical refusal — never a
+    synthesized OK for a request that was going to be refused, and never
+    quota silently consumed by a half-crashed upload.
+    """
+
+    QUOTA = 1000
+
+    def build_limited(self, seed: int = 0):
+        deployment = build_cluster(
+            replicas=REPLICAS,
+            parallel=True,
+            ca=_CA,
+            qe_key_bits=512,
+            seed=seed,
+            options=SeGShareOptions(rollback_buckets=8, quota_bytes=self.QUOTA),
+        )
+        handler = deployment.server("r0").enclave.handler
+        assert (
+            handler.handle("u0", Request(op=Op.PUT_DIR, args=("/q/",))).status
+            is Status.OK
+        )
+        assert handler.put_file("u0", "/q/keep", b"x" * 600).status is Status.OK
+        return deployment
+
+    def test_refusal_is_identical_across_failover(self):
+        big = b"y" * 600  # 600 used + 600 > 1000: refused
+
+        # No-crash baseline: the refusal's status and wire message.
+        deployment = self.build_limited()
+        baseline = deployment.cluster.put_file("u0", "/q/big", big)
+        assert baseline.status is Status.ERROR
+        assert "quota exceeded" in baseline.message
+
+        # Counting pass: journal crashpoints the refused request passes
+        # on the replica that owns its path affinity.
+        owner = deployment.cluster.membership.ring.owner(path_affinity("/q/big"))
+        deployment = self.build_limited()
+        plan = FaultPlan().crash_at_point(nth=10**9, site_prefix="journal:")
+        plan.attach_platform(deployment.server(owner).platform)
+        deployment.cluster.put_file("u0", "/q/big", big)
+        plan.detach()
+        steps = plan.seen_crashpoints("journal:")
+        assert steps > 0, "the refused upload never touched the journal"
+
+        for step in range(1, steps + 1):
+            deployment = self.build_limited()
+            cluster = deployment.cluster
+            plan = FaultPlan().crash_at_point(nth=step, site_prefix="journal:")
+            plan.attach_platform(deployment.server(owner).platform)
+            response = cluster.put_file("u0", "/q/big", big)
+            plan.detach()
+
+            assert cluster.stats()["failovers"] >= 1, f"step {step}: crash never fired"
+            assert response.status is Status.ERROR, f"step {step}: {response.status}"
+            assert response.message == baseline.message, f"step {step}"
+
+            # The refusal consumed nothing — not on the original replica,
+            # not through the crash: an in-quota upload still fits and the
+            # survivors' state verifies.
+            survivor = deployment.server(cluster.membership.ring.members[0])
+            assert cluster.put_file("u0", "/q/fits", b"z" * 300).status is Status.OK
+            cluster.quiesce()  # flush open epochs so the anchors are current
+            survivor.enclave.guard.verify_restored_state()
+            assert survivor.enclave.manager.read_content("/q/keep") == b"x" * 600
+
+
 class TestJoinCatchupCrash:
     """A candidate dying mid-join stays out, restarts, and joins cleanly."""
 
@@ -128,6 +203,10 @@ class TestJoinCatchupCrash:
         platform = SgxPlatform(clock=clock)
         platform.quoting_enclave = QuotingEnclave(platform, key_bits=512)
         platform._segshare_counter_rote = root.platform._segshare_counter_rote
+        # A cached cluster admits only candidates wired to its coherence
+        # log; the router rejects the join otherwise.
+        if deployment.board is not None:
+            platform._segshare_coherence_board = deployment.board
         env = NetworkEnv(clock=clock, link=Link(clock, AZURE_WAN, seed=991))
         from dataclasses import replace
 

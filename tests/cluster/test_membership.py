@@ -42,6 +42,9 @@ def make_candidate(deployment, register=True):
     platform = SgxPlatform(clock=clock)
     platform.quoting_enclave = QuotingEnclave(platform, key_bits=512)
     platform._segshare_counter_rote = root.platform._segshare_counter_rote
+    # A cached cluster admits only candidates wired to its coherence log.
+    if deployment.board is not None:
+        platform._segshare_coherence_board = deployment.board
     env = NetworkEnv(clock=clock, link=Link(clock, AZURE_WAN, seed=97))
     from dataclasses import replace
 
