@@ -2,19 +2,25 @@
 
 SeGShare's membership revocation updates ONE member list regardless of
 how many files the group can access; eager HE re-encrypts every file.
+The in-enclave cryptographic backend (``authz_backend="ibbe"``) sits
+between the two: an envelope re-key per revocation now, re-encryption
+deferred to reconcile — ``bench_revocation.py`` sweeps that trade over
+group sizes.
 """
 
 import pytest
 
 from repro.baselines import HybridEncryptionShare
 from repro.bench.workloads import unique_bytes
+from repro.core.enclave_app import SeGShareOptions
 
 FILES = 25
 FILE_SIZE = 50_000
 
 
-def test_segshare_revocation(benchmark, make_deployment):
-    deployment = make_deployment()
+@pytest.mark.parametrize("backend", ["enclave_acl", "ibbe"])
+def test_segshare_revocation(benchmark, make_deployment, backend):
+    deployment = make_deployment(SeGShareOptions(authz_backend=backend))
     admin = deployment.new_user("admin")
     for i in range(FILES):
         admin.upload(f"/t{i}.dat", unique_bytes("rev", i, FILE_SIZE))

@@ -3,14 +3,23 @@
 The paper: 154.05 ms add / 153.40 ms revoke, independent of stored files,
 permissions, and file sizes.  Wall time here covers the full request path
 (fresh TLS connection + the one member-list update).
+
+Parametrized over both authorization backends: the enclave-ACL numbers
+are the paper's, the IBBE cells show what the same request path costs
+once revocation means a group re-key (the head-to-head sweep lives in
+``bench_revocation.py``).
 """
 
 import pytest
 
+from repro.core.enclave_app import SeGShareOptions
 
-@pytest.fixture()
-def deployment(make_deployment):
-    return make_deployment()
+BACKENDS = ("enclave_acl", "ibbe")
+
+
+@pytest.fixture(params=BACKENDS)
+def deployment(make_deployment, request):
+    return make_deployment(SeGShareOptions(authz_backend=request.param))
 
 
 def test_membership_add(benchmark, deployment):
@@ -36,6 +45,24 @@ def test_membership_revoke(benchmark, deployment):
         deployment.connect(identity).remove_user(f"user{i}", f"group{i}")
 
     benchmark(revoke)
+
+
+def test_membership_churn_in_large_group(benchmark, deployment):
+    """Add+revoke one member of a 256-strong group: flat for the ACL
+    backend, an O(|group|) re-key per cycle for IBBE."""
+    identity = deployment.user_identity("owner")
+    owner = deployment.connect(identity)
+    for i in range(256):
+        owner.add_user(f"member{i}", "bigteam")
+    counter = iter(range(100_000))
+
+    def cycle():
+        i = next(counter)
+        client = deployment.connect(identity)
+        client.add_user(f"victim{i}", "bigteam")
+        client.remove_user(f"victim{i}", "bigteam")
+
+    benchmark(cycle)
 
 
 def test_membership_add_with_busy_share(benchmark, make_deployment):

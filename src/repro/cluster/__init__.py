@@ -116,6 +116,7 @@ def build_cluster(
     qe_key_bits: int = 1024,
     seed: int = 0,
     cached: bool = True,
+    authz_backend: str | None = None,
 ) -> ClusterDeployment:
     """Stand up ``replicas`` SeGShare servers behind one front door.
 
@@ -129,10 +130,16 @@ def build_cluster(
     one coherence board, installed on every platform before server
     construction so even bootstrap commits publish their invalidations.
     ``qe_key_bits`` trims quoting-enclave RSA keygen for test builds.
+    ``authz_backend`` overrides the authorization backend on every
+    replica (it otherwise passes through from ``options``); the backends
+    keep all their state in the shared, journaled stores, so failover
+    and coherence work identically for both.
     """
     if replicas < 1:
         raise ValueError("a cluster needs at least one replica")
     base = cluster_options(options, cached=cached)
+    if authz_backend is not None:
+        base = replace(base, authz_backend=authz_backend)
     ca = ca or CertificateAuthority(key_bits=1024)
     service = AttestationService()
     backend = InMemoryStore()

@@ -1,0 +1,53 @@
+"""Pluggable authorization backends (paper Section VII / ROADMAP item 5).
+
+``enclave_acl`` is the paper's design — enclave-checked ACLs, O(1)
+metadata per membership change; ``ibbe`` is the opposing cryptographic
+design — per-receiver envelopes, O(|group|) re-key plus lazy content
+re-encryption on revocation.  ``benchmarks/bench_revocation.py`` runs
+them head to head; docs/ACCESS_CONTROL.md has the cost model.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.authz.base import COUNTER_KEYS, AuthzBackend, CrashHook
+from repro.core.authz.enclave_acl import EnclaveAclBackend
+from repro.core.authz.ibbe import IbbeEnvelopeBackend
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.file_manager import TrustedFileManager
+    from repro.sgx.enclave import Enclave
+
+#: Option value (``SeGShareOptions.authz_backend``) -> implementation.
+AUTHZ_BACKENDS: dict[str, type[EnclaveAclBackend]] = {
+    EnclaveAclBackend.name: EnclaveAclBackend,
+    IbbeEnvelopeBackend.name: IbbeEnvelopeBackend,
+}
+
+
+def build_backend(
+    name: str,
+    manager: "TrustedFileManager",
+    enclave: "Enclave | None" = None,
+    crash_hook: CrashHook | None = None,
+) -> AuthzBackend:
+    """Instantiate the configured authorization backend."""
+    try:
+        backend_cls = AUTHZ_BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown authz backend {name!r}; known: {sorted(AUTHZ_BACKENDS)}"
+        ) from None
+    return backend_cls(manager, enclave=enclave, crash_hook=crash_hook)
+
+
+__all__ = [
+    "AUTHZ_BACKENDS",
+    "COUNTER_KEYS",
+    "AuthzBackend",
+    "CrashHook",
+    "EnclaveAclBackend",
+    "IbbeEnvelopeBackend",
+    "build_backend",
+]

@@ -1,0 +1,145 @@
+"""The pluggable authorization interface (ROADMAP item 5).
+
+SeGShare's central comparison — paper Section VII and the IBBE-SGX /
+Commune related work — is between two ways of enforcing group access
+control from an enclave:
+
+* **enclave-enforced ACLs** (the paper's design): authorization is a
+  metadata decision; membership changes touch O(1) metadata files and
+  *no* file content, because content keys never leave the enclave and
+  are never distributed to users;
+* **cryptographic group access control** (IBBE-SGX style): access *is*
+  key possession; every file's content key is wrapped ("enveloped") for
+  each granted group, so revocation must re-key the group and eventually
+  re-wrap / re-encrypt everything the revoked member could decrypt.
+
+:class:`AuthzBackend` is the seam that lets both live behind the same
+request handler.  The **decision** operations mirror paper Table IV
+(``auth_f``/``auth_g``/``exists_g``); the **relation updates** mirror
+``updateRel``; the **grant lifecycle hooks** are where a cryptographic
+backend maintains its envelope state (a metadata backend leaves them as
+no-ops).  All mutations run inside the caller's ``StorageEngine``
+transaction (the request handler brackets every mutating opcode), so
+crash recovery, group commit, and cross-replica coherence are identical
+across backends.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Callable, ClassVar, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.model import Permission
+
+#: Fault-injection hook signature (``SgxPlatform.crashpoint``).
+CrashHook = Callable[[str], None]
+
+#: Every backend reports the same counter keys so benchmark cells are
+#: directly comparable; a metadata backend simply keeps the crypto
+#: counters at zero.
+COUNTER_KEYS = (
+    "membership_updates",
+    "revocations",
+    "rekeys",
+    "member_envelopes_wrapped",
+    "file_envelopes_wrapped",
+    "file_envelopes_rewrapped",
+    "bytes_reencrypted",
+)
+
+
+class AuthzBackend(abc.ABC):
+    """Authorization decisions, relation updates, and grant lifecycle."""
+
+    #: Registry key (``SeGShareOptions.authz_backend``) and stats label.
+    name: ClassVar[str]
+
+    # -- decisions (paper Table IV) -------------------------------------------
+
+    @abc.abstractmethod
+    def user_groups(self, user_id: str) -> set[str]:
+        """All groups of ``u`` per rG, plus the implicit default group."""
+
+    @abc.abstractmethod
+    def exists_g(self, group_id: str) -> bool:
+        """Table IV ``exists_g``; default groups always exist."""
+
+    @abc.abstractmethod
+    def auth_g(self, user_id: str, group_id: str) -> bool:
+        """May ``user_id`` change group ``group_id``'s membership?"""
+
+    @abc.abstractmethod
+    def auth_f(self, user_id: str, perm: "Permission | None", path: str) -> bool:
+        """May ``user_id`` exercise ``perm`` on the file at ``path``?"""
+
+    @abc.abstractmethod
+    def known_users(self) -> list[str]:
+        """Users with a member list — the group store's root listing."""
+
+    # -- relation updates (updateRel) -----------------------------------------
+
+    @abc.abstractmethod
+    def create_group(self, creator_id: str, group_id: str) -> None:
+        """updateRel(G, G ∪ g): new group owned by the creator's default group."""
+
+    @abc.abstractmethod
+    def add_member(self, user_id: str, group_id: str) -> None:
+        """updateRel(g, g ∪ u)."""
+
+    @abc.abstractmethod
+    def remove_member(self, user_id: str, group_id: str) -> None:
+        """updateRel(g, g \\ u): immediate revocation."""
+
+    @abc.abstractmethod
+    def add_group_owner(self, group_id: str, owner_group: str) -> None:
+        """Extend rGO: ``owner_group`` now also owns ``group_id``."""
+
+    @abc.abstractmethod
+    def delete_group(self, group_id: str) -> int:
+        """Delete a group; returns the number of member lists updated."""
+
+    @abc.abstractmethod
+    def bootstrap_group(
+        self, owner_id: str, group_id: str, members: Iterable[str]
+    ) -> None:
+        """Create ``group_id`` with ``members`` as ONE transaction.
+
+        The benchmark seeding path: equivalent to ``create_group`` plus
+        N ``add_member`` calls, but the user registry is read and written
+        once, so seeding 10^5 members does not go quadratic in registry
+        rewrites.  Crypto backends key the group for the full roster in
+        the same span.
+        """
+
+    # -- grant lifecycle hooks --------------------------------------------------
+    #
+    # Called by the request handler AFTER the corresponding ACL mutation,
+    # inside the same transaction.  Metadata backends need no state here;
+    # envelope backends maintain their per-file key records.
+
+    def on_grant(self, path: str, group_id: str) -> None:
+        """``group_id`` gained an entry (permission or ownership) on ``path``."""
+
+    def on_grant_removed(self, path: str, group_id: str) -> None:
+        """``group_id`` lost its entry on ``path``."""
+
+    def on_file_removed(self, path: str) -> None:
+        """``path`` (and its ACL) was deleted."""
+
+    def on_file_moved(self, src: str, dst: str) -> None:
+        """``src`` was re-encrypted under ``dst``'s path key by a move."""
+
+    # -- maintenance -------------------------------------------------------------
+
+    def reconcile(self) -> dict[str, int]:
+        """Flush deferred authorization work (lazy envelope re-wraps).
+
+        Runs in its own storage transaction.  Returns per-call work
+        counters; a metadata backend has nothing to do and returns ``{}``.
+        """
+        return {}
+
+    @abc.abstractmethod
+    def counters(self) -> dict[str, int]:
+        """Cumulative per-backend work counters (:data:`COUNTER_KEYS`)."""

@@ -1,0 +1,105 @@
+"""The paper's own backend: enclave-enforced ACLs behind the interface.
+
+All decision logic and relation updates live in
+:class:`repro.core.access_control.AccessControl` — this class only wraps
+them in the :class:`repro.core.authz.base.AuthzBackend` shape, counts the
+work, and adds the bulk ``bootstrap_group`` path the benchmarks seed
+with.  The grant lifecycle hooks stay no-ops: with enclave enforcement,
+granting and revoking is purely a metadata edit, which is exactly the
+O(1)-revocation property the head-to-head benchmark measures.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+from repro.core.access_control import AccessControl
+from repro.core.acl import USER_REGISTRY_ID
+from repro.core.authz.base import COUNTER_KEYS, AuthzBackend, CrashHook
+from repro.core.model import default_group, validate_group_id, validate_user_id
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.file_manager import TrustedFileManager
+    from repro.sgx.enclave import Enclave
+
+
+class EnclaveAclBackend(AccessControl, AuthzBackend):
+    """Enclave-checked ACLs: revocation is one member-list write."""
+
+    name = "enclave_acl"
+
+    def __init__(
+        self,
+        manager: "TrustedFileManager",
+        enclave: "Enclave | None" = None,
+        crash_hook: CrashHook | None = None,
+    ) -> None:
+        super().__init__(manager)
+        self._enclave = enclave
+        self._crash_hook = crash_hook
+        self._counters: dict[str, int] = {key: 0 for key in COUNTER_KEYS}
+
+    def _crashpoint(self, site: str) -> None:
+        if self._crash_hook is not None:
+            self._crash_hook(site)
+
+    # -- relation updates (counted) ----------------------------------------------
+
+    def create_group(self, creator_id: str, group_id: str) -> None:
+        super().create_group(creator_id, group_id)
+        self._counters["membership_updates"] += 1
+
+    def add_member(self, user_id: str, group_id: str) -> None:
+        super().add_member(user_id, group_id)
+        self._counters["membership_updates"] += 1
+
+    def remove_member(self, user_id: str, group_id: str) -> None:
+        super().remove_member(user_id, group_id)
+        self._counters["membership_updates"] += 1
+        self._counters["revocations"] += 1
+
+    def add_group_owner(self, group_id: str, owner_group: str) -> None:
+        super().add_group_owner(group_id, owner_group)
+        self._counters["membership_updates"] += 1
+
+    def delete_group(self, group_id: str) -> int:
+        touched = super().delete_group(group_id)
+        self._counters["membership_updates"] += touched + 1
+        self._counters["revocations"] += 1
+        return touched
+
+    def bootstrap_group(
+        self, owner_id: str, group_id: str, members: Iterable[str]
+    ) -> None:
+        roster = list(members)
+        validate_group_id(group_id)
+        validate_user_id(owner_id)
+        for user_id in roster:
+            validate_user_id(user_id)
+        with self._manager.transaction("authz_bootstrap"):
+            # Register everyone BEFORE the first member-list write (same
+            # guard-bucket ordering rule as create_group), and do it as
+            # one bulk merge so the registry is written once, not once
+            # per member.
+            registry = self._manager.read_member_list(USER_REGISTRY_ID)
+            registry.update([owner_id, *roster])
+            self._manager.write_member_list(USER_REGISTRY_ID, registry)
+            group_list = self._manager.read_group_list()
+            group_list.create(group_id, default_group(owner_id))
+            self._manager.write_group_list(group_list)
+            for user_id in (owner_id, *roster):
+                member_list = self._manager.read_member_list(user_id)
+                member_list.add(group_id)
+                self._manager.write_member_list(user_id, member_list)
+            self._counters["membership_updates"] += len(roster) + 1
+            self._bootstrap_crypto(owner_id, group_id, roster)
+
+    def _bootstrap_crypto(
+        self, owner_id: str, group_id: str, members: list[str]
+    ) -> None:
+        """Hook for crypto backends to key the freshly seeded group."""
+
+    # -- maintenance ---------------------------------------------------------------
+
+    def counters(self) -> dict[str, int]:
+        return dict(self._counters)

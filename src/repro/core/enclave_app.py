@@ -19,7 +19,7 @@ from __future__ import annotations
 import secrets
 from dataclasses import dataclass
 
-from repro.core.access_control import AccessControl
+from repro.core.authz import AUTHZ_BACKENDS, AuthzBackend, build_backend
 from repro.core.audit import AuditLog, export_message_bytes
 from repro.core.cache import MetadataCache
 from repro.core.coherence import CoherenceManager
@@ -120,6 +120,11 @@ class SeGShareOptions:
     #: open commit epoch, not a crashed batch — only the cluster front
     #: door (takeover recovery, admission quiesce) can tell them apart.
     shared_store: bool = False
+    #: Authorization backend (repro/core/authz): ``"enclave_acl"`` is the
+    #: paper's design — enclave-checked ACLs, O(1)-metadata revocation;
+    #: ``"ibbe"`` is the opposing cryptographic design — per-receiver
+    #: envelopes, O(group) re-key + lazy re-encryption on revocation.
+    authz_backend: str = "enclave_acl"
 
     def __post_init__(self) -> None:
         if self.rollback not in ("off", "individual", "whole_fs"):
@@ -132,6 +137,11 @@ class SeGShareOptions:
             raise ValueError("switchless_workers must be at least 1")
         if self.lock_shards < 1:
             raise ValueError("lock_shards must be at least 1")
+        if self.authz_backend not in AUTHZ_BACKENDS:
+            raise ValueError(
+                f"bad authz backend {self.authz_backend!r}; "
+                f"known: {sorted(AUTHZ_BACKENDS)}"
+            )
 
 
 class SeGShareEnclave(Enclave):
@@ -142,6 +152,10 @@ class SeGShareEnclave(Enclave):
         "repro.core.access_control",
         "repro.core.acl",
         "repro.core.audit",
+        "repro.core.authz",
+        "repro.core.authz.base",
+        "repro.core.authz.enclave_acl",
+        "repro.core.authz.ibbe",
         "repro.core.cache",
         "repro.core.coherence",
         "repro.core.dedup",
@@ -195,6 +209,7 @@ class SeGShareEnclave(Enclave):
         self._tls_key: rsa.RsaPrivateKey | None = None
         self._pending_join: object | None = None
         self.handler: RequestHandler | None = None
+        self.access: AuthzBackend | None = None
         self.locks: LockManager | None = None
         self.engine: StorageEngine | None = None
         self.manager: TrustedFileManager | None = None
@@ -294,7 +309,12 @@ class SeGShareEnclave(Enclave):
             enable_dedup=self._options.enable_dedup,
             engine=self.engine,
         )
-        self.access = AccessControl(self.manager)
+        self.access = build_backend(
+            self._options.authz_backend,
+            self.manager,
+            enclave=self,
+            crash_hook=self.platform.crashpoint,
+        )
         # Enclave-memory-only request locks: a fresh manager per build, so
         # a crash/restart clears every held lock (journal replay is the
         # sole recovery path for half-done mutations).
@@ -820,6 +840,21 @@ class SeGShareEnclave(Enclave):
         return {"fs": True, "group": True}
 
     @ecall
+    def authz_reconcile(self) -> dict:
+        """Flush the authorization backend's deferred re-wrap queue.
+
+        For the IBBE envelope backend this settles the revocation debt:
+        stale file content keys are rotated, payloads re-encrypted, and
+        envelopes re-wrapped (its own storage transaction — all-or-
+        nothing like any mutating request).  A metadata backend returns
+        an empty report.
+        """
+        self._check_alive()
+        if self.access is None:
+            raise EnclaveError("enclave has no authorization backend yet")
+        return self.access.reconcile()
+
+    @ecall
     def runtime_stats(self) -> dict:
         """Cache/guard/EPC counters for operators and the benchmark harness."""
         self._check_alive()
@@ -846,6 +881,8 @@ class SeGShareEnclave(Enclave):
             stats["rollback_guard"] = self.guard.stats.snapshot()
         if self.group_guard is not None:
             stats["group_guard"] = self.group_guard.stats.snapshot()
+        if self.access is not None:
+            stats["authz"] = {"backend": self.access.name, **self.access.counters()}
         return stats
 
     # -- introspection ------------------------------------------------------------------------------

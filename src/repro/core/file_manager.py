@@ -73,6 +73,11 @@ GROUP_GUARD_PREFIX = "\x00rbg:"
 _NS_CONTENT = "content"
 _NS_GROUP = "group"
 
+#: Group-store prefix for authorization-backend records (envelope state).
+#: Contains NUL, which is invalid in user ids and paths, so the records
+#: can never collide with member lists, quota ledgers, or guard objects.
+AUTHZ_PREFIX = "\x00authz:"
+
 
 class TrustedFileManager:
     """The enclave component owning all persistent state."""
@@ -371,6 +376,46 @@ class TrustedFileManager:
         self._engine.invalidate(_NS_GROUP, key)
         self._group.write_file(self._sp(key), blob)
         self._engine.write_back(_NS_GROUP, key, blob)
+
+    # -- authorization-backend records (group store; envelope state for the
+    # -- crypto backends — see repro/core/authz) --------------------------------------
+
+    def derive_subkey(self, label: str, length: int = 16) -> bytes:
+        """A deterministic sub-key of SK_r for enclave components.
+
+        Survives enclave restarts by construction (SK_r is sealed), so
+        backends may derive their master secrets here instead of
+        persisting them.
+        """
+        return derive_key(self._root_key, label, length=length)
+
+    def read_authz_record(self, name: str) -> bytes | None:
+        key = AUTHZ_PREFIX + name
+        data = self._engine.lookup(_NS_GROUP, key)
+        if data is None:
+            sp = self._sp(key)
+            if not self._group.exists(sp):
+                return None
+            data = self._group.read_file(sp)
+            # Unguarded like the quota ledger: the records hold only
+            # wrapped keys whose integrity the PFS Merkle check covers;
+            # whole-FS freshness rides the relation files every decision
+            # reads, so caching the decrypted record loses nothing.
+            self._engine.fill(_NS_GROUP, key, data)
+        return data
+
+    def write_authz_record(self, name: str, data: bytes) -> None:
+        key = AUTHZ_PREFIX + name
+        self._engine.invalidate(_NS_GROUP, key)
+        self._group.write_file(self._sp(key), data)
+        self._engine.write_back(_NS_GROUP, key, data)
+
+    def delete_authz_record(self, name: str) -> None:
+        key = AUTHZ_PREFIX + name
+        self._engine.invalidate(_NS_GROUP, key)
+        sp = self._sp(key)
+        if self._group.exists(sp):
+            self._group.remove(sp)
 
     # -- unverified group access for the flat rollback guard -------------------------
 

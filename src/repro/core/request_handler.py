@@ -24,8 +24,8 @@ from __future__ import annotations
 
 from typing import Iterator
 
-from repro.core.access_control import AccessControl
 from repro.core.acl import AclFile
+from repro.core.authz import AuthzBackend
 from repro.core.file_manager import ContentUpload, TrustedFileManager
 from repro.core.locks import LockManager
 from repro.core.model import (
@@ -95,7 +95,7 @@ class RequestHandler:
     def __init__(
         self,
         manager: TrustedFileManager,
-        access: AccessControl,
+        access: AuthzBackend,
         quota_bytes: int | None = None,
         locks: LockManager | None = None,
     ) -> None:
@@ -216,6 +216,7 @@ class RequestHandler:
         self._manager.write_dir(parent_path, parent_dir)
         self._manager.write_acl(path, acl)
         self._manager.write_dir(path, DirectoryFile())
+        self._access.on_grant(path, default_group(user_id))
         return Response.ok("directory created")
 
     # -- Algo. 1: put_fC (streaming) -------------------------------------------------
@@ -302,6 +303,8 @@ class RequestHandler:
             self._manager.write_dir(parent_path, parent_dir)
         self._manager.write_acl(path, acl)
         upload.finish()
+        if is_new:
+            self._access.on_grant(path, default_group(user_id))
         return Response.ok("file stored")
 
     # -- Algo. 1: get -----------------------------------------------------------------
@@ -352,6 +355,7 @@ class RequestHandler:
                         acl.accounted_user, max(0, used - acl.accounted_size)
                     )
             self._manager.delete_acl(path)
+            self._access.on_file_removed(path)
         return count
 
     def move(self, user_id: str, src: str, dst: str) -> Response:
@@ -419,6 +423,7 @@ class RequestHandler:
             self._manager.delete_content(src)
         if acl is not None:
             self._manager.delete_acl(src)
+            self._access.on_file_moved(src, dst)
         return count
 
     # -- Algo. 1: set_p and the ownership requests -----------------------------------------
@@ -431,8 +436,13 @@ class RequestHandler:
         if perms and not self._access.exists_g(group_id):
             raise RequestError(f"no group {group_id!r}")
         acl = self._manager.read_acl(path)
+        had_entry = bool(acl.lookup(group_id)) or acl.is_owner(group_id)
         acl.set_permission(group_id, perms)
         self._manager.write_acl(path, acl)
+        if perms:
+            self._access.on_grant(path, group_id)
+        elif had_entry and not acl.is_owner(group_id):
+            self._access.on_grant_removed(path, group_id)
         return Response.ok("permission updated")
 
     def set_inherit(self, user_id: str, path: str, inherit: bool) -> Response:
@@ -454,6 +464,7 @@ class RequestHandler:
         acl = self._manager.read_acl(path)
         acl.add_owner(group_id)
         self._manager.write_acl(path, acl)
+        self._access.on_grant(path, group_id)
         return Response.ok("owner added")
 
     def remove_file_owner(self, user_id: str, path: str, group_id: str) -> Response:
@@ -464,6 +475,8 @@ class RequestHandler:
         acl = self._manager.read_acl(path)
         acl.remove_owner(group_id)
         self._manager.write_acl(path, acl)
+        if not acl.lookup(group_id):
+            self._access.on_grant_removed(path, group_id)
         return Response.ok("owner removed")
 
     # -- Algo. 1: add_u / rmv_u and group administration -----------------------------------

@@ -107,6 +107,12 @@ class SeGShareServer:
             stats["cluster"] = self.cluster.stats()
         return stats
 
+    def authz_reconcile(self) -> dict:
+        """Flush the authz backend's deferred re-wrap queue (see
+        :meth:`SeGShareEnclave.authz_reconcile`); an operator-scheduled
+        maintenance pass, not a request-path operation."""
+        return self.handle.call("authz_reconcile")
+
     # -- untrusted certification component ---------------------------------------------
 
     def certification_request(self) -> tuple[bytes, bytes]:

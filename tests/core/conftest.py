@@ -6,7 +6,7 @@ from dataclasses import dataclass
 
 import pytest
 
-from repro.core.access_control import AccessControl
+from repro.core.authz import AuthzBackend, build_backend
 from repro.core.file_manager import TrustedFileManager
 from repro.core.request_handler import RequestHandler
 from repro.core.rollback import FlatStoreGuard, RollbackGuard
@@ -19,7 +19,7 @@ ROOT_KEY = bytes(range(32))
 class HandlerWorld:
     stores: StoreSet
     manager: TrustedFileManager
-    access: AccessControl
+    access: AuthzBackend
     handler: RequestHandler
     guard: RollbackGuard | None = None
     group_guard: FlatStoreGuard | None = None
@@ -35,12 +35,13 @@ def make_world():
         rollback: bool = False,
         buckets: int = 16,
         stores: StoreSet | None = None,
+        authz: str = "enclave_acl",
     ) -> HandlerWorld:
         stores = stores or StoreSet.in_memory()
         manager = TrustedFileManager(
             stores, ROOT_KEY, hide_paths=hide_paths, enable_dedup=enable_dedup
         )
-        access = AccessControl(manager)
+        access = build_backend(authz, manager)
         handler = RequestHandler(manager, access)
         guard = group_guard = None
         if rollback:

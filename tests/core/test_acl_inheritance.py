@@ -1,0 +1,169 @@
+"""ACL inheritance edge cases, pinned down for both authorization backends.
+
+Three corners the paper's Algo. 2 leaves easy to get wrong:
+
+* ``pdeny`` on a *parent* directory: with inheritance on, a deny entry
+  inherited from the parent must veto a grant the user holds on the
+  child through another group — and a child entry must override the
+  inherited deny (child entries take precedence per group).
+* default groups (``g_u``): always exist, usable in grants without any
+  group creation, and immutable (no add/remove/owner operations).
+* ``exists_g`` on never-created groups: granting to a ghost group is a
+  typed error, membership/owner operations on it are denied, and a
+  permission *removal* naming it is a harmless no-op.
+
+Parametrized over both backends — these are decision-semantics tests,
+so the cryptographic backend must answer identically.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.model import Permission, default_group
+from repro.core.requests import Op, Request, Status
+
+BACKENDS = ("enclave_acl", "ibbe")
+
+
+@pytest.fixture(params=BACKENDS)
+def world(make_world, request):
+    return make_world(authz=request.param)
+
+
+def ok(response) -> None:
+    assert response.status is Status.OK, response
+
+
+def handle(world, user, op, *args):
+    return world.handler.handle(user, Request(op=op, args=tuple(args)))
+
+
+def can_read(world, user, path) -> bool:
+    return world.access.auth_f(user, Permission.READ, path)
+
+
+class TestParentPdeny:
+    """Deny entries on the parent directory, resolved through inherit."""
+
+    @pytest.fixture()
+    def tree(self, world):
+        h = world.handler
+        ok(handle(world, "alice", Op.PUT_DIR, "/proj/"))
+        ok(h.put_file("alice", "/proj/f", b"payload"))
+        # bob holds two memberships: "crew" grants him the child, "team"
+        # is the one the parent will deny.
+        ok(handle(world, "alice", Op.ADD_USER, "bob", "team"))
+        ok(handle(world, "alice", Op.ADD_USER, "bob", "crew"))
+        ok(handle(world, "alice", Op.SET_PERM, "/proj/f", "crew", "r"))
+        ok(handle(world, "alice", Op.SET_INHERIT, "/proj/f", "1"))
+        assert can_read(world, "bob", "/proj/f")
+        return world
+
+    def test_inherited_parent_deny_vetoes_other_group_grant(self, tree):
+        """A pdeny bob inherits from /proj/ (via "team") beats the READ
+        grant he holds on the child itself (via "crew") — deny wins
+        across memberships, inherited or not."""
+        ok(handle(tree, "alice", Op.SET_PERM, "/proj/", "team", "deny"))
+        assert not can_read(tree, "bob", "/proj/f")
+        # The veto is bob's alone: alice (owner) keeps full access.
+        assert can_read(tree, "alice", "/proj/f")
+
+    def test_child_entry_overrides_inherited_deny(self, tree):
+        """Per-group precedence: once the child carries its own "team"
+        entry, the parent's "team" deny is never consulted."""
+        ok(handle(tree, "alice", Op.SET_PERM, "/proj/", "team", "deny"))
+        ok(handle(tree, "alice", Op.SET_PERM, "/proj/f", "team", "r"))
+        assert can_read(tree, "bob", "/proj/f")
+
+    def test_inherit_off_ignores_parent_deny(self, tree):
+        ok(handle(tree, "alice", Op.SET_PERM, "/proj/", "team", "deny"))
+        ok(handle(tree, "alice", Op.SET_INHERIT, "/proj/f", "0"))
+        assert can_read(tree, "bob", "/proj/f")
+
+    def test_child_deny_beats_inherited_grant(self, tree):
+        """The mirror image: a grant on the parent cannot resurrect a
+        child that denies the same group."""
+        ok(handle(tree, "alice", Op.SET_PERM, "/proj/", "crew", "rw"))
+        ok(handle(tree, "alice", Op.SET_PERM, "/proj/f", "crew", "deny"))
+        assert not can_read(tree, "bob", "/proj/f")
+
+
+class TestDefaultGroupSharing:
+    """g_u: the paper's per-user singleton groups."""
+
+    def test_share_via_default_group_without_any_group_setup(self, world):
+        ok(world.handler.put_file("alice", "/secret", b"for bob"))
+        assert not can_read(world, "bob", "/secret")
+        # No ADD_USER, no group creation — u:bob exists by construction.
+        ok(handle(world, "alice", Op.SET_PERM, "/secret", default_group("bob"), "r"))
+        assert can_read(world, "bob", "/secret")
+        assert not can_read(world, "carol", "/secret")
+
+    def test_default_group_always_exists_and_contains_its_user(self, world):
+        assert world.access.exists_g(default_group("dave"))
+        assert default_group("dave") in world.access.user_groups("dave")
+
+    def test_default_groups_are_immutable(self, world):
+        """No membership churn on g_u: nobody — not even its own user —
+        may add to, remove from, or co-own a default group.  The wire
+        validation rejects the reserved prefix before auth is even
+        consulted, and auth_g refuses as the second line of defense."""
+        g_bob = default_group("bob")
+        for requester in ("alice", "bob"):
+            for op, args in (
+                (Op.ADD_USER, ("carol", g_bob)),
+                (Op.RMV_USER, ("bob", g_bob)),
+                (Op.ADD_GROUP_OWNER, ("team", g_bob)),
+            ):
+                response = handle(world, requester, op, *args)
+                assert response.status is Status.ERROR, (op, response)
+                assert "reserved" in response.message
+            assert not world.access.auth_g(requester, g_bob)
+
+    def test_revoking_default_group_grant(self, world):
+        ok(world.handler.put_file("alice", "/secret", b"x"))
+        ok(handle(world, "alice", Op.SET_PERM, "/secret", default_group("bob"), "r"))
+        ok(handle(world, "alice", Op.SET_PERM, "/secret", default_group("bob"), ""))
+        assert not can_read(world, "bob", "/secret")
+
+
+class TestGhostGroups:
+    """exists_g on groups nobody ever created."""
+
+    def test_exists_g_false_until_created(self, world):
+        assert not world.access.exists_g("ghost")
+        ok(handle(world, "alice", Op.ADD_USER, "bob", "ghost"))
+        assert world.access.exists_g("ghost")
+
+    def test_grant_to_ghost_group_is_an_error(self, world):
+        ok(world.handler.put_file("alice", "/f", b"x"))
+        response = handle(world, "alice", Op.SET_PERM, "/f", "ghost", "r")
+        assert response.status is Status.ERROR
+        assert "ghost" in response.message
+        # The failed grant left no entry behind.
+        assert "ghost" not in world.manager.read_acl("/f").groups_with_entries()
+
+    def test_removing_a_ghost_grant_is_a_noop_not_an_error(self, world):
+        """Empty perms means "drop the entry" — legal even for a group
+        that never existed, so cleanup scripts can be idempotent."""
+        ok(world.handler.put_file("alice", "/f", b"x"))
+        ok(handle(world, "alice", Op.SET_PERM, "/f", "ghost", ""))
+
+    def test_ghost_owner_grant_is_an_error(self, world):
+        ok(world.handler.put_file("alice", "/f", b"x"))
+        assert (
+            handle(world, "alice", Op.ADD_FILE_OWNER, "/f", "ghost").status
+            is Status.ERROR
+        )
+
+    def test_membership_ops_on_ghost_group_are_denied(self, world):
+        assert handle(world, "alice", Op.RMV_USER, "bob", "ghost").status is Status.DENIED
+        assert (
+            handle(world, "alice", Op.ADD_GROUP_OWNER, "team", "ghost").status
+            is Status.DENIED
+        )
+        assert (
+            handle(world, "alice", Op.LIST_MEMBERS, "ghost").status is Status.DENIED
+        )
+        assert handle(world, "alice", Op.DELETE_GROUP, "ghost").status is Status.DENIED

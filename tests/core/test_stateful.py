@@ -11,7 +11,7 @@ import pytest
 from hypothesis import settings
 from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
 
-from repro.core.access_control import AccessControl
+from repro.core.authz import build_backend
 from repro.core.file_manager import TrustedFileManager
 from repro.core.request_handler import RequestHandler
 from repro.core.requests import Status
@@ -33,7 +33,7 @@ class SeGShareMachine(RuleBasedStateMachine):
     def setup(self) -> None:
         stores = StoreSet.in_memory()
         manager = TrustedFileManager(stores, bytes(32), enable_dedup=True)
-        access = AccessControl(manager)
+        access = build_backend("enclave_acl", manager)
         self.handler = RequestHandler(manager, access)
         manager.guard = RollbackGuard(manager, bytes(32), buckets=4)
         manager.group_guard = FlatStoreGuard(manager, bytes(32), buckets=4)

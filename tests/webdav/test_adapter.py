@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.access_control import AccessControl
+from repro.core.authz import build_backend
 from repro.core.file_manager import TrustedFileManager
 from repro.core.model import default_group
 from repro.core.request_handler import RequestHandler
@@ -14,7 +14,7 @@ from repro.webdav import HttpRequest, Method, WebDavAdapter
 @pytest.fixture()
 def adapter():
     manager = TrustedFileManager(StoreSet.in_memory(), bytes(32))
-    handler = RequestHandler(manager, AccessControl(manager))
+    handler = RequestHandler(manager, build_backend("enclave_acl", manager))
     return WebDavAdapter(handler)
 
 
